@@ -1,0 +1,126 @@
+//! Index-level microbenchmarks: build costs (the data-to-insight gap) and
+//! converged query latencies for every approach — the criterion counterpart
+//! of the repro harness's figure tables.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::dataset::uniform_boxes_in;
+use quasii_common::geom::Aabb;
+use quasii_common::index::SpatialIndex;
+use quasii_common::scan::Scan;
+use quasii_grid::{Assignment, UniformGrid};
+use quasii_mosaic::Mosaic;
+use quasii_rtree::{DynamicRTree, RTree};
+use quasii_sfc::{SfCracker, SfcIndex};
+use std::hint::black_box;
+
+const N: usize = 200_000;
+const SIDE: f64 = 10_000.0;
+
+fn query() -> Aabb<3> {
+    Aabb::new([4_000.0; 3], [4_450.0; 3]) // ~0.01% of the universe volume
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let data = uniform_boxes_in::<3>(N, SIDE, 1);
+    let mut g = c.benchmark_group("build");
+    g.sample_size(10);
+    g.bench_function("rtree_str_200k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(RTree::bulk_load_default(d).node_count()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("rtree_dynamic_200k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(DynamicRTree::from_records(d, 60).height()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("grid_200k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(UniformGrid::build(d, 58, Assignment::QueryExtension).stored_entries()),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("sfc_200k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| black_box(SfcIndex::build_default(d).len()),
+            BatchSize::LargeInput,
+        )
+    });
+    // QUASII's "build": O(1) wrap + the expensive *first query*.
+    g.bench_function("quasii_first_query_200k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| {
+                let mut q = Quasii::new(d, QuasiiConfig::default());
+                black_box(q.query_collect(&query()).len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_converged_queries(c: &mut Criterion) {
+    let data = uniform_boxes_in::<3>(N, SIDE, 2);
+    let universe = Aabb::new([0.0; 3], [SIDE; 3]);
+    let warmup: Vec<Aabb<3>> =
+        quasii_common::workload::uniform(&universe, 300, 1e-4, 3).queries;
+    let q = query();
+
+    let mut g = c.benchmark_group("converged_query");
+    let mut scan = Scan::new(data.clone());
+    g.bench_function("scan", |b| b.iter(|| black_box(scan.query_collect(&q).len())));
+
+    let mut rtree = RTree::bulk_load_default(data.clone());
+    g.bench_function("rtree", |b| b.iter(|| black_box(rtree.query_collect(&q).len())));
+
+    let mut grid = UniformGrid::build(data.clone(), 58, Assignment::QueryExtension);
+    g.bench_function("grid", |b| b.iter(|| black_box(grid.query_collect(&q).len())));
+
+    let mut sfc = SfcIndex::build_default(data.clone());
+    g.bench_function("sfc", |b| b.iter(|| black_box(sfc.query_collect(&q).len())));
+
+    let mut quasii = Quasii::new(data.clone(), QuasiiConfig::default());
+    for w in &warmup {
+        quasii.query_collect(w);
+    }
+    quasii.query_collect(&q);
+    g.bench_function("quasii_converged", |b| {
+        b.iter(|| black_box(quasii.query_collect(&q).len()))
+    });
+
+    let mut sfcracker = SfCracker::with_default_bits(data.clone());
+    for w in &warmup {
+        sfcracker.query_collect(w);
+    }
+    sfcracker.query_collect(&q);
+    g.bench_function("sfcracker_converged", |b| {
+        b.iter(|| black_box(sfcracker.query_collect(&q).len()))
+    });
+
+    let mut mosaic = Mosaic::with_defaults(data);
+    for w in &warmup {
+        mosaic.query_collect(w);
+    }
+    for _ in 0..10 {
+        mosaic.query_collect(&q);
+    }
+    g.bench_function("mosaic_converged", |b| {
+        b.iter(|| black_box(mosaic.query_collect(&q).len()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = indexes;
+    config = Criterion::default().sample_size(10);
+    targets = bench_builds, bench_converged_queries
+}
+criterion_main!(indexes);

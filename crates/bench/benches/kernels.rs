@@ -1,0 +1,76 @@
+//! Microbenchmarks of the hot kernels every experiment rests on:
+//! cracking partitions (QUASII's inner loop), Z-order encoding + BIGMIN +
+//! interval decomposition (SFC/SFCracker), and STR tiling (R-Tree build).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use quasii::crack::{crack_three, crack_two};
+use quasii::AssignBy;
+use quasii_common::dataset::uniform_boxes_in;
+use quasii_common::geom::Aabb;
+use quasii_rtree::str_pack::str_tile;
+use quasii_sfc::ZGrid;
+use std::hint::black_box;
+
+fn bench_cracks(c: &mut Criterion) {
+    let data = uniform_boxes_in::<3>(100_000, 10_000.0, 1);
+    let mut g = c.benchmark_group("crack");
+    g.bench_function("two_way_100k", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| black_box(crack_two(d, 0, AssignBy::Lower, 5_000.0)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("three_way_100k", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| black_box(crack_three(d, 0, AssignBy::Lower, 3_000.0, 7_000.0)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_zorder(c: &mut Criterion) {
+    let grid = ZGrid::<3>::new(Aabb::new([0.0; 3], [10_000.0; 3]), 10);
+    let data = uniform_boxes_in::<3>(10_000, 10_000.0, 2);
+    let mut g = c.benchmark_group("zorder");
+    g.bench_function("encode_10k_points", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in &data {
+                acc ^= grid.code_of_point(&r.mbb.center());
+            }
+            black_box(acc)
+        })
+    });
+    let qlo = grid.cell_of(&[2_000.0; 3]);
+    let qhi = grid.cell_of(&[2_500.0; 3]);
+    let zmin = grid.encode(&qlo);
+    let zmax = grid.encode(&qhi);
+    g.bench_function("bigmin", |b| {
+        b.iter(|| black_box(grid.bigmin(black_box(12_345_678), zmin, zmax)))
+    });
+    g.bench_function("decompose_capped_256", |b| {
+        b.iter(|| black_box(grid.decompose(&qlo, &qhi, 256)))
+    });
+    g.finish();
+}
+
+fn bench_str(c: &mut Criterion) {
+    let data = uniform_boxes_in::<3>(100_000, 10_000.0, 3);
+    c.bench_function("str_tile_100k_cap60", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| black_box(str_tile(d, 60, |r| r.mbb.center()).len()),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cracks, bench_zorder, bench_str
+}
+criterion_main!(kernels);

@@ -1,0 +1,74 @@
+//! `repro` — regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! repro [--scale small|medium|full] [--out DIR] <experiment>...
+//! repro all                 # every figure (medium scale)
+//! repro fig9 --scale small  # one figure, tiny inputs
+//! ```
+
+use quasii_bench::experiments::{Harness, ALL_EXPERIMENTS};
+use quasii_bench::scale::Scale;
+use quasii_bench::OutputDir;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::MEDIUM;
+    let mut out_dir = String::from("results");
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).map(String::as_str).unwrap_or("");
+                scale = Scale::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{v}' (small|medium|full)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or(out_dir);
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let out = OutputDir::new(&out_dir).unwrap_or_else(|e| {
+        eprintln!("cannot create output dir '{out_dir}': {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "[repro] scale={} neuro_n={} uniform_n={} queries={} -> {}",
+        scale.name, scale.neuro_n, scale.uniform_n, scale.uniform_queries, out_dir
+    );
+
+    let mut harness = Harness::new(scale, out);
+    let t = std::time::Instant::now();
+    for exp in &experiments {
+        if let Err(e) = harness.run(exp) {
+            eprintln!("error: {e}");
+            eprintln!("known experiments: {ALL_EXPERIMENTS:?} or 'all'");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
+}
+
+fn print_usage() {
+    println!("usage: repro [--scale small|medium|full] [--out DIR] <experiment|all>...");
+    println!("experiments: {ALL_EXPERIMENTS:?}");
+}

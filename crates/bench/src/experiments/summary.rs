@@ -1,0 +1,57 @@
+//! Headline summary: the handful of numbers the paper's abstract and
+//! conclusions quote, derived from the shared neuro run.
+
+use super::{series, Harness};
+use quasii_common::measure::break_even_query;
+
+/// Prints the headline comparison table.
+pub fn run(h: &mut Harness) {
+    h.ensure_neuro();
+    let run = h.neuro();
+    println!("\n=== Summary: headline numbers (clustered neuro workload) ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>14}",
+        "approach", "build (s)", "query1 (s)", "total (s)", "tail mean (s)"
+    );
+    for s in &run.series {
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>12.4} {:>14.6}",
+            s.name,
+            s.build_secs,
+            s.query_secs.first().copied().unwrap_or(0.0),
+            s.total_secs(),
+            s.tail_mean_secs(25)
+        );
+    }
+
+    let quasii = series(run, "QUASII");
+    let rtree = series(run, "R-Tree");
+    let grid = series(run, "Grid");
+    println!("\nheadlines:");
+    println!(
+        "  data-to-insight reduction vs R-Tree: {:.1}x (paper: up to 11.4x)",
+        rtree.data_to_insight_secs() / quasii.data_to_insight_secs().max(1e-12)
+    );
+    println!(
+        "  data-to-insight reduction vs Grid:   {:.1}x (paper: 5.1x)",
+        grid.data_to_insight_secs() / quasii.data_to_insight_secs().max(1e-12)
+    );
+    println!(
+        "  QUASII cumulative / R-Tree cumulative: {:.1}% (paper: 39.4% after 500 queries)",
+        100.0 * quasii.total_secs() / rtree.total_secs().max(1e-12)
+    );
+    println!(
+        "  QUASII cumulative / Grid cumulative:   {:.1}% (paper: 84%)",
+        100.0 * quasii.total_secs() / grid.total_secs().max(1e-12)
+    );
+    for (inc, st, paper) in [
+        ("SFCracker", "SFC", "23"),
+        ("Mosaic", "Grid", "100"),
+        ("QUASII", "R-Tree", "never"),
+    ] {
+        let be = break_even_query(series(run, inc), series(run, st))
+            .map(|q| q.to_string())
+            .unwrap_or_else(|| "never".into());
+        println!("  break-even {inc} vs {st}: {be} (paper: {paper})");
+    }
+}

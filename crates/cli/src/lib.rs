@@ -1,0 +1,344 @@
+//! Implementation of the `quasii` command-line workbench (kept in a library
+//! so the argument parsing and command logic are unit-testable).
+//!
+//! Subcommands:
+//!
+//! * `generate` — write a synthetic dataset (`uniform` or `neuro` family)
+//!   to a `.qsd` or `.csv` file;
+//! * `info` — dataset statistics (count, bounds, extents);
+//! * `bench` — run a query workload against one of the paper's indexes and
+//!   print the timing summary (an ad-hoc, single-index `repro`).
+
+#![warn(missing_docs)]
+
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::dataset;
+use quasii_common::geom::{max_extents, mbb_of, Record};
+use quasii_common::measure::{run_queries, timed};
+use quasii_common::scan::Scan;
+use quasii_common::{io as qio, workload};
+use quasii_grid::{Assignment, UniformGrid};
+use quasii_mosaic::Mosaic;
+use quasii_rtree::RTree;
+use quasii_sfc::{SfCracker, SfcIndex};
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Generate a dataset.
+    Generate {
+        /// "uniform" or "neuro".
+        family: String,
+        /// Object count.
+        n: usize,
+        /// RNG seed.
+        seed: u64,
+        /// Output path (`.qsd` or `.csv`).
+        out: String,
+    },
+    /// Print dataset statistics.
+    Info {
+        /// Dataset path.
+        data: String,
+    },
+    /// Run a workload against one index.
+    Bench {
+        /// Dataset path.
+        data: String,
+        /// Index name: scan|rtree|grid|sfc|sfcracker|mosaic|quasii.
+        index: String,
+        /// Number of queries.
+        queries: usize,
+        /// Query volume fraction.
+        volume: f64,
+        /// "uniform" or "clustered".
+        pattern: String,
+        /// Workload seed.
+        seed: u64,
+    },
+    /// Show usage.
+    Help,
+}
+
+/// Parses raw arguments (without the binary name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().map(String::as_str).unwrap_or("help");
+    let mut opts = std::collections::HashMap::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --option, found '{}'", rest[i]))?;
+        let val = rest
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), (*val).clone());
+        i += 2;
+    }
+    let get = |k: &str, default: Option<&str>| -> Result<String, String> {
+        opts.get(k)
+            .cloned()
+            .or_else(|| default.map(str::to_string))
+            .ok_or_else(|| format!("missing required --{k}"))
+    };
+    match cmd {
+        "generate" => Ok(Command::Generate {
+            family: get("family", Some("uniform"))?,
+            n: get("n", Some("100000"))?
+                .parse()
+                .map_err(|e| format!("--n: {e}"))?,
+            seed: get("seed", Some("42"))?
+                .parse()
+                .map_err(|e| format!("--seed: {e}"))?,
+            out: get("out", None)?,
+        }),
+        "info" => Ok(Command::Info {
+            data: get("data", None)?,
+        }),
+        "bench" => Ok(Command::Bench {
+            data: get("data", None)?,
+            index: get("index", Some("quasii"))?,
+            queries: get("queries", Some("200"))?
+                .parse()
+                .map_err(|e| format!("--queries: {e}"))?,
+            volume: get("volume", Some("1e-4"))?
+                .parse()
+                .map_err(|e| format!("--volume: {e}"))?,
+            pattern: get("pattern", Some("clustered"))?,
+            seed: get("seed", Some("7"))?
+                .parse()
+                .map_err(|e| format!("--seed: {e}"))?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+quasii — spatial incremental index workbench (QUASII, EDBT 2018 reproduction)
+
+USAGE:
+  quasii generate --out FILE [--family uniform|neuro] [--n N] [--seed S]
+  quasii info     --data FILE
+  quasii bench    --data FILE [--index scan|rtree|grid|sfc|sfcracker|mosaic|quasii]
+                  [--queries N] [--volume FRAC] [--pattern uniform|clustered] [--seed S]
+
+Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).";
+
+fn load(path: &str) -> Result<Vec<Record<3>>, String> {
+    let res = if path.ends_with(".csv") {
+        qio::read_csv_boxes::<3>(path)
+    } else {
+        qio::read_qsd::<3>(path)
+    };
+    res.map_err(|e| format!("cannot read '{path}': {e}"))
+}
+
+/// Executes a parsed command, writing human output to stdout.
+pub fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Generate {
+            family,
+            n,
+            seed,
+            out,
+        } => {
+            let data: Vec<Record<3>> = match family.as_str() {
+                "uniform" => dataset::uniform_boxes(n, seed),
+                "neuro" => dataset::neuro_like(n, seed),
+                other => return Err(format!("unknown family '{other}' (uniform|neuro)")),
+            };
+            let res = if out.ends_with(".csv") {
+                qio::write_csv_boxes(&out, &data)
+            } else {
+                qio::write_qsd(&out, &data)
+            };
+            res.map_err(|e| format!("cannot write '{out}': {e}"))?;
+            println!("wrote {} {family} boxes to {out}", data.len());
+            Ok(())
+        }
+        Command::Info { data } => {
+            let records = load(&data)?;
+            let bounds = mbb_of(&records);
+            let ext = max_extents(&records);
+            println!("dataset:     {data}");
+            println!("objects:     {}", records.len());
+            println!("bounds:      {bounds:?}");
+            println!("max extents: {ext:?}");
+            let total_vol: f64 = records.iter().map(|r| r.mbb.volume()).sum();
+            println!(
+                "density:     {:.6} of the universe volume occupied",
+                total_vol / bounds.volume().max(f64::MIN_POSITIVE)
+            );
+            Ok(())
+        }
+        Command::Bench {
+            data,
+            index,
+            queries,
+            volume,
+            pattern,
+            seed,
+        } => {
+            let records = load(&data)?;
+            let universe = mbb_of(&records);
+            let w = match pattern.as_str() {
+                "uniform" => workload::uniform(&universe, queries, volume, seed),
+                "clustered" => workload::clustered(
+                    &universe,
+                    5,
+                    queries.div_ceil(5),
+                    volume,
+                    seed,
+                ),
+                other => return Err(format!("unknown pattern '{other}'")),
+            };
+            let series = match index.as_str() {
+                "scan" => {
+                    let (b, mut i) = timed(|| Scan::new(records));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                "rtree" => {
+                    let (b, mut i) = timed(|| RTree::bulk_load_default(records));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                "grid" => {
+                    let parts = (records.len() as f64).cbrt().round().clamp(8.0, 256.0) as usize;
+                    let (b, mut i) =
+                        timed(|| UniformGrid::build(records, parts, Assignment::QueryExtension));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                "sfc" => {
+                    let (b, mut i) = timed(|| SfcIndex::build_default(records));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                "sfcracker" => {
+                    let (b, mut i) = timed(|| SfCracker::with_default_bits(records));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                "mosaic" => {
+                    let (b, mut i) = timed(|| Mosaic::with_defaults(records));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                "quasii" => {
+                    let (b, mut i) = timed(|| Quasii::new(records, QuasiiConfig::default()));
+                    run_queries(&mut i, b, &w.queries)
+                }
+                other => return Err(format!("unknown index '{other}'")),
+            };
+            let total_results: usize = series.result_counts.iter().sum();
+            println!(
+                "{}: build {:.4}s, first query {:.4}s, {} queries in {:.4}s (tail mean {:.1}µs), {} results",
+                series.name,
+                series.build_secs,
+                series.query_secs.first().copied().unwrap_or(0.0),
+                series.query_secs.len(),
+                series.total_secs() - series.build_secs,
+                series.tail_mean_secs(20) * 1e6,
+                total_results
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_generate_defaults() {
+        let cmd = parse(&args("generate --out /tmp/x.qsd")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                family: "uniform".into(),
+                n: 100_000,
+                seed: 42,
+                out: "/tmp/x.qsd".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_bench_full() {
+        let cmd = parse(&args(
+            "bench --data d.qsd --index rtree --queries 50 --volume 0.01 --pattern uniform --seed 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Bench {
+                index,
+                queries,
+                volume,
+                pattern,
+                seed,
+                ..
+            } => {
+                assert_eq!(index, "rtree");
+                assert_eq!(queries, 50);
+                assert_eq!(volume, 0.01);
+                assert_eq!(pattern, "uniform");
+                assert_eq!(seed, 3);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse(&args("generate")).is_err(), "missing --out");
+        assert!(parse(&args("info")).is_err(), "missing --data");
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("bench --data")).is_err(), "dangling option");
+        assert!(parse(&args("bench x.qsd")).is_err(), "positional rejected");
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn end_to_end_generate_info_bench() {
+        let path = std::env::temp_dir().join(format!("quasii-cli-{}.qsd", std::process::id()));
+        let out = path.to_string_lossy().to_string();
+        execute(Command::Generate {
+            family: "neuro".into(),
+            n: 3_000,
+            seed: 1,
+            out: out.clone(),
+        })
+        .unwrap();
+        execute(Command::Info { data: out.clone() }).unwrap();
+        for index in ["scan", "rtree", "quasii", "mosaic"] {
+            execute(Command::Bench {
+                data: out.clone(),
+                index: index.into(),
+                queries: 20,
+                volume: 1e-4,
+                pattern: "clustered".into(),
+                seed: 2,
+            })
+            .unwrap();
+        }
+        assert!(execute(Command::Bench {
+            data: out.clone(),
+            index: "btree".into(),
+            queries: 1,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 2,
+        })
+        .is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

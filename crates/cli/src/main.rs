@@ -1,0 +1,12 @@
+//! `quasii` — command-line workbench. See `quasii help`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match quasii_cli::parse(&args).and_then(quasii_cli::execute) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", quasii_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Dataset persistence: a compact little-endian binary format (`.qsd`) and
+//! a CSV interchange format for MBB datasets. Used by the `quasii` CLI so
+//! generated datasets can be reused across runs (the paper's datasets are
+//! 21–45 GB on disk; ours are laptop-scale but the workflow is the same).
+//!
+//! Binary layout: magic `QSD1`, `u32` dimensionality, `u64` record count,
+//! then per record `D` lows, `D` highs (f64) and the `u64` id.
+
+use crate::geom::{Aabb, Record};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"QSD1";
+
+/// Writes a dataset in the binary `.qsd` format.
+pub fn write_qsd<const D: usize>(path: impl AsRef<Path>, data: &[Record<D>]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(D as u32).to_le_bytes())?;
+    w.write_all(&(data.len() as u64).to_le_bytes())?;
+    for r in data {
+        for k in 0..D {
+            w.write_all(&r.mbb.lo[k].to_le_bytes())?;
+        }
+        for k in 0..D {
+            w.write_all(&r.mbb.hi[k].to_le_bytes())?;
+        }
+        w.write_all(&r.id.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a `.qsd` dataset, validating magic, dimensionality and box
+/// validity.
+pub fn read_qsd<const D: usize>(path: impl AsRef<Path>) -> io::Result<Vec<Record<D>>> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a QSD file"));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let dims = u32::from_le_bytes(u32buf) as usize;
+    if dims != D {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("dataset is {dims}-d, expected {D}-d"),
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let n = u64::from_le_bytes(u64buf) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut f64buf = [0u8; 8];
+    for _ in 0..n {
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for slot in lo.iter_mut() {
+            r.read_exact(&mut f64buf)?;
+            *slot = f64::from_le_bytes(f64buf);
+        }
+        for slot in hi.iter_mut() {
+            r.read_exact(&mut f64buf)?;
+            *slot = f64::from_le_bytes(f64buf);
+        }
+        r.read_exact(&mut u64buf)?;
+        let id = u64::from_le_bytes(u64buf);
+        let mbb = Aabb { lo, hi };
+        if !mbb.is_valid() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("record {id} has an invalid box"),
+            ));
+        }
+        out.push(Record { mbb, id });
+    }
+    Ok(out)
+}
+
+/// Writes boxes as CSV: `id,lo0,…,lo{D-1},hi0,…,hi{D-1}` with a header.
+pub fn write_csv_boxes<const D: usize>(
+    path: impl AsRef<Path>,
+    data: &[Record<D>],
+) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    write!(w, "id")?;
+    for k in 0..D {
+        write!(w, ",lo{k}")?;
+    }
+    for k in 0..D {
+        write!(w, ",hi{k}")?;
+    }
+    writeln!(w)?;
+    for r in data {
+        write!(w, "{}", r.id)?;
+        for k in 0..D {
+            write!(w, ",{}", r.mbb.lo[k])?;
+        }
+        for k in 0..D {
+            write!(w, ",{}", r.mbb.hi[k])?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Reads boxes from CSV (the format of [`write_csv_boxes`]; header optional).
+pub fn read_csv_boxes<const D: usize>(path: impl AsRef<Path>) -> io::Result<Vec<Record<D>>> {
+    let r = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("id") || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 1 + 2 * D {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "line {}: expected {} fields, found {}",
+                    lineno + 1,
+                    1 + 2 * D,
+                    fields.len()
+                ),
+            ));
+        }
+        let parse = |s: &str| -> io::Result<f64> {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))
+        };
+        let id: u64 = fields[0].trim().parse().map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+        })?;
+        let mut lo = [0.0; D];
+        let mut hi = [0.0; D];
+        for k in 0..D {
+            lo[k] = parse(fields[1 + k])?;
+            hi[k] = parse(fields[1 + D + k])?;
+        }
+        let mbb = Aabb { lo, hi };
+        if !mbb.is_valid() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: lo > hi", lineno + 1),
+            ));
+        }
+        out.push(Record { mbb, id });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::uniform_boxes_in;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("quasii-io-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn qsd_round_trip() {
+        let data = uniform_boxes_in::<3>(500, 100.0, 1);
+        let p = tmp("rt.qsd");
+        write_qsd(&p, &data).unwrap();
+        let back = read_qsd::<3>(&p).unwrap();
+        assert_eq!(data, back);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn qsd_rejects_wrong_dims_and_magic() {
+        let data = uniform_boxes_in::<2>(10, 10.0, 2);
+        let p = tmp("wrongdim.qsd");
+        write_qsd(&p, &data).unwrap();
+        assert!(read_qsd::<3>(&p).is_err(), "2-d file read as 3-d");
+        std::fs::write(&p, b"NOPE").unwrap();
+        assert!(read_qsd::<2>(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let data = uniform_boxes_in::<2>(200, 50.0, 3);
+        let p = tmp("rt.csv");
+        write_csv_boxes(&p, &data).unwrap();
+        let back = read_csv_boxes::<2>(&p).unwrap();
+        assert_eq!(data.len(), back.len());
+        for (a, b) in data.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            for k in 0..2 {
+                assert!((a.mbb.lo[k] - b.mbb.lo[k]).abs() < 1e-9);
+                assert!((a.mbb.hi[k] - b.mbb.hi[k]).abs() < 1e-9);
+            }
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        let p = tmp("bad.csv");
+        std::fs::write(&p, "id,lo0,lo1,hi0,hi1\n0,1.0,2.0,3.0\n").unwrap();
+        assert!(read_csv_boxes::<2>(&p).is_err(), "missing field");
+        std::fs::write(&p, "0,5.0,5.0,1.0,1.0\n").unwrap();
+        assert!(read_csv_boxes::<2>(&p).is_err(), "inverted box");
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn csv_skips_header_and_comments() {
+        let p = tmp("hdr.csv");
+        std::fs::write(&p, "# comment\nid,lo0,hi0\n7,1.5,2.5\n\n").unwrap();
+        let back = read_csv_boxes::<1>(&p).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].id, 7);
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,193 @@
+//! k-nearest-neighbour search built on range queries.
+//!
+//! The paper (§2) motivates range queries as "the building block for many
+//! other spatial queries (e.g., k-nearest neighbor queries)". This module
+//! provides that layer: an expanding-window kNN that works over **any**
+//! [`SpatialIndex`] — including the incremental ones, whose structure it
+//! refines as a side effect, exactly like plain range queries do.
+//!
+//! Distances are Euclidean point-to-MBB distances (0 inside the box).
+
+use crate::geom::{Aabb, Record};
+use crate::index::SpatialIndex;
+
+/// Squared Euclidean distance from `p` to the closest point of `b`.
+pub fn dist2_point_box<const D: usize>(p: &[f64; D], b: &Aabb<D>) -> f64 {
+    let mut acc = 0.0;
+    for k in 0..D {
+        let d = if p[k] < b.lo[k] {
+            b.lo[k] - p[k]
+        } else if p[k] > b.hi[k] {
+            p[k] - b.hi[k]
+        } else {
+            0.0
+        };
+        acc += d * d;
+    }
+    acc
+}
+
+/// One kNN result: object id plus its (non-squared) distance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Object id.
+    pub id: u64,
+    /// Euclidean distance from the query point to the object's MBB.
+    pub dist: f64,
+}
+
+/// kNN by expanding range queries.
+///
+/// `records` must be indexable by object id (`records[id as usize].id ==
+/// id`), which holds for every generator in this workspace. The search
+/// starts from a density-based radius estimate and doubles it until the
+/// k-th candidate distance is covered by the queried window, guaranteeing
+/// exactness.
+///
+/// Returns up to `k` neighbours sorted by distance (fewer if the dataset is
+/// smaller than `k`).
+pub fn knn_by_range<const D: usize, I: SpatialIndex<D> + ?Sized>(
+    index: &mut I,
+    records: &[Record<D>],
+    p: &[f64; D],
+    k: usize,
+) -> Vec<Neighbor> {
+    if k == 0 || records.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(
+        records
+            .iter()
+            .enumerate()
+            .all(|(i, r)| r.id == i as u64),
+        "records must be indexable by id"
+    );
+    // Density-based initial radius: a window expected to hold ~2k objects
+    // if the data were uniform over its bounding volume.
+    let bounds = crate::geom::mbb_of(records);
+    let volume = bounds.volume().max(f64::MIN_POSITIVE);
+    let mut radius = (volume * 2.0 * k as f64 / records.len() as f64)
+        .powf(1.0 / D as f64)
+        .max(f64::MIN_POSITIVE);
+    // Never expand beyond the diagonal of the data bounds.
+    let max_radius: f64 = (0..D)
+        .map(|d| (bounds.extent(d)).powi(2))
+        .sum::<f64>()
+        .sqrt()
+        + (0..D)
+            .map(|d| (p[d] - bounds.lo[d]).abs().max((p[d] - bounds.hi[d]).abs()))
+            .fold(0.0f64, f64::max);
+
+    let mut out = Vec::new();
+    loop {
+        let window = Aabb::from_center_sides(*p, [radius * 2.0; D]);
+        out.clear();
+        index.query(&window, &mut out);
+        let mut neigh: Vec<Neighbor> = out
+            .iter()
+            .map(|&id| Neighbor {
+                id,
+                dist: dist2_point_box(p, &records[id as usize].mbb).sqrt(),
+            })
+            .collect();
+        neigh.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+        neigh.truncate(k);
+        // Exactness: the k-th distance must be covered by the window's
+        // inradius — anything outside the window is farther than `radius`.
+        let complete = neigh.len() == k && neigh[k - 1].dist <= radius;
+        let exhausted = neigh.len() == records.len().min(k) && radius >= max_radius;
+        if complete || exhausted {
+            return neigh;
+        }
+        radius *= 2.0;
+    }
+}
+
+/// Brute-force kNN used as ground truth in tests.
+pub fn knn_brute_force<const D: usize>(
+    records: &[Record<D>],
+    p: &[f64; D],
+    k: usize,
+) -> Vec<Neighbor> {
+    let mut all: Vec<Neighbor> = records
+        .iter()
+        .map(|r| Neighbor {
+            id: r.id,
+            dist: dist2_point_box(p, &r.mbb).sqrt(),
+        })
+        .collect();
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist).then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::uniform_boxes_in;
+    use crate::scan::Scan;
+
+    #[test]
+    fn dist2_cases() {
+        let b = Aabb::new([1.0, 1.0], [3.0, 3.0]);
+        assert_eq!(dist2_point_box(&[2.0, 2.0], &b), 0.0, "inside");
+        assert_eq!(dist2_point_box(&[0.0, 2.0], &b), 1.0, "left face");
+        assert_eq!(dist2_point_box(&[0.0, 0.0], &b), 2.0, "corner");
+        assert_eq!(dist2_point_box(&[2.0, 5.0], &b), 4.0, "above");
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_scan() {
+        let data = uniform_boxes_in::<3>(2_000, 100.0, 1);
+        let mut scan = Scan::new(data.clone());
+        for (p, k) in [([50.0; 3], 1), ([10.0; 3], 10), ([99.0; 3], 25)] {
+            let got = knn_by_range(&mut scan, &data, &p, k);
+            let expect = knn_brute_force(&data, &p, k);
+            assert_eq!(got.len(), expect.len());
+            for (g, e) in got.iter().zip(&expect) {
+                // Ties at the same distance may reorder ids from different
+                // implementations; distances must match exactly.
+                assert_eq!(g.dist, e.dist, "k={k} p={p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_k_larger_than_dataset() {
+        let data = uniform_boxes_in::<2>(5, 10.0, 2);
+        let mut scan = Scan::new(data.clone());
+        let got = knn_by_range(&mut scan, &data, &[5.0, 5.0], 50);
+        assert_eq!(got.len(), 5, "must return every object");
+    }
+
+    #[test]
+    fn knn_k_zero_and_empty() {
+        let data = uniform_boxes_in::<2>(10, 10.0, 3);
+        let mut scan = Scan::new(data.clone());
+        assert!(knn_by_range(&mut scan, &data, &[1.0, 1.0], 0).is_empty());
+        let empty: Vec<Record<2>> = Vec::new();
+        let mut scan = Scan::new(empty.clone());
+        assert!(knn_by_range(&mut scan, &empty, &[1.0, 1.0], 3).is_empty());
+    }
+
+    #[test]
+    fn knn_query_point_far_outside_data() {
+        let data = uniform_boxes_in::<2>(300, 100.0, 4);
+        let mut scan = Scan::new(data.clone());
+        let p = [10_000.0, 10_000.0];
+        let got = knn_by_range(&mut scan, &data, &p, 5);
+        let expect = knn_brute_force(&data, &p, 5);
+        assert_eq!(got.len(), 5);
+        for (g, e) in got.iter().zip(&expect) {
+            assert_eq!(g.dist, e.dist);
+        }
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let data = uniform_boxes_in::<3>(500, 50.0, 5);
+        let mut scan = Scan::new(data.clone());
+        let got = knn_by_range(&mut scan, &data, &[25.0; 3], 20);
+        assert!(got.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+}

@@ -1,0 +1,28 @@
+//! # quasii-common
+//!
+//! Shared substrate for the QUASII reproduction (Pavlovic et al.,
+//! *QUASII: QUery-Aware Spatial Incremental Index*, EDBT 2018):
+//!
+//! * [`geom`] — axis-aligned boxes and records;
+//! * [`index`] — the [`index::SpatialIndex`] trait all indexes implement,
+//!   plus brute-force verification;
+//! * [`dataset`] — synthetic-uniform and neuroscience-like dataset
+//!   generators (§6.1 of the paper);
+//! * [`workload`] — clustered and uniform query-sequence generators (§6.1);
+//! * [`scan`] — the full-scan baseline;
+//! * [`measure`] — per-query/cumulative timing series, break-even detection,
+//!   table & CSV rendering for the experiment harness.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod geom;
+pub mod index;
+pub mod io;
+pub mod knn;
+pub mod measure;
+pub mod scan;
+pub mod workload;
+
+pub use geom::{Aabb, Record};
+pub use index::SpatialIndex;

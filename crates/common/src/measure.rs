@@ -1,0 +1,270 @@
+//! Measurement substrate for the evaluation harness (§6 methodology).
+//!
+//! The paper reports two views of the same runs:
+//!
+//! * **convergence** — per-query execution time along the query sequence
+//!   (Figs. 7, 9a, 10a/b);
+//! * **cumulative time** — running total *including* the static index's
+//!   build step (Figs. 8, 9b, 10c/d, 11, 12), from which the "break-even"
+//!   point between incremental and static indexing is read.
+//!
+//! [`RunSeries`] captures one (index, workload) run; helper functions compute
+//! the derived quantities and render aligned tables / CSV files.
+
+use crate::geom::Aabb;
+use crate::index::SpatialIndex;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Timing record of one index executing one query sequence.
+#[derive(Clone, Debug)]
+pub struct RunSeries {
+    /// Index name as reported by [`SpatialIndex::name`].
+    pub name: String,
+    /// Pre-processing (build) time in seconds; 0 for incremental indexes
+    /// whose work happens inside queries.
+    pub build_secs: f64,
+    /// Per-query wall-clock seconds, in execution order.
+    pub query_secs: Vec<f64>,
+    /// Result cardinality per query (sanity statistic).
+    pub result_counts: Vec<usize>,
+}
+
+impl RunSeries {
+    /// Total time = build + all queries.
+    pub fn total_secs(&self) -> f64 {
+        self.build_secs + self.query_secs.iter().sum::<f64>()
+    }
+
+    /// Cumulative curve: entry `i` = build + queries `0..=i`.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = self.build_secs;
+        self.query_secs
+            .iter()
+            .map(|q| {
+                acc += q;
+                acc
+            })
+            .collect()
+    }
+
+    /// First-query latency — the paper's data-to-insight proxy. For static
+    /// indexes this *includes* the build step.
+    pub fn data_to_insight_secs(&self) -> f64 {
+        self.build_secs + self.query_secs.first().copied().unwrap_or(0.0)
+    }
+
+    /// Mean per-query seconds over the last `k` queries (converged regime).
+    pub fn tail_mean_secs(&self, k: usize) -> f64 {
+        if self.query_secs.is_empty() {
+            return 0.0;
+        }
+        let k = k.min(self.query_secs.len()).max(1);
+        let tail = &self.query_secs[self.query_secs.len() - k..];
+        tail.iter().sum::<f64>() / k as f64
+    }
+}
+
+/// Runs `index` over `queries`, timing build (passed in by the caller, since
+/// construction signatures differ) and each query.
+pub fn run_queries<const D: usize, I: SpatialIndex<D>>(
+    index: &mut I,
+    build_secs: f64,
+    queries: &[Aabb<D>],
+) -> RunSeries {
+    let mut query_secs = Vec::with_capacity(queries.len());
+    let mut result_counts = Vec::with_capacity(queries.len());
+    let mut out = Vec::new();
+    for q in queries {
+        out.clear();
+        let t = Instant::now();
+        index.query(q, &mut out);
+        query_secs.push(t.elapsed().as_secs_f64());
+        result_counts.push(out.len());
+    }
+    RunSeries {
+        name: index.name().to_string(),
+        build_secs,
+        query_secs,
+        result_counts,
+    }
+}
+
+/// Times a closure, returning (elapsed seconds, value).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let t = Instant::now();
+    let v = f();
+    (t.elapsed().as_secs_f64(), v)
+}
+
+/// Index of the first query at which `incremental`'s cumulative time exceeds
+/// `static_idx`'s cumulative time, or `None` if it never does — the paper's
+/// break-even metric (§6.4). Both series must cover the same query sequence.
+pub fn break_even_query(incremental: &RunSeries, static_idx: &RunSeries) -> Option<usize> {
+    let a = incremental.cumulative();
+    let b = static_idx.cumulative();
+    a.iter()
+        .zip(b.iter())
+        .position(|(inc, st)| inc > st)
+}
+
+/// Renders series as a fixed-width table: one row per sampled query index,
+/// one column per series; `stride` subsamples long sequences.
+pub fn convergence_table(series: &[&RunSeries], stride: usize) -> String {
+    let stride = stride.max(1);
+    let n = series.iter().map(|s| s.query_secs.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    write!(out, "{:>8}", "query").unwrap();
+    for s in series {
+        write!(out, "{:>16}", s.name).unwrap();
+    }
+    out.push('\n');
+    let mut i = 0;
+    while i < n {
+        write!(out, "{:>8}", i).unwrap();
+        for s in series {
+            match s.query_secs.get(i) {
+                Some(v) => write!(out, "{:>16.6}", v).unwrap(),
+                None => write!(out, "{:>16}", "-").unwrap(),
+            }
+        }
+        out.push('\n');
+        i += stride;
+    }
+    out
+}
+
+/// Same layout as [`convergence_table`] but with cumulative values
+/// (build time included).
+pub fn cumulative_table(series: &[&RunSeries], stride: usize) -> String {
+    let stride = stride.max(1);
+    let cums: Vec<Vec<f64>> = series.iter().map(|s| s.cumulative()).collect();
+    let n = cums.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    write!(out, "{:>8}", "query").unwrap();
+    for s in series {
+        write!(out, "{:>16}", s.name).unwrap();
+    }
+    out.push('\n');
+    let mut i = 0;
+    while i < n {
+        write!(out, "{:>8}", i).unwrap();
+        for c in &cums {
+            match c.get(i) {
+                Some(v) => write!(out, "{:>16.6}", v).unwrap(),
+                None => write!(out, "{:>16}", "-").unwrap(),
+            }
+        }
+        out.push('\n');
+        i += stride;
+    }
+    out
+}
+
+/// CSV export (query index + one column per series), `kind` selects
+/// per-query (`"per_query"`) or cumulative values.
+pub fn to_csv(series: &[&RunSeries], kind: &str) -> String {
+    let cols: Vec<Vec<f64>> = match kind {
+        "cumulative" => series.iter().map(|s| s.cumulative()).collect(),
+        _ => series.iter().map(|s| s.query_secs.clone()).collect(),
+    };
+    let n = cols.iter().map(|c| c.len()).max().unwrap_or(0);
+    let mut out = String::from("query");
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+    for i in 0..n {
+        write!(out, "{i}").unwrap();
+        for c in &cols {
+            match c.get(i) {
+                Some(v) => write!(out, ",{v:.9}").unwrap(),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::uniform_boxes_in;
+    use crate::scan::Scan;
+
+    fn series(name: &str, build: f64, qs: &[f64]) -> RunSeries {
+        RunSeries {
+            name: name.into(),
+            build_secs: build,
+            query_secs: qs.to_vec(),
+            result_counts: vec![0; qs.len()],
+        }
+    }
+
+    #[test]
+    fn cumulative_includes_build() {
+        let s = series("x", 10.0, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.cumulative(), vec![11.0, 13.0, 16.0]);
+        assert_eq!(s.total_secs(), 16.0);
+        assert_eq!(s.data_to_insight_secs(), 11.0);
+    }
+
+    #[test]
+    fn tail_mean_handles_short_series() {
+        let s = series("x", 0.0, &[4.0, 2.0]);
+        assert_eq!(s.tail_mean_secs(1), 2.0);
+        assert_eq!(s.tail_mean_secs(2), 3.0);
+        assert_eq!(s.tail_mean_secs(100), 3.0);
+        assert_eq!(series("e", 0.0, &[]).tail_mean_secs(5), 0.0);
+    }
+
+    #[test]
+    fn break_even_detection() {
+        // incremental: expensive queries, no build; static: big build, cheap queries.
+        let inc = series("inc", 0.0, &[5.0, 5.0, 5.0, 5.0]);
+        let st = series("st", 12.0, &[1.0, 1.0, 1.0, 1.0]);
+        // cumulative inc: 5,10,15,20 ; st: 13,14,15,16 → first exceed at i=3.
+        assert_eq!(break_even_query(&inc, &st), Some(3));
+        let never = series("never", 0.0, &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(break_even_query(&never, &st), None);
+    }
+
+    #[test]
+    fn run_queries_records_counts() {
+        let data = uniform_boxes_in::<2>(200, 100.0, 5);
+        let mut scan = Scan::new(data);
+        let qs = vec![
+            Aabb::new([0.0, 0.0], [100.0, 100.0]),
+            Aabb::new([200.0, 200.0], [201.0, 201.0]),
+        ];
+        let rs = run_queries(&mut scan, 0.0, &qs);
+        assert_eq!(rs.query_secs.len(), 2);
+        assert_eq!(rs.result_counts[0], 200);
+        assert_eq!(rs.result_counts[1], 0);
+        assert_eq!(rs.name, "Scan");
+    }
+
+    #[test]
+    fn tables_and_csv_render() {
+        let a = series("A", 0.0, &[1.0, 2.0]);
+        let b = series("B", 1.0, &[0.5, 0.5]);
+        let t = convergence_table(&[&a, &b], 1);
+        assert!(t.contains("A") && t.contains("B"));
+        assert_eq!(t.lines().count(), 3);
+        let c = cumulative_table(&[&a, &b], 1);
+        assert!(c.lines().nth(1).unwrap().contains("1.5")); // B build+q0
+        let csv = to_csv(&[&a, &b], "per_query");
+        assert!(csv.starts_with("query,A,B\n"));
+        let csv_c = to_csv(&[&a, &b], "cumulative");
+        assert!(csv_c.lines().count() == 3);
+    }
+
+    #[test]
+    fn timed_measures_and_returns() {
+        let (secs, v) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Cracking kernels: the in-place partition primitives QUASII uses to
+//! reorganize the data array (paper §5.2, the "incremental quick sort
+//! strategy introduced in database cracking").
+//!
+//! All partitions key on one *representative coordinate* of the object in
+//! one dimension — the lower corner by default (§5.1 "Data-oriented
+//! Slicing": each object belongs to exactly one slice, no replication), or
+//! the center/upper corner per the paper's footnote 1 (see
+//! [`crate::AssignBy`]).
+
+use crate::config::AssignBy;
+use quasii_common::geom::Record;
+
+/// The representative (assignment) coordinate of `r` on `dim`.
+#[inline(always)]
+pub fn key_of<const D: usize>(r: &Record<D>, dim: usize, mode: AssignBy) -> f64 {
+    match mode {
+        AssignBy::Lower => r.mbb.lo[dim],
+        AssignBy::Center => 0.5 * (r.mbb.lo[dim] + r.mbb.hi[dim]),
+        AssignBy::Upper => r.mbb.hi[dim],
+    }
+}
+
+/// Per-dimension measurements of a record segment: the assignment-key
+/// minimum (drives the sorted slice lists) and the actual spatial interval
+/// (drives slice MBBs).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DimBounds {
+    /// Minimum assignment key over the segment (`+inf` when empty).
+    pub min_key: f64,
+    /// Minimum `lo[dim]` over the segment (`+inf` when empty).
+    pub min_lo: f64,
+    /// Maximum `hi[dim]` over the segment (`-inf` when empty).
+    pub max_hi: f64,
+}
+
+impl DimBounds {
+    /// Identity bounds of an empty segment.
+    pub fn empty() -> Self {
+        Self {
+            min_key: f64::INFINITY,
+            min_lo: f64::INFINITY,
+            max_hi: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Measures a segment.
+    pub fn of<const D: usize>(seg: &[Record<D>], dim: usize, mode: AssignBy) -> Self {
+        let mut b = Self::empty();
+        for r in seg {
+            let k = key_of(r, dim, mode);
+            if k < b.min_key {
+                b.min_key = k;
+            }
+            if r.mbb.lo[dim] < b.min_lo {
+                b.min_lo = r.mbb.lo[dim];
+            }
+            if r.mbb.hi[dim] > b.max_hi {
+                b.max_hi = r.mbb.hi[dim];
+            }
+        }
+        b
+    }
+}
+
+/// Two-way crack: reorders `seg` so records with `key < pivot` precede the
+/// rest; returns the split point (first index of the `>= pivot` part).
+///
+/// Hoare-style two-pointer pass — the classic database-cracking kernel.
+pub fn crack_two<const D: usize>(
+    seg: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+    pivot: f64,
+) -> usize {
+    let mut i = 0usize;
+    let mut j = seg.len();
+    loop {
+        while i < j && key_of(&seg[i], dim, mode) < pivot {
+            i += 1;
+        }
+        while i < j && key_of(&seg[j - 1], dim, mode) >= pivot {
+            j -= 1;
+        }
+        if i + 1 >= j {
+            break;
+        }
+        seg.swap(i, j - 1);
+        i += 1;
+        j -= 1;
+    }
+    i
+}
+
+/// Three-way crack (Dutch national flag): partitions `seg` into
+/// `key < low` | `low <= key <= high` | `key > high`; returns the two split
+/// points `(p1, p2)` so the middle part is `p1..p2`.
+pub fn crack_three<const D: usize>(
+    seg: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+    low: f64,
+    high: f64,
+) -> (usize, usize) {
+    debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = seg.len();
+    while i < gt {
+        let v = key_of(&seg[i], dim, mode);
+        if v < low {
+            seg.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if v > high {
+            gt -= 1;
+            seg.swap(i, gt);
+        } else {
+            i += 1;
+        }
+    }
+    (lt, gt)
+}
+
+/// Rank-based fallback split used when midpoint (value) splits cannot
+/// separate a degenerate distribution: moves the median-by-key value into
+/// place and partitions around it. Returns the split point, which may be
+/// `0` or `seg.len()` when all keys are equal (caller must handle).
+pub fn crack_median<const D: usize>(seg: &mut [Record<D>], dim: usize, mode: AssignBy) -> usize {
+    if seg.len() < 2 {
+        return seg.len();
+    }
+    let mid = seg.len() / 2;
+    seg.select_nth_unstable_by(mid, |a, b| {
+        key_of(a, dim, mode)
+            .partial_cmp(&key_of(b, dim, mode))
+            .expect("coordinates are never NaN")
+    });
+    let pivot = key_of(&seg[mid], dim, mode);
+    // Partition strictly below the median value; if everything is equal to
+    // the pivot this yields 0 and the caller treats the slice as
+    // value-indivisible.
+    crack_two(seg, dim, mode, pivot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasii_common::geom::Aabb;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const LOWER: AssignBy = AssignBy::Lower;
+
+    fn rec1(lo: f64, hi: f64) -> Record<1> {
+        Record::new(0, Aabb::new([lo], [hi]))
+    }
+
+    fn keys(seg: &[Record<1>]) -> Vec<f64> {
+        seg.iter().map(|r| r.mbb.lo[0]).collect()
+    }
+
+    fn random_segment(n: usize, seed: u64) -> Vec<Record<1>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| {
+                let lo: f64 = rng.random_range(0.0..100.0);
+                Record::new(id as u64, Aabb::new([lo], [lo + rng.random_range(0.0..5.0)]))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn key_of_each_mode() {
+        let r = rec1(2.0, 6.0);
+        assert_eq!(key_of(&r, 0, AssignBy::Lower), 2.0);
+        assert_eq!(key_of(&r, 0, AssignBy::Center), 4.0);
+        assert_eq!(key_of(&r, 0, AssignBy::Upper), 6.0);
+    }
+
+    #[test]
+    fn two_way_partitions_correctly() {
+        let mut seg = random_segment(500, 1);
+        let before: Vec<u64> = {
+            let mut ids: Vec<u64> = seg.iter().map(|r| r.id).collect();
+            ids.sort_unstable();
+            ids
+        };
+        let p = crack_two(&mut seg, 0, LOWER, 50.0);
+        assert!(seg[..p].iter().all(|r| r.mbb.lo[0] < 50.0));
+        assert!(seg[p..].iter().all(|r| r.mbb.lo[0] >= 50.0));
+        // Permutation check: no record lost or duplicated.
+        let mut after: Vec<u64> = seg.iter().map(|r| r.id).collect();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn two_way_respects_assignment_mode() {
+        let mut seg = vec![rec1(0.0, 10.0), rec1(4.0, 6.0), rec1(9.0, 9.5)];
+        // Centers: 5.0, 5.0, 9.25. Pivot 5.5 → two centers below.
+        let p = crack_two(&mut seg, 0, AssignBy::Center, 5.5);
+        assert_eq!(p, 2);
+        // Uppers: 10.0, 6.0, 9.5. Pivot 9.6 → one upper below (6.0), plus 9.5.
+        let mut seg = vec![rec1(0.0, 10.0), rec1(4.0, 6.0), rec1(9.0, 9.5)];
+        let p = crack_two(&mut seg, 0, AssignBy::Upper, 9.6);
+        assert_eq!(p, 2);
+    }
+
+    #[test]
+    fn two_way_extremes() {
+        let mut seg = random_segment(50, 2);
+        assert_eq!(crack_two(&mut seg, 0, LOWER, -1.0), 0);
+        assert_eq!(crack_two(&mut seg, 0, LOWER, 1000.0), 50);
+        let mut empty: Vec<Record<1>> = vec![];
+        assert_eq!(crack_two(&mut empty, 0, LOWER, 0.0), 0);
+        let mut one = vec![rec1(5.0, 6.0)];
+        assert_eq!(crack_two(&mut one, 0, LOWER, 5.0), 0, "pivot == key goes right");
+        assert_eq!(crack_two(&mut one, 0, LOWER, 5.1), 1);
+    }
+
+    #[test]
+    fn two_way_all_equal_keys() {
+        let mut seg: Vec<Record<1>> = (0..10).map(|_| rec1(7.0, 8.0)).collect();
+        assert_eq!(crack_two(&mut seg, 0, LOWER, 7.0), 0);
+        assert_eq!(crack_two(&mut seg, 0, LOWER, 7.5), 10);
+    }
+
+    #[test]
+    fn three_way_partitions_correctly() {
+        let mut seg = random_segment(1000, 3);
+        let (p1, p2) = crack_three(&mut seg, 0, LOWER, 25.0, 75.0);
+        assert!(seg[..p1].iter().all(|r| r.mbb.lo[0] < 25.0));
+        assert!(seg[p1..p2]
+            .iter()
+            .all(|r| (25.0..=75.0).contains(&r.mbb.lo[0])));
+        assert!(seg[p2..].iter().all(|r| r.mbb.lo[0] > 75.0));
+        // All three parts non-empty at this size with uniform keys.
+        assert!(p1 > 0 && p2 > p1 && p2 < seg.len());
+    }
+
+    #[test]
+    fn three_way_boundary_values_go_to_middle() {
+        let mut seg = vec![rec1(25.0, 26.0), rec1(75.0, 76.0), rec1(24.999, 25.0)];
+        let (p1, p2) = crack_three(&mut seg, 0, LOWER, 25.0, 75.0);
+        assert_eq!((p1, p2), (1, 3));
+        assert_eq!(keys(&seg)[0], 24.999);
+    }
+
+    #[test]
+    fn three_way_degenerate_ranges() {
+        let mut seg = random_segment(100, 4);
+        // low == high: middle contains exactly the records with that key.
+        let (p1, p2) = crack_three(&mut seg, 0, LOWER, 50.0, 50.0);
+        assert!(seg[p1..p2].iter().all(|r| r.mbb.lo[0] == 50.0));
+        // Range outside the data: everything in one side.
+        let (p1, p2) = crack_three(&mut seg, 0, LOWER, -10.0, -5.0);
+        assert_eq!((p1, p2), (0, 0));
+        let (p1, p2) = crack_three(&mut seg, 0, LOWER, 1e6, 2e6);
+        assert_eq!((p1, p2), (100, 100));
+    }
+
+    #[test]
+    fn three_way_preserves_multiset() {
+        let mut seg = random_segment(777, 5);
+        let mut before = keys(&seg);
+        before.sort_by(f64::total_cmp);
+        crack_three(&mut seg, 0, LOWER, 30.0, 60.0);
+        let mut after = keys(&seg);
+        after.sort_by(f64::total_cmp);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn median_splits_non_degenerate_data() {
+        let mut seg = random_segment(101, 6);
+        let p = crack_median(&mut seg, 0, LOWER);
+        assert!(p > 0 && p < seg.len(), "median split must be interior");
+        let max_left = seg[..p]
+            .iter()
+            .map(|r| r.mbb.lo[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let min_right = seg[p..]
+            .iter()
+            .map(|r| r.mbb.lo[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(max_left < min_right);
+        // Roughly balanced.
+        assert!(p >= seg.len() / 4 && p <= 3 * seg.len() / 4);
+    }
+
+    #[test]
+    fn median_on_all_equal_returns_degenerate_zero() {
+        let mut seg: Vec<Record<1>> = (0..9).map(|_| rec1(3.0, 4.0)).collect();
+        assert_eq!(crack_median(&mut seg, 0, LOWER), 0);
+    }
+
+    #[test]
+    fn dim_bounds_measures_interval_and_key() {
+        let seg = vec![rec1(1.0, 9.0), rec1(4.0, 5.0), rec1(0.5, 2.0)];
+        let b = DimBounds::of(&seg, 0, LOWER);
+        assert_eq!(b.min_lo, 0.5);
+        assert_eq!(b.max_hi, 9.0);
+        assert_eq!(b.min_key, 0.5);
+        // Centers: 5.0, 4.5, 1.25 → min key 1.25.
+        let c = DimBounds::of(&seg, 0, AssignBy::Center);
+        assert_eq!(c.min_key, 1.25);
+        let e = DimBounds::of::<1>(&[], 0, LOWER);
+        assert!(e.min_lo.is_infinite() && e.max_hi.is_infinite());
+    }
+
+    #[test]
+    fn cracks_work_on_higher_dims() {
+        let mut seg: Vec<Record<3>> = (0..200)
+            .map(|i| {
+                let v = (i as f64 * 7.3) % 50.0;
+                Record::new(i as u64, Aabb::new([0.0, v, 0.0], [1.0, v + 1.0, 1.0]))
+            })
+            .collect();
+        let p = crack_two(&mut seg, 1, LOWER, 25.0);
+        assert!(seg[..p].iter().all(|r| r.mbb.lo[1] < 25.0));
+        assert!(seg[p..].iter().all(|r| r.mbb.lo[1] >= 25.0));
+    }
+}

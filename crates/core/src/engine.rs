@@ -1,0 +1,328 @@
+//! Query processing and index refinement — the paper's Algorithm 1
+//! (`query`) and Algorithm 2 (`refine`), including artificial refinement and
+//! query extension (§5.2).
+//!
+//! Everything here operates on split borrows of the [`crate::Quasii`]
+//! fields: the data array is reorganized in place while the slice hierarchy
+//! is rebuilt around it.
+
+use crate::config::AssignBy;
+use crate::crack::{crack_median, crack_three, crack_two, DimBounds};
+use crate::slice::Slice;
+use crate::stats::QuasiiStats;
+use quasii_common::geom::{Aabb, Record};
+
+/// Immutable per-index parameters.
+pub(crate) struct Env<const D: usize> {
+    /// τ thresholds per level (Eq. 1 schedule).
+    pub tau: [usize; D],
+    /// Assignment coordinate (paper default: lower).
+    pub mode: AssignBy,
+    /// Recursion guard for artificial refinement.
+    pub max_artificial_depth: usize,
+}
+
+/// Mutable runtime state shared across the recursion.
+pub(crate) struct Runtime<const D: usize> {
+    /// Work counters.
+    pub stats: QuasiiStats,
+}
+
+impl<const D: usize> Runtime<D> {
+    pub fn new() -> Self {
+        Self {
+            stats: QuasiiStats::default(),
+        }
+    }
+
+    fn note_slice(&mut self, s: &Slice<D>) {
+        self.stats.slices_created += 1;
+        if s.refined {
+            self.stats.slices_refined += 1;
+        }
+    }
+}
+
+/// Placeholder swapped into a slice list while its slice is refined.
+fn placeholder<const D: usize>() -> Slice<D> {
+    Slice {
+        level: 0,
+        begin: 0,
+        end: 0,
+        bbox: Aabb::empty(),
+        cut_lo: 0.0,
+        cut_hi: 0.0,
+        key_lo: 0.0,
+        refined: true,
+        children: Vec::new(),
+    }
+}
+
+/// Builds a sub-slice over `begin..end` after a crack of `parent` on its
+/// dimension, measuring dimension bounds (and the exact MBB when the slice
+/// reaches τ, §5.1).
+#[allow(clippy::too_many_arguments)]
+fn make_sub<const D: usize>(
+    data: &[Record<D>],
+    parent: &Slice<D>,
+    begin: usize,
+    end: usize,
+    cut_lo: f64,
+    cut_hi: f64,
+    env: &Env<D>,
+    rt: &mut Runtime<D>,
+) -> Slice<D> {
+    let dim = parent.level;
+    let b = DimBounds::of(&data[begin..end], dim, env.mode);
+    let mut s = Slice {
+        level: dim,
+        begin,
+        end,
+        bbox: parent.bbox,
+        cut_lo,
+        cut_hi,
+        key_lo: b.min_key,
+        refined: false,
+        children: Vec::new(),
+    };
+    if s.len() <= env.tau[dim] {
+        s.measure_exact(data);
+        s.refined = true;
+    } else {
+        s.bbox.lo[dim] = b.min_lo;
+        s.bbox.hi[dim] = b.max_hi;
+    }
+    rt.note_slice(&s);
+    s
+}
+
+/// Finalizes a slice that cannot be split further (value-indivisible
+/// assignment keys): exact MBB, marked refined even though it exceeds τ.
+fn force_refine<const D: usize>(
+    data: &[Record<D>],
+    mut s: Slice<D>,
+    rt: &mut Runtime<D>,
+) -> Slice<D> {
+    s.measure_exact(data);
+    s.refined = true;
+    rt.stats.forced_refinements += 1;
+    rt.stats.slices_refined += 1;
+    s
+}
+
+/// Artificial refinement (§5.2): recursive midpoint two-way cracks until
+/// every *query-overlapping* piece satisfies τ; non-overlapping pieces stay
+/// coarse for later queries. Falls back to a rank (median) split, then to
+/// force-refinement, on degenerate value distributions.
+#[allow(clippy::too_many_arguments)]
+fn artificial<const D: usize>(
+    data: &mut [Record<D>],
+    s: Slice<D>,
+    qe: &Aabb<D>,
+    env: &Env<D>,
+    rt: &mut Runtime<D>,
+    out: &mut Vec<Slice<D>>,
+    depth: usize,
+) {
+    if s.is_empty() {
+        return;
+    }
+    let dim = s.level;
+    if s.refined || qe.lo[dim] > s.bbox.hi[dim] || qe.hi[dim] < s.bbox.lo[dim] {
+        out.push(s);
+        return;
+    }
+    if depth >= env.max_artificial_depth {
+        out.push(force_refine(data, s, rt));
+        return;
+    }
+    // Midpoint of the actual value interval (intersection of the cut range
+    // with the measured bounds keeps the midpoint meaningful even when the
+    // cut range is much wider than the data).
+    let lo = s.bbox.lo[dim].max(s.cut_lo);
+    let hi = s.bbox.hi[dim].min(s.cut_hi);
+    let mid = 0.5 * (lo + hi);
+    let seg = &mut data[s.begin..s.end];
+    let seg_len = seg.len() as u64;
+    let mut split = crack_two(seg, dim, env.mode, mid);
+    let mut split_value = mid;
+    if split == 0 || split == seg.len() {
+        // Midpoint failed to separate — rank-based fallback.
+        split = crack_median(seg, dim, env.mode);
+        if split == 0 || split == seg.len() {
+            out.push(force_refine(data, s, rt));
+            return;
+        }
+        split_value = DimBounds::of(&seg[split..], dim, env.mode).min_key;
+    }
+    rt.stats.cracks += 1;
+    rt.stats.records_cracked += seg_len;
+    let m = s.begin + split;
+    let left = make_sub(data, &s, s.begin, m, s.cut_lo, split_value, env, rt);
+    let right = make_sub(data, &s, m, s.end, split_value, s.cut_hi, env, rt);
+    artificial(data, left, qe, env, rt, out, depth + 1);
+    artificial(data, right, qe, env, rt, out, depth + 1);
+}
+
+/// Algorithm 2: refines `s` on its own dimension against the (extended)
+/// query, returning the replacement slices sorted by data-array position.
+pub(crate) fn refine<const D: usize>(
+    data: &mut [Record<D>],
+    s: Slice<D>,
+    qe: &Aabb<D>,
+    env: &Env<D>,
+    rt: &mut Runtime<D>,
+) -> Vec<Slice<D>> {
+    if s.refined {
+        return vec![s];
+    }
+    let dim = s.level;
+    let (cl, ch) = (s.cut_lo, s.cut_hi);
+    let (ql, qu) = (qe.lo[dim], qe.hi[dim]);
+    let inside_l = ql > cl && ql < ch;
+    let inside_u = qu > cl && qu < ch;
+
+    let seg_len = s.len() as u64;
+    let mut primary: Vec<Slice<D>> = Vec::with_capacity(3);
+    match (inside_l, inside_u) {
+        (true, true) => {
+            // Both query bounds inside the slice: three-way slicing.
+            let (p1, p2) = crack_three(&mut data[s.begin..s.end], dim, env.mode, ql, qu);
+            rt.stats.cracks += 1;
+            rt.stats.records_cracked += seg_len;
+            let (b, m1, m2, e) = (s.begin, s.begin + p1, s.begin + p2, s.end);
+            primary.push(make_sub(data, &s, b, m1, cl, ql, env, rt));
+            primary.push(make_sub(data, &s, m1, m2, ql, qu, env, rt));
+            primary.push(make_sub(data, &s, m2, e, qu, ch, env, rt));
+        }
+        (true, false) => {
+            // Only the lower bound cuts the slice: two-way at ql.
+            let p = crack_two(&mut data[s.begin..s.end], dim, env.mode, ql);
+            rt.stats.cracks += 1;
+            rt.stats.records_cracked += seg_len;
+            let m = s.begin + p;
+            primary.push(make_sub(data, &s, s.begin, m, cl, ql, env, rt));
+            primary.push(make_sub(data, &s, m, s.end, ql, ch, env, rt));
+        }
+        (false, true) => {
+            // Only the upper bound cuts the slice: two-way keeping
+            // `key <= qu` on the left (pivot just above qu).
+            let pivot = qu.next_up();
+            let p = crack_two(&mut data[s.begin..s.end], dim, env.mode, pivot);
+            rt.stats.cracks += 1;
+            rt.stats.records_cracked += seg_len;
+            let m = s.begin + p;
+            primary.push(make_sub(data, &s, s.begin, m, cl, qu, env, rt));
+            primary.push(make_sub(data, &s, m, s.end, qu, ch, env, rt));
+        }
+        (false, false) => {
+            // The query covers the slice on this dimension: only artificial
+            // boundaries can refine it (paper Alg. 2 "default" case).
+            primary.push(s);
+        }
+    }
+
+    let mut out = Vec::with_capacity(primary.len() + 2);
+    for p in primary {
+        if p.is_empty() {
+            continue;
+        }
+        // Paper Alg. 2 lines 8–13: pieces still above τ that overlap the
+        // query get artificial refinement; others stay coarse.
+        artificial(data, p, qe, env, rt, &mut out, 0);
+    }
+    out
+}
+
+/// Visits one query-overlapping slice: scans it at the bottom level or
+/// recurses into its children (materializing the default child first).
+fn descend<const D: usize>(
+    data: &mut [Record<D>],
+    s: &mut Slice<D>,
+    q: &Aabb<D>,
+    qe: &Aabb<D>,
+    env: &Env<D>,
+    rt: &mut Runtime<D>,
+    out: &mut Vec<u64>,
+) {
+    if s.level + 1 == D {
+        // Bottom level: test the actual objects against the original query.
+        for r in &data[s.begin..s.end] {
+            rt.stats.objects_tested += 1;
+            if r.mbb.intersects(q) {
+                out.push(r.id);
+            }
+        }
+        return;
+    }
+    if s.children.is_empty() {
+        let child = s.default_child(env.tau[s.level + 1]);
+        rt.note_slice(&child);
+        rt.stats.default_children += 1;
+        s.children.push(child);
+    }
+    query_level(data, &mut s.children, q, qe, env, rt, out);
+}
+
+/// Algorithm 1: processes one level's slice list depth-first, refining
+/// query-overlapping slices, descending into children (materializing default
+/// children as needed) and collecting results at the bottom level.
+///
+/// `q` is the original query (used for pruning and the final intersection
+/// filter); `qe` is the extension-adjusted query used for reorganization —
+/// every assignment key of a potentially qualifying object lies inside
+/// `[qe.lo, qe.hi]` on each dimension.
+pub(crate) fn query_level<const D: usize>(
+    data: &mut [Record<D>],
+    slices: &mut Vec<Slice<D>>,
+    q: &Aabb<D>,
+    qe: &Aabb<D>,
+    env: &Env<D>,
+    rt: &mut Runtime<D>,
+    out: &mut Vec<u64>,
+) {
+    if slices.is_empty() {
+        return;
+    }
+    let dim = slices[0].level;
+    debug_assert!(slices.iter().all(|s| s.level == dim));
+
+    // Binary search (§5.2's "extended binary search"): sibling lists are
+    // sorted by minimum assignment key. The slice *before* the partition
+    // point may still straddle qe.lo (its keys end somewhere below the next
+    // slice's minimum), so step one back.
+    let start = slices
+        .partition_point(|s| s.key_lo < qe.lo[dim])
+        .saturating_sub(1);
+
+    let mut replacements: Vec<(usize, Vec<Slice<D>>)> = Vec::new();
+    for i in start..slices.len() {
+        if slices[i].key_lo > qe.hi[dim] {
+            break; // sorted by key: nothing further can hold a qualifying key
+        }
+        if !q.intersects(&slices[i].bbox) {
+            continue;
+        }
+        if slices[i].refined {
+            // Fast path for the converged regime: descend in place, no
+            // replacement bookkeeping, no allocation.
+            descend(data, &mut slices[i], q, qe, env, rt, out);
+            continue;
+        }
+        let s = std::mem::replace(&mut slices[i], placeholder());
+        let mut subs = refine(data, s, qe, env, rt);
+        for sub in subs.iter_mut() {
+            if q.intersects(&sub.bbox) {
+                descend(data, sub, q, qe, env, rt, out);
+            }
+        }
+        replacements.push((i, subs));
+    }
+
+    // Splice replacements back, right to left so indices stay valid; slice
+    // lists remain sorted because every replacement covers exactly its
+    // predecessor's range.
+    for (i, subs) in replacements.into_iter().rev() {
+        slices.splice(i..=i, subs);
+    }
+}

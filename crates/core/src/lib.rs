@@ -1,0 +1,510 @@
+//! # quasii
+//!
+//! From-scratch Rust implementation of **QUASII — QUery-Aware Spatial
+//! Incremental Index** (Pavlovic, Sidlauskas, Heinis, Ailamaki; EDBT 2018).
+//!
+//! QUASII answers range (window) queries over volumetric objects in main
+//! memory *without* an up-front index build. Instead, every query partially
+//! reorganizes ("cracks") the data array along one dimension per hierarchy
+//! level, converging towards an STR-like data-oriented partitioning — the
+//! cost of indexing is spread over the queries that actually need it, and
+//! only the queried portions of the data are ever organized.
+//!
+//! ```
+//! use quasii::{Quasii, QuasiiConfig};
+//! use quasii_common::geom::{Aabb, Record};
+//! use quasii_common::index::SpatialIndex;
+//!
+//! // Ten thousand boxes on a diagonal.
+//! let data: Vec<Record<3>> = (0..10_000)
+//!     .map(|i| {
+//!         let v = i as f64 / 10.0;
+//!         Record::new(i, Aabb::new([v; 3], [v + 2.0; 3]))
+//!     })
+//!     .collect();
+//! let mut index = Quasii::new(data, QuasiiConfig::default());
+//!
+//! // First query pays a little reorganization, later queries get faster.
+//! let hits = index.query_collect(&Aabb::new([100.0; 3], [120.0; 3]));
+//! assert!(!hits.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod crack;
+mod engine;
+mod slice;
+mod stats;
+mod validate;
+
+pub use config::{tau_schedule, AssignBy, QuasiiConfig};
+pub use stats::QuasiiStats;
+
+use engine::{Env, Runtime};
+use quasii_common::geom::{Aabb, Record};
+use quasii_common::index::SpatialIndex;
+use slice::Slice;
+
+/// The QUASII index. Generic over the dimensionality `D` (the paper
+/// evaluates `D = 3`; its worked example is `D = 2`).
+pub struct Quasii<const D: usize> {
+    data: Vec<Record<D>>,
+    root: Vec<Slice<D>>,
+    env: Env<D>,
+    rt: Runtime<D>,
+    cfg: QuasiiConfig,
+    /// Query extension amounts per side, derived from the global max object
+    /// extent and the assignment mode (§5.2 "Query & Refine").
+    ext_low: [f64; D],
+    ext_high: [f64; D],
+    data_bounds: Aabb<D>,
+    initialized: bool,
+}
+
+impl<const D: usize> Quasii<D> {
+    /// Wraps a dataset. **O(1)** — in line with the paper's design goal (i),
+    /// all work (even the initial extent scan) is deferred into the first
+    /// query, so data-to-insight time is exactly the first query's latency.
+    pub fn new(data: Vec<Record<D>>, cfg: QuasiiConfig) -> Self {
+        let tau = config::tau_schedule::<D>(data.len(), cfg.tau);
+        Self {
+            data,
+            root: Vec::new(),
+            env: Env {
+                tau,
+                mode: cfg.assign_by,
+                max_artificial_depth: cfg.max_artificial_depth,
+            },
+            rt: Runtime::new(),
+            cfg,
+            ext_low: [0.0; D],
+            ext_high: [0.0; D],
+            data_bounds: Aabb::empty(),
+            initialized: false,
+        }
+    }
+
+    /// Same as [`Quasii::new`] with the default configuration (τ = 60).
+    pub fn with_default_config(data: Vec<Record<D>>) -> Self {
+        Self::new(data, QuasiiConfig::default())
+    }
+
+    /// First-query initialization: one pass computing the dataset MBB and
+    /// the per-dimension maximum object extent (needed for query extension),
+    /// then the initial whole-dataset slice `s0`.
+    fn ensure_init(&mut self) {
+        if self.initialized {
+            return;
+        }
+        self.initialized = true;
+        if self.data.is_empty() {
+            return;
+        }
+        let mut bounds = Aabb::empty();
+        let mut ext = [0.0; D];
+        for r in &self.data {
+            bounds.expand(&r.mbb);
+            for k in 0..D {
+                let e = r.mbb.hi[k] - r.mbb.lo[k];
+                if e > ext[k] {
+                    ext[k] = e;
+                }
+            }
+        }
+        self.data_bounds = bounds;
+        // Extension direction follows the assignment coordinate: a
+        // qualifying object's key can precede the query start by at most the
+        // part of the object lying *after* the key, and follow the query end
+        // by the part lying *before* it.
+        for k in 0..D {
+            let (low, high) = match self.cfg.assign_by {
+                AssignBy::Lower => (ext[k], 0.0),
+                AssignBy::Center => (ext[k] * 0.5, ext[k] * 0.5),
+                AssignBy::Upper => (0.0, ext[k]),
+            };
+            self.ext_low[k] = low;
+            self.ext_high[k] = high;
+        }
+        let root = Slice::root(self.data.len(), bounds, self.env.tau[0]);
+        self.root.push(root);
+    }
+
+    /// The per-level τ thresholds in effect (Eq. 1 schedule).
+    pub fn tau_levels(&self) -> [usize; D] {
+        self.env.tau
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> QuasiiStats {
+        self.rt.stats
+    }
+
+    /// The configuration this index was built with.
+    pub fn config(&self) -> &QuasiiConfig {
+        &self.cfg
+    }
+
+    /// Total number of slices currently in the hierarchy.
+    pub fn slice_count(&self) -> usize {
+        self.root.iter().map(Slice::count).sum()
+    }
+
+    /// Completes the incremental build: refines every slice down to τ, as if
+    /// every region had been queried. Equivalent to (and implemented as) one
+    /// whole-universe query — after `finalize`, queries perform no further
+    /// reorganization and the structure is the STR-style partitioning the
+    /// paper's incremental process converges to.
+    pub fn finalize(&mut self) {
+        self.ensure_init();
+        if self.data.is_empty() {
+            return;
+        }
+        let everything = self.data_bounds;
+        let mut sink = Vec::with_capacity(self.data.len());
+        // Count as internal work, not as a user query.
+        let queries_before = self.rt.stats.queries;
+        self.query(&everything, &mut sink);
+        self.rt.stats.queries = queries_before;
+        debug_assert_eq!(sink.len(), self.data.len());
+    }
+
+    /// Number of slices per level — shows how breadth grows while depth
+    /// stays fixed at `D` (§5.1: "the number of levels … does not depend on
+    /// the size of the dataset").
+    pub fn level_profile(&self) -> [usize; D] {
+        fn walk<const D: usize>(slices: &[Slice<D>], acc: &mut [usize; D]) {
+            for s in slices {
+                acc[s.level] += 1;
+                walk(&s.children, acc);
+            }
+        }
+        let mut acc = [0usize; D];
+        walk(&self.root, &mut acc);
+        acc
+    }
+
+    /// Histogram of bottom-level slice sizes in power-of-two buckets
+    /// (`bucket i` counts slices with `2^i <= len < 2^(i+1)`; bucket 0 also
+    /// takes singletons). Used by the ablation bench to show τ compliance.
+    pub fn leaf_size_histogram(&self) -> Vec<usize> {
+        fn walk<const D: usize>(slices: &[Slice<D>], hist: &mut Vec<usize>) {
+            for s in slices {
+                if s.level + 1 == D && s.children.is_empty() {
+                    let bucket = usize::BITS as usize - 1 - s.len().leading_zeros() as usize;
+                    if hist.len() <= bucket {
+                        hist.resize(bucket + 1, 0);
+                    }
+                    hist[bucket] += 1;
+                } else {
+                    walk(&s.children, hist);
+                }
+            }
+        }
+        let mut hist = Vec::new();
+        walk(&self.root, &mut hist);
+        hist
+    }
+
+    /// Read access to the (physically reorganized) data array.
+    pub fn data(&self) -> &[Record<D>] {
+        &self.data
+    }
+
+    /// Consumes the index, returning the reorganized data.
+    pub fn into_data(self) -> Vec<Record<D>> {
+        self.data
+    }
+
+    /// Checks every structural invariant of the slice hierarchy; returns a
+    /// description of the first violation, if any. Used heavily by tests.
+    pub fn validate(&self) -> Result<(), String> {
+        validate::validate(self)
+    }
+
+    pub(crate) fn raw_parts(&self) -> (&[Record<D>], &[Slice<D>], &[usize; D], AssignBy) {
+        (&self.data, &self.root, &self.env.tau, self.cfg.assign_by)
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for Quasii<D> {
+    fn name(&self) -> &'static str {
+        "QUASII"
+    }
+
+    fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>) {
+        self.ensure_init();
+        self.rt.stats.queries += 1;
+        // Query extension (§5.2): reorganization must consider the query
+        // grown by the maximum object extent in the direction opposite the
+        // assignment coordinate, so that every qualifying object's key falls
+        // inside the extended range.
+        let mut qe = *query;
+        for k in 0..D {
+            qe.lo[k] -= self.ext_low[k];
+            qe.hi[k] += self.ext_high[k];
+        }
+        engine::query_level(
+            &mut self.data,
+            &mut self.root,
+            query,
+            &qe,
+            &self.env,
+            &mut self.rt,
+            out,
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.root.capacity() * std::mem::size_of::<Slice<D>>()
+            + self.root.iter().map(Slice::heap_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasii_common::dataset::{degenerate, uniform_boxes_in};
+    use quasii_common::index::assert_matches_brute_force;
+    use quasii_common::workload;
+
+    fn check_queries<const D: usize>(data: Vec<Record<D>>, queries: &[Aabb<D>], tau: usize) {
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(tau));
+        for q in queries {
+            let got = idx.query_collect(q);
+            assert_matches_brute_force(&data, q, &got);
+            idx.validate().expect("invariants hold after every query");
+        }
+    }
+
+    #[test]
+    fn paper_example_2d_shape() {
+        // Mirrors Fig. 4: small 2-d dataset with two overlapping range
+        // queries, exercising both levels of the hierarchy.
+        let data = uniform_boxes_in::<2>(10, 10.0, 3);
+        let q1 = Aabb::new([2.0, 4.0], [4.0, 6.0]);
+        let q2 = Aabb::new([4.5, 1.0], [7.0, 4.0]);
+        check_queries(data, &[q1, q2], 2);
+    }
+
+    #[test]
+    fn correct_on_uniform_3d() {
+        let data = uniform_boxes_in::<3>(3_000, 1_000.0, 7);
+        let u = Aabb::new([0.0; 3], [1_000.0; 3]);
+        let w = workload::uniform(&u, 40, 1e-3, 11);
+        check_queries(data, &w.queries, 8);
+    }
+
+    #[test]
+    fn correct_on_clustered_queries() {
+        let data = uniform_boxes_in::<3>(2_000, 1_000.0, 13);
+        let u = Aabb::new([0.0; 3], [1_000.0; 3]);
+        let w = workload::clustered(&u, 4, 15, 1e-3, 17);
+        check_queries(data, &w.queries, 16);
+    }
+
+    #[test]
+    fn repeated_identical_queries_stay_correct() {
+        let data = uniform_boxes_in::<3>(1_500, 500.0, 19);
+        let q = Aabb::new([100.0; 3], [200.0; 3]);
+        let mut idx = Quasii::with_default_config(data.clone());
+        let mut first = idx.query_collect(&q);
+        first.sort_unstable();
+        for _ in 0..5 {
+            let mut again = idx.query_collect(&q);
+            again.sort_unstable();
+            assert_eq!(again, first);
+        }
+        assert_matches_brute_force(&data, &q, &first);
+    }
+
+    #[test]
+    fn whole_universe_query_returns_everything() {
+        let data = uniform_boxes_in::<2>(800, 100.0, 23);
+        let mut idx = Quasii::with_default_config(data.clone());
+        let all = idx.query_collect(&Aabb::new([-1.0; 2], [101.0; 2]));
+        assert_eq!(all.len(), data.len());
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing_and_does_no_harm() {
+        let data = uniform_boxes_in::<2>(500, 100.0, 29);
+        let mut idx = Quasii::with_default_config(data.clone());
+        let far = Aabb::new([500.0; 2], [600.0; 2]);
+        assert!(idx.query_collect(&far).is_empty());
+        let q = Aabb::new([10.0; 2], [30.0; 2]);
+        assert_matches_brute_force(&data, &q, &idx.query_collect(&q));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let mut idx = Quasii::<3>::with_default_config(Vec::new());
+        assert!(idx.is_empty());
+        assert!(idx.query_collect(&Aabb::new([0.0; 3], [1.0; 3])).is_empty());
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn identical_boxes_hit_forced_refinement_guard() {
+        let data = degenerate::identical::<2>(1_000);
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(10));
+        let q = Aabb::new([5.5; 2], [5.8; 2]);
+        let got = idx.query_collect(&q);
+        assert_matches_brute_force(&data, &q, &got);
+        assert_eq!(got.len(), 1_000);
+        assert!(
+            idx.stats().forced_refinements > 0,
+            "identical keys must trigger the degenerate-distribution guard"
+        );
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn shared_lower_coordinates_are_handled() {
+        let data = degenerate::shared_lower::<2>(600);
+        check_queries(
+            data,
+            &[
+                Aabb::new([0.5; 2], [3.0; 2]),
+                Aabb::new([0.0; 2], [700.0; 2]),
+            ],
+            8,
+        );
+    }
+
+    #[test]
+    fn point_objects_work() {
+        let data = degenerate::diagonal_points::<3>(400);
+        check_queries(
+            data,
+            &[
+                Aabb::new([10.0; 3], [20.0; 3]),
+                Aabb::new([399.0; 3], [1_000.0; 3]),
+                Aabb::point([42.0; 3]),
+            ],
+            10,
+        );
+    }
+
+    #[test]
+    fn refinement_progresses_and_then_stops() {
+        let data = uniform_boxes_in::<3>(5_000, 1_000.0, 31);
+        let mut idx = Quasii::new(data, QuasiiConfig::with_tau(30));
+        let q = Aabb::new([200.0; 3], [400.0; 3]);
+        idx.query_collect(&q);
+        let after_first = idx.stats();
+        assert!(after_first.did_work());
+        // Re-running the same query must not crack anything new.
+        idx.query_collect(&q);
+        let after_second = idx.stats();
+        assert_eq!(after_first.cracks, after_second.cracks);
+        assert_eq!(after_first.slices_created, after_second.slices_created);
+    }
+
+    #[test]
+    fn stats_and_introspection() {
+        let data = uniform_boxes_in::<3>(2_000, 1_000.0, 37);
+        let mut idx = Quasii::with_default_config(data);
+        assert_eq!(idx.slice_count(), 0, "lazy: nothing before first query");
+        idx.query_collect(&Aabb::new([0.0; 3], [100.0; 3]));
+        assert!(idx.slice_count() > 1);
+        assert!(idx.index_bytes() > 0);
+        assert_eq!(idx.stats().queries, 1);
+        assert_eq!(idx.name(), "QUASII");
+        let tau = idx.tau_levels();
+        assert_eq!(tau[2], 60);
+        assert!(tau[0] >= tau[1] && tau[1] >= tau[2]);
+        assert_eq!(idx.config().tau, 60);
+    }
+
+    #[test]
+    fn finalize_fully_refines_and_freezes_the_structure() {
+        let data = uniform_boxes_in::<3>(8_000, 1_000.0, 51);
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(32));
+        idx.finalize();
+        idx.validate().unwrap();
+        assert_eq!(idx.stats().queries, 0, "finalize is not a user query");
+        let cracks = idx.stats().cracks;
+        assert!(cracks > 0);
+        // Every subsequent query runs on the converged structure.
+        let u = Aabb::new([0.0; 3], [1_000.0; 3]);
+        for q in &workload::uniform(&u, 30, 1e-3, 52).queries {
+            assert_matches_brute_force(&data, q, &idx.query_collect(q));
+        }
+        assert_eq!(idx.stats().cracks, cracks, "no reorganization after finalize");
+
+        // The hierarchy has exactly D levels of slices and τ-bounded leaves.
+        let profile = idx.level_profile();
+        assert!(profile.iter().all(|&c| c > 0), "{profile:?}");
+        let hist = idx.leaf_size_histogram();
+        assert!(!hist.is_empty());
+        // No bottom slice above τ = 32 (bucket 6 would be 64..127).
+        assert!(hist.len() <= 6, "leaf sizes exceed τ: {hist:?}");
+    }
+
+    #[test]
+    fn finalize_on_empty_and_tiny_datasets() {
+        let mut idx = Quasii::<2>::with_default_config(Vec::new());
+        idx.finalize();
+        idx.validate().unwrap();
+
+        let data = uniform_boxes_in::<2>(5, 10.0, 53);
+        let mut idx = Quasii::with_default_config(data.clone());
+        idx.finalize();
+        idx.validate().unwrap();
+        let all = idx.query_collect(&Aabb::new([-1.0; 2], [11.0; 2]));
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn all_assignment_modes_are_correct() {
+        // Paper footnote 1: lower, center and upper assignment are all
+        // valid; each needs its own query-extension direction.
+        let data = uniform_boxes_in::<3>(2_500, 1_000.0, 47);
+        let u = Aabb::new([0.0; 3], [1_000.0; 3]);
+        let queries = workload::uniform(&u, 25, 1e-3, 48).queries;
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            let mut cfg = QuasiiConfig::with_assignment(mode);
+            cfg.tau = 16;
+            let mut idx = Quasii::new(data.clone(), cfg);
+            for q in &queries {
+                let got = idx.query_collect(q);
+                assert_matches_brute_force(&data, q, &got);
+                idx.validate()
+                    .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn center_assignment_handles_straddling_objects() {
+        // An object whose center is far left of the query but whose body
+        // reaches in must be found under Center assignment.
+        let mut data = uniform_boxes_in::<2>(400, 1_000.0, 49);
+        data.push(Record::new(400, Aabb::new([0.0, 0.0], [900.0, 5.0])));
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_assignment(AssignBy::Center));
+        let q = Aabb::new([880.0, 0.0], [890.0, 4.0]);
+        let got = idx.query_collect(&q);
+        assert!(got.contains(&400));
+        assert_matches_brute_force(&data, &q, &got);
+    }
+
+    #[test]
+    fn data_round_trip_preserves_multiset() {
+        let data = uniform_boxes_in::<2>(300, 100.0, 41);
+        let mut ids: Vec<u64> = data.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        let mut idx = Quasii::with_default_config(data);
+        idx.query_collect(&Aabb::new([20.0; 2], [50.0; 2]));
+        let mut got: Vec<u64> = idx.data().iter().map(|r| r.id).collect();
+        got.sort_unstable();
+        assert_eq!(ids, got, "cracking must permute, never lose records");
+        let back = idx.into_data();
+        assert_eq!(back.len(), 300);
+    }
+}

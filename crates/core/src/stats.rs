@@ -1,0 +1,53 @@
+//! Counters exposing QUASII's incremental behaviour — how much
+//! reorganization each query performed. Used by tests, the ablation bench
+//! and EXPERIMENTS.md.
+
+/// Cumulative work counters since index creation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuasiiStats {
+    /// Queries executed.
+    pub queries: u64,
+    /// Crack (partition) operations performed.
+    pub cracks: u64,
+    /// Total records touched by crack passes (proxy for reorganization cost).
+    pub records_cracked: u64,
+    /// Slices created (all levels).
+    pub slices_created: u64,
+    /// Slices that reached their level's τ and were finalized with an exact MBB.
+    pub slices_refined: u64,
+    /// Default children materialized (paper Alg. 1 line 15).
+    pub default_children: u64,
+    /// Slices force-finalized above τ because their lower coordinates were
+    /// value-indivisible (robustness guard, see DESIGN.md).
+    pub forced_refinements: u64,
+    /// Objects tested for intersection at the bottom level.
+    pub objects_tested: u64,
+}
+
+impl QuasiiStats {
+    /// Convenience: whether any reorganization happened at all.
+    pub fn did_work(&self) -> bool {
+        self.cracks > 0 || self.slices_created > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed_and_idle() {
+        let s = QuasiiStats::default();
+        assert_eq!(s.queries, 0);
+        assert!(!s.did_work());
+    }
+
+    #[test]
+    fn did_work_tracks_cracks() {
+        let s = QuasiiStats {
+            cracks: 1,
+            ..Default::default()
+        };
+        assert!(s.did_work());
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural invariant checking for the slice hierarchy. Not used on the
+//! query path; tests and property tests call [`validate`] after every
+//! operation to catch corruption early.
+//!
+//! Checked invariants:
+//!
+//! 1. sibling slices are sorted by data position and exactly partition their
+//!    parent's range (no gaps, no overlap);
+//! 2. levels increase by one per generation, never exceeding `D`;
+//! 3. the cracking order holds: the maximum assignment key (on the level's
+//!    dimension) of a sibling never exceeds the minimum of the next sibling,
+//!    and each slice's recorded `key_lo` lower-bounds its keys;
+//! 4. each slice's bounding box covers all its objects' MBBs;
+//! 5. refined slices carry their *exact* MBB; unrefined slices exceed τ;
+//! 6. only refined slices have children;
+//! 7. no slice is empty.
+
+use crate::config::AssignBy;
+use crate::crack::key_of;
+use crate::slice::Slice;
+use crate::Quasii;
+use quasii_common::geom::{Aabb, Record};
+
+/// Runs all checks; `Err` describes the first violation.
+pub(crate) fn validate<const D: usize>(index: &Quasii<D>) -> Result<(), String> {
+    let (data, roots, tau, mode) = index.raw_parts();
+    if roots.is_empty() {
+        return Ok(()); // pre-initialization or empty dataset
+    }
+    check_level(data, roots, 0, 0, data.len(), tau, mode)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_level<const D: usize>(
+    data: &[Record<D>],
+    slices: &[Slice<D>],
+    level: usize,
+    begin: usize,
+    end: usize,
+    tau: &[usize; D],
+    mode: AssignBy,
+) -> Result<(), String> {
+    if level >= D {
+        return Err(format!("level {level} exceeds dimensionality {D}"));
+    }
+    let mut cursor = begin;
+    let mut prev_max_key = f64::NEG_INFINITY;
+    let mut prev_key_lo = f64::NEG_INFINITY;
+    for (i, s) in slices.iter().enumerate() {
+        if s.level != level {
+            return Err(format!(
+                "slice {i}: level {} but list expects {level}",
+                s.level
+            ));
+        }
+        if s.is_empty() {
+            return Err(format!("slice {i} at level {level} is empty"));
+        }
+        if s.begin != cursor {
+            return Err(format!(
+                "gap/overlap at level {level}: slice {i} starts at {} expected {cursor}",
+                s.begin
+            ));
+        }
+        if s.end > end {
+            return Err(format!(
+                "slice {i} at level {level} overruns parent range ({} > {end})",
+                s.end
+            ));
+        }
+        cursor = s.end;
+
+        // Cracking order across siblings (invariant 3).
+        let seg = &data[s.begin..s.end];
+        let min_key = seg
+            .iter()
+            .map(|r| key_of(r, level, mode))
+            .fold(f64::INFINITY, f64::min);
+        let max_key = seg
+            .iter()
+            .map(|r| key_of(r, level, mode))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if min_key < prev_max_key {
+            return Err(format!(
+                "ordering violated at level {level}, slice {i}: min key {min_key} < previous max {prev_max_key}"
+            ));
+        }
+        prev_max_key = prev_max_key.max(max_key);
+        if s.key_lo > min_key {
+            return Err(format!(
+                "slice {i} at level {level}: recorded key_lo {} exceeds actual min key {min_key}",
+                s.key_lo
+            ));
+        }
+        if s.key_lo < prev_key_lo {
+            return Err(format!(
+                "slice {i} at level {level}: key_lo not sorted ({} < {prev_key_lo})",
+                s.key_lo
+            ));
+        }
+        prev_key_lo = s.key_lo;
+
+        // Bounding-box coverage (invariant 4) and exactness (invariant 5).
+        let mut exact = Aabb::empty();
+        for r in seg {
+            exact.expand(&r.mbb);
+        }
+        for k in 0..D {
+            if exact.lo[k] < s.bbox.lo[k] || exact.hi[k] > s.bbox.hi[k] {
+                return Err(format!(
+                    "bbox of slice {i} at level {level} does not cover objects on dim {k}: \
+                     box {:?} vs exact {:?}",
+                    s.bbox, exact
+                ));
+            }
+        }
+        if s.refined && s.bbox != exact {
+            return Err(format!(
+                "refined slice {i} at level {level} has inexact bbox {:?} (exact {:?})",
+                s.bbox, exact
+            ));
+        }
+        if !s.refined && s.len() <= tau[level] {
+            return Err(format!(
+                "slice {i} at level {level} holds {} <= τ={} objects but is not refined",
+                s.len(),
+                tau[level]
+            ));
+        }
+
+        if !s.children.is_empty() {
+            if !s.refined {
+                return Err(format!(
+                    "unrefined slice {i} at level {level} has children"
+                ));
+            }
+            check_level(data, &s.children, level + 1, s.begin, s.end, tau, mode)?;
+        }
+    }
+    // Root list must cover the full dataset; inner lists their parent.
+    if cursor != end {
+        return Err(format!(
+            "level {level} list covers up to {cursor}, expected {end}"
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Sort-Tile-Recursive packing (Leutenegger, Lopez, Edgington; ICDE 1997) —
+//! the bulk-loading strategy the paper uses for its R-Tree baseline (§6.1)
+//! and the inspiration for QUASII's nested reorganization (§4).
+//!
+//! STR recursively *fully* sorts the items dimension by dimension: sort on
+//! x-centers, cut into vertical slabs of equal cardinality, recurse inside
+//! each slab on the remaining dimensions, finally emit runs of `capacity`
+//! items. The contrast with QUASII — which performs the same nesting but
+//! only partially, driven by queries — is the core of the paper.
+
+/// Tiles `items` into groups of at most `capacity`, mutating the slice into
+/// STR order and returning the group boundaries as index ranges.
+pub fn str_tile<T, const D: usize>(
+    items: &mut [T],
+    capacity: usize,
+    center: impl Fn(&T) -> [f64; D] + Copy,
+) -> Vec<(usize, usize)> {
+    assert!(capacity > 0, "capacity must be positive");
+    let mut out = Vec::with_capacity(items.len().div_ceil(capacity));
+    tile_rec(items, 0, capacity, center, 0, &mut out);
+    out
+}
+
+fn tile_rec<T, const D: usize>(
+    items: &mut [T],
+    offset: usize,
+    capacity: usize,
+    center: impl Fn(&T) -> [f64; D] + Copy,
+    dim: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    if n <= capacity {
+        out.push((offset, offset + n));
+        return;
+    }
+    if dim + 1 == D {
+        // Last dimension: sort fully and emit capacity-sized runs.
+        items.sort_unstable_by(|a, b| center(a)[dim].total_cmp(&center(b)[dim]));
+        let mut i = 0;
+        while i < n {
+            let j = (i + capacity).min(n);
+            out.push((offset + i, offset + j));
+            i = j;
+        }
+        return;
+    }
+    // Number of leaf pages still needed, and the slab count for this
+    // dimension: S = ceil(P^(1/(remaining dims))).
+    let pages = n.div_ceil(capacity);
+    let remaining = (D - dim) as f64;
+    let slabs = (pages as f64).powf(1.0 / remaining).ceil() as usize;
+    let slabs = slabs.clamp(1, pages);
+    let slab_size = n.div_ceil(slabs);
+
+    items.sort_unstable_by(|a, b| center(a)[dim].total_cmp(&center(b)[dim]));
+    let mut i = 0;
+    while i < n {
+        let j = (i + slab_size).min(n);
+        tile_rec(&mut items[i..j], offset + i, capacity, center, dim + 1, out);
+        i = j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn points2(n: usize, seed: u64) -> Vec<[f64; 2]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| [rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)])
+            .collect()
+    }
+
+    #[test]
+    fn tiles_cover_everything_without_overlap() {
+        let mut pts = points2(1_000, 1);
+        let tiles = str_tile(&mut pts, 16, |p| *p);
+        let mut cursor = 0;
+        for &(a, b) in &tiles {
+            assert_eq!(a, cursor, "tiles must be contiguous");
+            assert!(b > a && b - a <= 16);
+            cursor = b;
+        }
+        assert_eq!(cursor, 1_000);
+    }
+
+    #[test]
+    fn tile_count_is_near_optimal() {
+        let mut pts = points2(1_000, 2);
+        let tiles = str_tile(&mut pts, 16, |p| *p);
+        let optimal = 1_000usize.div_ceil(16);
+        assert!(
+            tiles.len() <= optimal * 2,
+            "{} tiles vs optimal {optimal}",
+            tiles.len()
+        );
+    }
+
+    #[test]
+    fn small_input_is_one_tile() {
+        let mut pts = points2(10, 3);
+        let tiles = str_tile(&mut pts, 16, |p| *p);
+        assert_eq!(tiles, vec![(0, 10)]);
+        let mut empty: Vec<[f64; 2]> = vec![];
+        assert!(str_tile(&mut empty, 16, |p| *p).is_empty());
+    }
+
+    #[test]
+    fn str_order_groups_spatially() {
+        // Grid of 256 points, capacity 16 → tiles should have small spread.
+        let mut pts: Vec<[f64; 2]> = (0..16)
+            .flat_map(|x| (0..16).map(move |y| [x as f64, y as f64]))
+            .collect();
+        let tiles = str_tile(&mut pts, 16, |p| *p);
+        for &(a, b) in &tiles {
+            let xs: Vec<f64> = pts[a..b].iter().map(|p| p[0]).collect();
+            let ys: Vec<f64> = pts[a..b].iter().map(|p| p[1]).collect();
+            let spread_x = xs.iter().cloned().fold(f64::MIN, f64::max)
+                - xs.iter().cloned().fold(f64::MAX, f64::min);
+            let spread_y = ys.iter().cloned().fold(f64::MIN, f64::max)
+                - ys.iter().cloned().fold(f64::MAX, f64::min);
+            // A random grouping would frequently span the full 15-unit
+            // extent in both axes; STR tiles must stay compact.
+            assert!(
+                spread_x * spread_y <= 60.0,
+                "tile area too large: {spread_x} x {spread_y}"
+            );
+        }
+    }
+
+    #[test]
+    fn works_in_3d() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pts: Vec<[f64; 3]> = (0..500)
+            .map(|_| {
+                [
+                    rng.random_range(0.0..10.0),
+                    rng.random_range(0.0..10.0),
+                    rng.random_range(0.0..10.0),
+                ]
+            })
+            .collect();
+        let tiles = str_tile(&mut pts, 8, |p| *p);
+        assert_eq!(tiles.iter().map(|(a, b)| b - a).sum::<usize>(), 500);
+        assert!(tiles.iter().all(|(a, b)| b - a <= 8));
+    }
+}

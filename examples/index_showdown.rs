@@ -1,0 +1,79 @@
+//! Every approach from the paper's evaluation, side by side, on one
+//! workload: build time, first-query latency (data-to-insight), total time
+//! and converged per-query latency — a miniature of Figs. 8/9.
+//!
+//! ```text
+//! cargo run --release --example index_showdown
+//! ```
+
+use quasii_suite::prelude::*;
+use quasii_common::geom::mbb_of;
+use quasii_common::measure::{run_queries, timed, RunSeries};
+
+fn main() {
+    let n = 300_000;
+    let data = dataset::uniform_boxes_in::<3>(n, 10_000.0, 5);
+    let universe = mbb_of(&data);
+    let queries = workload::clustered(&universe, 5, 60, 1e-4, 13).queries;
+    println!(
+        "{} boxes, {} clustered queries of 0.01% volume\n",
+        n,
+        queries.len()
+    );
+
+    let mut rows: Vec<RunSeries> = Vec::new();
+    {
+        let (b, mut idx) = timed(|| Scan::new(data.clone()));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+    {
+        let (b, mut idx) = timed(|| RTree::bulk_load_default(data.clone()));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+    {
+        let (b, mut idx) =
+            timed(|| UniformGrid::build(data.clone(), 67, Assignment::QueryExtension));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+    {
+        let (b, mut idx) = timed(|| SfcIndex::build_default(data.clone()));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+    {
+        let (b, mut idx) = timed(|| SfCracker::with_default_bits(data.clone()));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+    {
+        let (b, mut idx) = timed(|| Mosaic::with_defaults(data.clone()));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+    {
+        let (b, mut idx) = timed(|| Quasii::new(data.clone(), QuasiiConfig::default()));
+        rows.push(run_queries(&mut idx, b, &queries));
+    }
+
+    // Cross-check: every approach must return identical result sizes.
+    for r in &rows[1..] {
+        assert_eq!(
+            r.result_counts, rows[0].result_counts,
+            "{} disagrees with Scan",
+            r.name
+        );
+    }
+
+    println!(
+        "{:<16} {:>11} {:>14} {:>11} {:>16}",
+        "approach", "build (s)", "1st query (s)", "total (s)", "tail mean (µs)"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>11.4} {:>14.4} {:>11.4} {:>16.1}",
+            r.name,
+            r.build_secs,
+            r.query_secs[0],
+            r.total_secs(),
+            r.tail_mean_secs(20) * 1e6
+        );
+    }
+    println!("\n(all approaches verified to return identical results)");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: index a dataset with QUASII and run range queries — no
+//! build step, the index assembles itself while you query.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use quasii_suite::prelude::*;
+
+fn main() {
+    // 100k random boxes in a 1000³ universe (99% small, 1% large — the
+    // paper's synthetic distribution).
+    let data = dataset::uniform_boxes_in::<3>(100_000, 1_000.0, 7);
+    println!("dataset: {} boxes", data.len());
+
+    // Wrapping the data is O(1): no pre-processing, no data-to-insight gap.
+    let mut index = Quasii::new(data, QuasiiConfig::default());
+
+    // Range query = axis-aligned box; results are object ids.
+    let query = Aabb::new([100.0, 100.0, 100.0], [160.0, 160.0, 160.0]);
+    let t = std::time::Instant::now();
+    let hits = index.query_collect(&query);
+    println!(
+        "query 1: {} hits in {:?} (includes the very first reorganization)",
+        hits.len(),
+        t.elapsed()
+    );
+
+    // The same region again: the slices built by query 1 are reused.
+    let t = std::time::Instant::now();
+    let hits = index.query_collect(&query);
+    println!("query 2: {} hits in {:?} (refined path)", hits.len(), t.elapsed());
+
+    // A few nearby queries refine the region further.
+    for i in 0..5 {
+        let off = 10.0 * i as f64;
+        let q = Aabb::new(
+            [100.0 + off, 100.0, 100.0],
+            [160.0 + off, 160.0, 160.0],
+        );
+        let t = std::time::Instant::now();
+        let n = index.query_collect(&q).len();
+        println!("nearby query {}: {} hits in {:?}", i + 1, n, t.elapsed());
+    }
+
+    let stats = index.stats();
+    println!(
+        "\nindex state: {} slices, {} cracks over {} queries, {} records moved",
+        index.slice_count(),
+        stats.cracks,
+        stats.queries,
+        stats.records_cracked
+    );
+    println!("τ per level: {:?} (Eq. 1 schedule)", index.tau_levels());
+}

@@ -1,0 +1,40 @@
+//! # quasii-suite
+//!
+//! Umbrella crate for the QUASII reproduction (Pavlovic et al., EDBT 2018).
+//! It re-exports every crate in the workspace so that the examples and
+//! integration tests (and downstream experiments) can depend on a single
+//! package.
+//!
+//! The interesting entry points:
+//!
+//! * [`quasii::Quasii`] — the incremental, query-aware spatial index that is
+//!   the paper's contribution;
+//! * [`quasii_rtree::RTree`] — STR-bulkloaded R-Tree (static state of the art);
+//! * [`quasii_grid::UniformGrid`] — uniform grid with both data-assignment
+//!   strategies;
+//! * [`quasii_sfc::SfcIndex`] / [`quasii_sfc::SfCracker`] — the
+//!   one-dimensional (Z-order) static index and its cracking variant;
+//! * [`quasii_mosaic::Mosaic`] — the incremental octree adapted from Space
+//!   Odyssey;
+//! * [`quasii_common`] — geometry, datasets, workloads, measurement.
+
+pub use quasii;
+pub use quasii_common;
+pub use quasii_grid;
+pub use quasii_mosaic;
+pub use quasii_rtree;
+pub use quasii_sfc;
+
+/// Convenience prelude used by the examples.
+pub mod prelude {
+    pub use quasii::{Quasii, QuasiiConfig};
+    pub use quasii_common::dataset::{self, DatasetSpec};
+    pub use quasii_common::geom::{Aabb, Record};
+    pub use quasii_common::index::SpatialIndex;
+    pub use quasii_common::scan::Scan;
+    pub use quasii_common::workload::{self, QueryWorkload};
+    pub use quasii_grid::{Assignment, UniformGrid};
+    pub use quasii_mosaic::Mosaic;
+    pub use quasii_rtree::RTree;
+    pub use quasii_sfc::{SfCracker, SfcIndex};
+}

@@ -1,0 +1,136 @@
+//! Cross-index correctness: every approach must return exactly the
+//! brute-force answer on every workload, dataset shape, and dimensionality.
+
+use quasii_suite::prelude::*;
+use quasii_common::dataset::degenerate;
+use quasii_common::geom::mbb_of;
+use quasii_common::index::assert_matches_brute_force;
+use quasii_rtree::DynamicRTree;
+
+/// Runs every index over the queries and checks against brute force.
+fn check_all_3d(data: &[Record<3>], queries: &[Aabb<3>]) {
+    let mut indexes: Vec<Box<dyn SpatialIndex<3>>> = vec![
+        Box::new(Scan::new(data.to_vec())),
+        Box::new(RTree::bulk_load_default(data.to_vec())),
+        Box::new(DynamicRTree::from_records(data.to_vec(), 32)),
+        Box::new(UniformGrid::build(
+            data.to_vec(),
+            16,
+            Assignment::QueryExtension,
+        )),
+        Box::new(UniformGrid::build(
+            data.to_vec(),
+            16,
+            Assignment::Replication,
+        )),
+        Box::new(SfcIndex::build_default(data.to_vec())),
+        Box::new(SfCracker::with_default_bits(data.to_vec())),
+        Box::new(Mosaic::with_defaults(data.to_vec())),
+        Box::new(Quasii::with_default_config(data.to_vec())),
+    ];
+    for q in queries {
+        for idx in indexes.iter_mut() {
+            let got = idx.query_collect(q);
+            let name = idx.name();
+            let sorted = {
+                let mut s = got.clone();
+                s.sort_unstable();
+                s.dedup();
+                assert_eq!(s.len(), got.len(), "{name} returned duplicates for {q:?}");
+                s
+            };
+            let expected = quasii_common::index::brute_force(data, q);
+            assert_eq!(sorted, expected, "{name} wrong on {q:?}");
+        }
+    }
+}
+
+#[test]
+fn all_indexes_on_uniform_data() {
+    let data = dataset::uniform_boxes_in::<3>(4_000, 1_000.0, 1);
+    let u = mbb_of(&data);
+    let queries = workload::uniform(&u, 30, 1e-3, 2).queries;
+    check_all_3d(&data, &queries);
+}
+
+#[test]
+fn all_indexes_on_clustered_neuro_data() {
+    let data = dataset::neuro_like::<3>(4_000, 3);
+    let u = mbb_of(&data);
+    let queries = workload::clustered(&u, 3, 10, 1e-3, 4).queries;
+    check_all_3d(&data, &queries);
+}
+
+#[test]
+fn all_indexes_on_degenerate_identical_boxes() {
+    let data = degenerate::identical::<3>(500);
+    let queries = vec![
+        Aabb::new([5.5; 3], [5.7; 3]),
+        Aabb::new([0.0; 3], [10.0; 3]),
+        Aabb::new([7.0; 3], [8.0; 3]), // disjoint
+    ];
+    check_all_3d(&data, &queries);
+}
+
+#[test]
+fn all_indexes_on_point_objects() {
+    let data = degenerate::diagonal_points::<3>(800);
+    let queries = vec![
+        Aabb::new([100.0; 3], [200.0; 3]),
+        Aabb::point([500.0; 3]),
+        Aabb::new([-10.0; 3], [0.0; 3]),
+    ];
+    check_all_3d(&data, &queries);
+}
+
+#[test]
+fn boundary_queries_share_faces_with_objects() {
+    // Queries that exactly touch object faces: closed-interval semantics
+    // must be identical across all indexes.
+    let data: Vec<Record<3>> = (0..100)
+        .map(|i| {
+            let v = i as f64;
+            Record::new(i, Aabb::new([v; 3], [v + 1.0; 3]))
+        })
+        .collect();
+    let queries = vec![
+        Aabb::new([10.0; 3], [10.0; 3]), // point on a shared corner
+        Aabb::new([10.0; 3], [11.0; 3]), // exactly one box
+        Aabb::new([9.5; 3], [10.0; 3]),  // touches two boxes
+    ];
+    check_all_3d(&data, &queries);
+}
+
+#[test]
+fn two_dimensional_stack_is_correct() {
+    let data = dataset::uniform_boxes_in::<2>(3_000, 1_000.0, 7);
+    let u = mbb_of(&data);
+    let queries = workload::uniform(&u, 30, 1e-2, 8).queries;
+    let mut quasii = Quasii::with_default_config(data.clone());
+    let mut rtree = RTree::bulk_load_default(data.clone());
+    let mut grid = UniformGrid::build(data.clone(), 20, Assignment::QueryExtension);
+    let mut sfc = SfcIndex::build_default(data.clone());
+    let mut cracker = SfCracker::with_default_bits(data.clone());
+    let mut mosaic = Mosaic::with_defaults(data.clone());
+    for q in &queries {
+        assert_matches_brute_force(&data, q, &quasii.query_collect(q));
+        assert_matches_brute_force(&data, q, &rtree.query_collect(q));
+        assert_matches_brute_force(&data, q, &grid.query_collect(q));
+        assert_matches_brute_force(&data, q, &sfc.query_collect(q));
+        assert_matches_brute_force(&data, q, &cracker.query_collect(q));
+        assert_matches_brute_force(&data, q, &mosaic.query_collect(q));
+    }
+    quasii.validate().unwrap();
+}
+
+#[test]
+fn queries_larger_than_the_universe() {
+    let data = dataset::uniform_boxes_in::<3>(1_000, 100.0, 9);
+    let everything = Aabb::new([-1e6; 3], [1e6; 3]);
+    check_all_3d(&data, &[everything]);
+}
+
+#[test]
+fn empty_datasets_everywhere() {
+    check_all_3d(&[], &[Aabb::new([0.0; 3], [1.0; 3])]);
+}

@@ -1,0 +1,86 @@
+//! k-nearest-neighbour layer (paper §2: range queries as the kNN building
+//! block): the expanding-window kNN must be exact over *every* index, and
+//! must match the R-Tree's native best-first kNN.
+
+use quasii_suite::prelude::*;
+use quasii_common::geom::mbb_of;
+use quasii_common::knn::{knn_brute_force, knn_by_range};
+
+fn dists(v: &[quasii_common::knn::Neighbor]) -> Vec<f64> {
+    v.iter().map(|n| n.dist).collect()
+}
+
+#[test]
+fn knn_over_quasii_is_exact_and_refines_the_index() {
+    let data = dataset::neuro_like::<3>(10_000, 1);
+    let mut idx = Quasii::with_default_config(data.clone());
+    let u = mbb_of(&data);
+    let c = u.center();
+    for k in [1, 5, 32] {
+        let got = knn_by_range(&mut idx, &data, &c, k);
+        let expect = knn_brute_force(&data, &c, k);
+        assert_eq!(dists(&got), dists(&expect), "k={k}");
+    }
+    assert!(idx.stats().did_work(), "kNN windows refine QUASII");
+    idx.validate().unwrap();
+}
+
+#[test]
+fn knn_over_every_index_agrees() {
+    let data = dataset::uniform_boxes_in::<3>(5_000, 1_000.0, 3);
+    let p = [250.0, 700.0, 400.0];
+    let k = 15;
+    let expect = dists(&knn_brute_force(&data, &p, k));
+
+    let mut scan = Scan::new(data.clone());
+    assert_eq!(dists(&knn_by_range(&mut scan, &data, &p, k)), expect);
+    let mut quasii = Quasii::with_default_config(data.clone());
+    assert_eq!(dists(&knn_by_range(&mut quasii, &data, &p, k)), expect);
+    let mut grid = UniformGrid::build(data.clone(), 20, Assignment::QueryExtension);
+    assert_eq!(dists(&knn_by_range(&mut grid, &data, &p, k)), expect);
+    let mut mosaic = Mosaic::with_defaults(data.clone());
+    assert_eq!(dists(&knn_by_range(&mut mosaic, &data, &p, k)), expect);
+    let mut cracker = SfCracker::with_default_bits(data.clone());
+    assert_eq!(dists(&knn_by_range(&mut cracker, &data, &p, k)), expect);
+    let mut rtree = RTree::bulk_load_default(data.clone());
+    assert_eq!(dists(&knn_by_range(&mut rtree, &data, &p, k)), expect);
+    // Native best-first kNN on the R-Tree agrees too.
+    assert_eq!(dists(&rtree.knn(&p, k)), expect);
+}
+
+#[test]
+fn native_rtree_knn_edge_cases() {
+    let data = dataset::uniform_boxes_in::<2>(300, 100.0, 5);
+    let t = RTree::bulk_load(data.clone(), 16);
+    assert!(t.knn(&[50.0, 50.0], 0).is_empty());
+    let all = t.knn(&[50.0, 50.0], 1_000);
+    assert_eq!(all.len(), 300, "k > n returns everything");
+    assert!(all.windows(2).all(|w| w[0].dist <= w[1].dist));
+
+    let empty = RTree::<2>::bulk_load(Vec::new(), 16);
+    assert!(empty.knn(&[0.0, 0.0], 5).is_empty());
+}
+
+#[test]
+fn knn_inside_a_dense_cluster_and_far_outside() {
+    let data = dataset::neuro_like::<3>(8_000, 7);
+    let t = RTree::bulk_load_default(data.clone());
+    // Densest point: center of the heaviest cluster ≈ any object's center.
+    let inside = data[0].mbb.center();
+    let far = [1e5; 3];
+    for p in [inside, far] {
+        let expect = dists(&knn_brute_force(&data, &p, 20));
+        assert_eq!(dists(&t.knn(&p, 20)), expect);
+        let mut scan = Scan::new(data.clone());
+        assert_eq!(dists(&knn_by_range(&mut scan, &data, &p, 20)), expect);
+    }
+}
+
+#[test]
+fn knn_distance_zero_when_point_inside_objects() {
+    let data = dataset::degenerate::identical::<2>(50);
+    let t = RTree::bulk_load(data.clone(), 8);
+    let got = t.knn(&[5.5, 5.5], 10);
+    assert_eq!(got.len(), 10);
+    assert!(got.iter().all(|n| n.dist == 0.0));
+}

@@ -1,0 +1,152 @@
+//! Property-based agreement: for *arbitrary* box datasets and query
+//! sequences, every index returns exactly the brute-force result set.
+
+use proptest::prelude::*;
+use quasii_suite::prelude::*;
+use quasii_common::index::brute_force;
+use quasii_rtree::DynamicRTree;
+
+/// Arbitrary valid box in a small 2-d universe (including zero extents).
+fn arb_box2() -> impl Strategy<Value = Aabb<2>> {
+    (
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..20.0f64,
+        0.0..20.0f64,
+    )
+        .prop_map(|(x, y, w, h)| Aabb::new([x, y], [x + w, y + h]))
+}
+
+fn arb_box3() -> impl Strategy<Value = Aabb<3>> {
+    (
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..15.0f64,
+        0.0..15.0f64,
+        0.0..15.0f64,
+    )
+        .prop_map(|(x, y, z, a, b, c)| Aabb::new([x, y, z], [x + a, y + b, z + c]))
+}
+
+fn dataset2(max: usize) -> impl Strategy<Value = Vec<Record<2>>> {
+    prop::collection::vec(arb_box2(), 1..max).prop_map(|boxes| {
+        boxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Record::new(i as u64, b))
+            .collect()
+    })
+}
+
+fn dataset3(max: usize) -> impl Strategy<Value = Vec<Record<3>>> {
+    prop::collection::vec(arb_box3(), 1..max).prop_map(|boxes| {
+        boxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Record::new(i as u64, b))
+            .collect()
+    })
+}
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quasii_agrees_with_brute_force_2d(
+        data in dataset2(120),
+        queries in prop::collection::vec(arb_box2(), 1..12),
+    ) {
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(4));
+        for q in &queries {
+            prop_assert_eq!(sorted(idx.query_collect(q)), brute_force(&data, q));
+            idx.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn quasii_agrees_with_brute_force_3d(
+        data in dataset3(100),
+        queries in prop::collection::vec(arb_box3(), 1..8),
+    ) {
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(6));
+        for q in &queries {
+            prop_assert_eq!(sorted(idx.query_collect(q)), brute_force(&data, q));
+            idx.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn every_static_index_agrees_2d(
+        data in dataset2(100),
+        queries in prop::collection::vec(arb_box2(), 1..8),
+    ) {
+        let mut rtree = RTree::bulk_load(data.clone(), 8);
+        let mut dyn_rtree = DynamicRTree::from_records(data.clone(), 8);
+        let mut grid_ext = UniformGrid::build(data.clone(), 7, Assignment::QueryExtension);
+        let mut grid_rep = UniformGrid::build(data.clone(), 7, Assignment::Replication);
+        let mut sfc = SfcIndex::build(data.clone(), 6, 0);
+        for q in &queries {
+            let expect = brute_force(&data, q);
+            prop_assert_eq!(sorted(rtree.query_collect(q)), expect.clone());
+            prop_assert_eq!(sorted(dyn_rtree.query_collect(q)), expect.clone());
+            prop_assert_eq!(sorted(grid_ext.query_collect(q)), expect.clone());
+            prop_assert_eq!(sorted(grid_rep.query_collect(q)), expect.clone());
+            prop_assert_eq!(sorted(sfc.query_collect(q)), expect);
+        }
+    }
+
+    #[test]
+    fn every_incremental_index_agrees_2d(
+        data in dataset2(100),
+        queries in prop::collection::vec(arb_box2(), 1..8),
+    ) {
+        let mut cracker = SfCracker::new(data.clone(), 6, 0);
+        let mut mosaic = Mosaic::new(data.clone(), 4, 6);
+        for q in &queries {
+            let expect = brute_force(&data, q);
+            prop_assert_eq!(sorted(cracker.query_collect(q)), expect.clone());
+            prop_assert_eq!(sorted(mosaic.query_collect(q)), expect);
+            cracker.validate().map_err(TestCaseError::fail)?;
+            mosaic.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    #[test]
+    fn all_assignment_modes_agree_2d(
+        data in dataset2(90),
+        queries in prop::collection::vec(arb_box2(), 1..8),
+    ) {
+        use quasii::AssignBy;
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            let mut cfg = QuasiiConfig::with_assignment(mode);
+            cfg.tau = 5;
+            let mut idx = Quasii::new(data.clone(), cfg);
+            for q in &queries {
+                prop_assert_eq!(
+                    sorted(idx.query_collect(q)),
+                    brute_force(&data, q),
+                    "mode {:?}", mode
+                );
+                idx.validate().map_err(TestCaseError::fail)?;
+            }
+        }
+    }
+
+    #[test]
+    fn capped_sfc_decomposition_never_loses_results(
+        data in dataset3(80),
+        queries in prop::collection::vec(arb_box3(), 1..6),
+        cap in 1usize..32,
+    ) {
+        let mut idx = SfCracker::new(data.clone(), 5, cap);
+        for q in &queries {
+            prop_assert_eq!(sorted(idx.query_collect(q)), brute_force(&data, q));
+        }
+    }
+}

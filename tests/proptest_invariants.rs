@@ -1,0 +1,136 @@
+//! Property-based *structural* invariants: QUASII's hierarchy stays sound
+//! under arbitrary query sequences, and the Z-order substrate satisfies its
+//! mathematical contracts on arbitrary rectangles.
+
+use proptest::prelude::*;
+use quasii_suite::prelude::*;
+use quasii_sfc::ZGrid;
+
+fn arb_query2() -> impl Strategy<Value = Aabb<2>> {
+    (0.0..100.0f64, 0.0..100.0f64, 0.1..50.0f64, 0.1..50.0f64)
+        .prop_map(|(x, y, w, h)| Aabb::new([x, y], [x + w, y + h]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every query, the whole slice hierarchy passes validation
+    /// (ranges partition parents, cracking order holds, bboxes cover
+    /// objects, refined slices have exact MBBs, τ respected).
+    #[test]
+    fn quasii_invariants_hold_under_arbitrary_sequences(
+        seed in 0u64..1_000,
+        n in 50usize..600,
+        tau in 2usize..20,
+        queries in prop::collection::vec(arb_query2(), 1..15),
+    ) {
+        let data = dataset::uniform_boxes_in::<2>(n, 100.0, seed);
+        let mut idx = Quasii::new(data, QuasiiConfig::with_tau(tau));
+        for q in &queries {
+            idx.query_collect(q);
+            idx.validate().map_err(TestCaseError::fail)?;
+        }
+    }
+
+    /// Identical repeated queries return stable result sets and never grow
+    /// the structure after convergence.
+    #[test]
+    fn quasii_repeat_stability(
+        seed in 0u64..1_000,
+        n in 50usize..400,
+        q in arb_query2(),
+    ) {
+        let data = dataset::uniform_boxes_in::<2>(n, 100.0, seed);
+        let mut idx = Quasii::new(data, QuasiiConfig::with_tau(8));
+        let mut first = idx.query_collect(&q);
+        first.sort_unstable();
+        let slices_after_first = idx.slice_count();
+        for _ in 0..3 {
+            let mut again = idx.query_collect(&q);
+            again.sort_unstable();
+            prop_assert_eq!(&again, &first);
+        }
+        // One extra round of growth is impossible for an identical query.
+        prop_assert_eq!(idx.slice_count(), slices_after_first);
+    }
+
+    /// Z-order encode/decode are inverse bijections on arbitrary cells.
+    #[test]
+    fn zorder_round_trip(x in 0u64..1024, y in 0u64..1024, z in 0u64..1024) {
+        let g = ZGrid::<3>::new(Aabb::new([0.0; 3], [1.0; 3]), 10);
+        let cell = [x, y, z];
+        prop_assert_eq!(g.decode(g.encode(&cell)), cell);
+    }
+
+    /// Z-order preserves per-dimension monotonicity: growing one coordinate
+    /// grows the code.
+    #[test]
+    fn zorder_monotone_per_dimension(x in 0u64..1023, y in 0u64..1024) {
+        let g = ZGrid::<2>::new(Aabb::new([0.0; 2], [1.0; 2]), 10);
+        prop_assert!(g.encode(&[x, y]) < g.encode(&[x + 1, y]));
+        prop_assert!(g.encode(&[y, x]) < g.encode(&[y, x + 1]));
+    }
+
+    /// Exact decomposition covers precisely the query rectangle, with
+    /// disjoint, sorted, maximal intervals — on arbitrary rectangles.
+    #[test]
+    fn zorder_decomposition_exact_coverage(
+        x0 in 0u64..32, y0 in 0u64..32, dx in 0u64..8, dy in 0u64..8,
+    ) {
+        let g = ZGrid::<2>::new(Aabb::new([0.0; 2], [32.0; 2]), 5);
+        let qlo = [x0.min(31), y0.min(31)];
+        let qhi = [(x0 + dx).min(31), (y0 + dy).min(31)];
+        let ranges = g.decompose(&qlo, &qhi, 0);
+        // Sorted, disjoint, maximal.
+        for w in ranges.windows(2) {
+            prop_assert!(w[0].1 + 1 < w[1].0);
+        }
+        // Total covered codes == rectangle cardinality.
+        let covered: u64 = ranges.iter().map(|(a, b)| b - a + 1).sum();
+        let expect = (qhi[0] - qlo[0] + 1) * (qhi[1] - qlo[1] + 1);
+        prop_assert_eq!(covered, expect);
+        // Every interval endpoint is inside the rectangle.
+        for &(a, b) in &ranges {
+            prop_assert!(g.code_in_rect(a, &qlo, &qhi));
+            prop_assert!(g.code_in_rect(b, &qlo, &qhi));
+        }
+    }
+
+    /// Capped decomposition always yields a superset of the exact one.
+    #[test]
+    fn zorder_capped_is_superset(
+        x0 in 0u64..32, y0 in 0u64..32, dx in 0u64..16, dy in 0u64..16,
+        cap in 1usize..12,
+    ) {
+        let g = ZGrid::<2>::new(Aabb::new([0.0; 2], [32.0; 2]), 5);
+        let qlo = [x0.min(31), y0.min(31)];
+        let qhi = [(x0 + dx).min(31), (y0 + dy).min(31)];
+        let exact = g.decompose(&qlo, &qhi, 0);
+        let capped = g.decompose(&qlo, &qhi, cap);
+        prop_assert!(capped.len() <= cap.max(1) + 1);
+        for &(a, b) in &exact {
+            prop_assert!(
+                capped.iter().any(|&(ca, cb)| ca <= a && b <= cb),
+                "exact interval ({}, {}) lost under cap {}", a, b, cap
+            );
+        }
+    }
+
+    /// BIGMIN returns the first in-rectangle code after z (cross-checked by
+    /// linear search) on arbitrary 2-d rectangles.
+    #[test]
+    fn bigmin_matches_linear_search(
+        x0 in 0u64..16, y0 in 0u64..16, dx in 0u64..6, dy in 0u64..6,
+        z in 0u64..256,
+    ) {
+        let g = ZGrid::<2>::new(Aabb::new([0.0; 2], [16.0; 2]), 4);
+        let qlo = [x0.min(15), y0.min(15)];
+        let qhi = [(x0 + dx).min(15), (y0 + dy).min(15)];
+        prop_assume!(!g.code_in_rect(z, &qlo, &qhi));
+        let zmin = g.encode(&qlo);
+        let zmax = g.encode(&qhi);
+        let expect = (z + 1..256).find(|&c| g.code_in_rect(c, &qlo, &qhi));
+        let got = g.bigmin(z, zmin, zmax).filter(|&b| b > z);
+        prop_assert_eq!(got, expect);
+    }
+}
