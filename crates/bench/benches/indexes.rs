@@ -70,19 +70,24 @@ fn bench_builds(c: &mut Criterion) {
 fn bench_converged_queries(c: &mut Criterion) {
     let data = uniform_boxes_in::<3>(N, SIDE, 2);
     let universe = Aabb::new([0.0; 3], [SIDE; 3]);
-    let warmup: Vec<Aabb<3>> =
-        quasii_common::workload::uniform(&universe, 300, 1e-4, 3).queries;
+    let warmup: Vec<Aabb<3>> = quasii_common::workload::uniform(&universe, 300, 1e-4, 3).queries;
     let q = query();
 
     let mut g = c.benchmark_group("converged_query");
     let mut scan = Scan::new(data.clone());
-    g.bench_function("scan", |b| b.iter(|| black_box(scan.query_collect(&q).len())));
+    g.bench_function("scan", |b| {
+        b.iter(|| black_box(scan.query_collect(&q).len()))
+    });
 
     let mut rtree = RTree::bulk_load_default(data.clone());
-    g.bench_function("rtree", |b| b.iter(|| black_box(rtree.query_collect(&q).len())));
+    g.bench_function("rtree", |b| {
+        b.iter(|| black_box(rtree.query_collect(&q).len()))
+    });
 
     let mut grid = UniformGrid::build(data.clone(), 58, Assignment::QueryExtension);
-    g.bench_function("grid", |b| b.iter(|| black_box(grid.query_collect(&q).len())));
+    g.bench_function("grid", |b| {
+        b.iter(|| black_box(grid.query_collect(&q).len()))
+    });
 
     let mut sfc = SfcIndex::build_default(data.clone());
     g.bench_function("sfc", |b| b.iter(|| black_box(sfc.query_collect(&q).len())));

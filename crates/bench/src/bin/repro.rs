@@ -1,7 +1,7 @@
 //! `repro` — regenerates the paper's evaluation figures.
 //!
 //! ```text
-//! repro [--scale small|medium|full] [--out DIR] <experiment>...
+//! repro [--scale tiny|small|medium|full] [--out DIR] <experiment>...
 //! repro all                 # every figure (medium scale)
 //! repro fig9 --scale small  # one figure, tiny inputs
 //! ```
@@ -23,7 +23,7 @@ fn main() {
                 i += 1;
                 let v = args.get(i).map(String::as_str).unwrap_or("");
                 scale = Scale::parse(v).unwrap_or_else(|| {
-                    eprintln!("unknown scale '{v}' (small|medium|full)");
+                    eprintln!("unknown scale '{v}' (tiny|small|medium|full)");
                     std::process::exit(2);
                 });
             }
@@ -69,6 +69,6 @@ fn main() {
 }
 
 fn print_usage() {
-    println!("usage: repro [--scale small|medium|full] [--out DIR] <experiment|all>...");
+    println!("usage: repro [--scale tiny|small|medium|full] [--out DIR] <experiment|all>...");
     println!("experiments: {ALL_EXPERIMENTS:?}");
 }

@@ -79,8 +79,7 @@ fn assignment_modes(h: &mut Harness) {
         ("center", AssignBy::Center),
         ("upper", AssignBy::Upper),
     ] {
-        let (b, mut idx) =
-            timed(|| Quasii::new(data.clone(), QuasiiConfig::with_assignment(mode)));
+        let (b, mut idx) = timed(|| Quasii::new(data.clone(), QuasiiConfig::with_assignment(mode)));
         let series = run_queries(&mut idx, b, &queries);
         match &counts {
             None => counts = Some(series.result_counts.clone()),
@@ -122,9 +121,7 @@ fn str_vs_insertion(h: &mut Harness) {
 
     let str_q: f64 = str_series.query_secs.iter().sum();
     let dyn_q: f64 = dyn_series.query_secs.iter().sum();
-    println!(
-        "STR:      build {str_build:>8.3}s  queries {str_q:>8.4}s  overlap n/a (packed)"
-    );
+    println!("STR:      build {str_build:>8.3}s  queries {str_q:>8.4}s  overlap n/a (packed)");
     println!(
         "Guttman:  build {dyn_build:>8.3}s  queries {dyn_q:>8.4}s  overlap {:.3e}",
         dyn_tree.overlap_volume()

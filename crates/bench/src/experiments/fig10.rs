@@ -58,7 +58,10 @@ pub fn run(h: &mut Harness) {
         .map(|s| window(s, last.clone()))
         .collect();
 
-    println!("\n--- a) first {} queries, per-query seconds ---", first.end);
+    println!(
+        "\n--- a) first {} queries, per-query seconds ---",
+        first.end
+    );
     println!(
         "{}",
         convergence_table(&w_first.iter().collect::<Vec<_>>(), 20)
@@ -71,10 +74,7 @@ pub fn run(h: &mut Harness) {
     println!("--- c/d) cumulative seconds (full workload, subsampled) ---");
     println!(
         "{}",
-        cumulative_table(
-            &[rtree, quasii, grid, scan],
-            (n_queries / 25).max(1)
-        )
+        cumulative_table(&[rtree, quasii, grid, scan], (n_queries / 25).max(1))
     );
 
     // Headline ratios.
@@ -105,7 +105,9 @@ pub fn run(h: &mut Harness) {
     }
 
     let refs: Vec<&RunSeries> = series.iter().collect();
-    let _ = h.out.write_csv("fig10_per_query.csv", &to_csv(&refs, "per_query"));
+    let _ = h
+        .out
+        .write_csv("fig10_per_query.csv", &to_csv(&refs, "per_query"));
     let _ = h
         .out
         .write_csv("fig10_cumulative.csv", &to_csv(&refs, "cumulative"));

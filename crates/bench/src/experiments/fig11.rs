@@ -37,7 +37,12 @@ pub fn run_exp(h: &mut Harness) {
             rq,
             rtree.total_secs()
         );
-        println!("  QUASII  build {:>8.3}s + query {:>8.3}s = {:>8.3}s", 0.0, qq, quasii.total_secs());
+        println!(
+            "  QUASII  build {:>8.3}s + query {:>8.3}s = {:>8.3}s",
+            0.0,
+            qq,
+            quasii.total_secs()
+        );
         println!(
             "  QUASII/R-Tree cumulative: {:.1}% (paper: 75% at 500M, 73.7% at 1B)",
             100.0 * quasii.total_secs() / rtree.total_secs().max(1e-12)
@@ -67,5 +72,3 @@ pub fn run_exp(h: &mut Harness) {
     }
     let _ = h.out.write_csv("fig11_scalability.csv", &csv);
 }
-
-

@@ -50,5 +50,3 @@ pub fn run_exp(h: &mut Harness) {
     println!("(paper: 68.8% / 79.8% / 85.6% — the ratio grows with selectivity)");
     let _ = h.out.write_csv("fig12_selectivity.csv", &csv);
 }
-
-

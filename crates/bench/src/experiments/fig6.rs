@@ -21,14 +21,8 @@ pub fn run_a(h: &mut Harness) {
     println!("\n=== Fig 6a: impact of the data-assignment strategy ===");
     let data = h.neuro_data();
     let universe = mbb_of(&data);
-    let queries = workload::clustered(
-        &universe,
-        h.scale.clusters,
-        h.scale.per_cluster,
-        1e-4,
-        7,
-    )
-    .queries;
+    let queries =
+        workload::clustered(&universe, h.scale.clusters, h.scale.per_cluster, 1e-4, 7).queries;
     let parts = super::grid_parts_for(data.len(), true);
 
     let rtree = run(Approach::RTree, &data, &queries);
@@ -37,7 +31,10 @@ pub fn run_a(h: &mut Harness) {
     super::verify_agreement(&[rtree.clone(), grid_ext.clone(), grid_rep.clone()]);
 
     let qt = |s: &quasii_common::measure::RunSeries| s.query_secs.iter().sum::<f64>();
-    println!("{:<20} {:>14} {:>14}", "approach", "query time (s)", "vs R-Tree");
+    println!(
+        "{:<20} {:>14} {:>14}",
+        "approach", "query time (s)", "vs R-Tree"
+    );
     let base = qt(&rtree);
     for s in [&rtree, &grid_ext, &grid_rep] {
         println!("{:<20} {:>14.4} {:>13.2}x", s.name, qt(s), qt(s) / base);
@@ -70,11 +67,8 @@ pub fn run_b(h: &mut Harness) {
     println!("\n=== Fig 6b: grid configuration sensitivity ===");
     let n = h.scale.neuro_n;
     let neuro = h.neuro_data();
-    let uniform = quasii_common::dataset::uniform_boxes_in::<3>(
-        n,
-        mbb_of(&neuro).extent(0).max(1_000.0),
-        44,
-    );
+    let uniform =
+        quasii_common::dataset::uniform_boxes_in::<3>(n, mbb_of(&neuro).extent(0).max(1_000.0), 44);
 
     let candidates: Vec<usize> = {
         let base = super::grid_parts_for(n, false);

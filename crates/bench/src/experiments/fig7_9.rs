@@ -38,25 +38,43 @@ pub fn run_fig7(h: &mut Harness) {
     println!("\n=== Fig 7: convergence to the static counterpart (per-query seconds) ===");
     panel(
         "a) one-dimensional",
-        &[series(run, "SFC"), series(run, "SFCracker"), series(run, "Scan")],
+        &[
+            series(run, "SFC"),
+            series(run, "SFCracker"),
+            series(run, "Scan"),
+        ],
         false,
     );
     panel(
         "b) space-oriented",
-        &[series(run, "Grid"), series(run, "Mosaic"), series(run, "Scan")],
+        &[
+            series(run, "Grid"),
+            series(run, "Mosaic"),
+            series(run, "Scan"),
+        ],
         false,
     );
     panel(
         "c) data-oriented",
-        &[series(run, "R-Tree"), series(run, "QUASII"), series(run, "Scan")],
+        &[
+            series(run, "R-Tree"),
+            series(run, "QUASII"),
+            series(run, "Scan"),
+        ],
         false,
     );
     let refs: Vec<&RunSeries> = run.series.iter().collect();
-    let _ = h.out.write_csv("fig7_convergence.csv", &to_csv(&refs, "per_query"));
+    let _ = h
+        .out
+        .write_csv("fig7_convergence.csv", &to_csv(&refs, "per_query"));
 
     // Convergence check: tail of each incremental ≈ its static counterpart.
     let tail = 25;
-    for (inc, st) in [("SFCracker", "SFC"), ("Mosaic", "Grid"), ("QUASII", "R-Tree")] {
+    for (inc, st) in [
+        ("SFCracker", "SFC"),
+        ("Mosaic", "Grid"),
+        ("QUASII", "R-Tree"),
+    ] {
         let a = series(run, inc).tail_mean_secs(tail);
         let b = series(run, st).tail_mean_secs(tail);
         println!(
@@ -73,25 +91,43 @@ pub fn run_fig8(h: &mut Harness) {
     println!("\n=== Fig 8: cumulative time, build included (seconds) ===");
     panel(
         "a) one-dimensional",
-        &[series(run, "SFC"), series(run, "SFCracker"), series(run, "Scan")],
+        &[
+            series(run, "SFC"),
+            series(run, "SFCracker"),
+            series(run, "Scan"),
+        ],
         true,
     );
     panel(
         "b) space-oriented",
-        &[series(run, "Grid"), series(run, "Mosaic"), series(run, "Scan")],
+        &[
+            series(run, "Grid"),
+            series(run, "Mosaic"),
+            series(run, "Scan"),
+        ],
         true,
     );
     panel(
         "c) data-oriented",
-        &[series(run, "R-Tree"), series(run, "QUASII"), series(run, "Scan")],
+        &[
+            series(run, "R-Tree"),
+            series(run, "QUASII"),
+            series(run, "Scan"),
+        ],
         true,
     );
     let refs: Vec<&RunSeries> = run.series.iter().collect();
-    let _ = h.out.write_csv("fig8_cumulative.csv", &to_csv(&refs, "cumulative"));
+    let _ = h
+        .out
+        .write_csv("fig8_cumulative.csv", &to_csv(&refs, "cumulative"));
 
     // Break-even points (paper: SFCracker after 23 queries, Mosaic after
     // 100, QUASII never within the workload).
-    for (inc, st) in [("SFCracker", "SFC"), ("Mosaic", "Grid"), ("QUASII", "R-Tree")] {
+    for (inc, st) in [
+        ("SFCracker", "SFC"),
+        ("Mosaic", "Grid"),
+        ("QUASII", "R-Tree"),
+    ] {
         match break_even_query(series(run, inc), series(run, st)) {
             Some(q) => println!("break-even: {inc} exceeds {st} at query {q}"),
             None => println!(
@@ -135,7 +171,10 @@ pub fn run_fig9(h: &mut Harness) {
     println!("\nfirst-query cost vs Scan (paper: SFCracker 13.7x, Mosaic 9.2x, QUASII 4.6x):");
     for name in ["SFCracker", "Mosaic", "QUASII"] {
         let q1 = series(run, name).query_secs[0];
-        println!("  {name:<10} {:.2}x slower than Scan", q1 / scan1.max(1e-12));
+        println!(
+            "  {name:<10} {:.2}x slower than Scan",
+            q1 / scan1.max(1e-12)
+        );
     }
     let tail = 25;
     let quasii_tail = series(run, "QUASII").tail_mean_secs(tail);

@@ -20,8 +20,7 @@ use quasii_common::workload;
 
 /// Experiment identifiers accepted by the `repro` binary.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation",
-    "summary",
+    "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "summary",
 ];
 
 /// The shared clustered-neuroscience execution (dataset §6.1, 5 clusters ×

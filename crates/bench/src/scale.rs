@@ -21,7 +21,19 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Tiny preset for CI and smoke tests (seconds).
+    /// Smallest preset: keeps every experiment running in well under a
+    /// second so smoke tests can exercise the whole harness on each
+    /// `cargo test` without slowing the suite down.
+    pub const TINY: Scale = Scale {
+        name: "tiny",
+        neuro_n: 3_000,
+        uniform_n: 4_000,
+        clusters: 3,
+        per_cluster: 8,
+        uniform_queries: 40,
+    };
+
+    /// Small preset for CI and local smoke runs (seconds).
     pub const SMALL: Scale = Scale {
         name: "small",
         neuro_n: 60_000,
@@ -54,6 +66,7 @@ impl Scale {
     /// Parses a preset name.
     pub fn parse(s: &str) -> Option<Scale> {
         match s {
+            "tiny" => Some(Self::TINY),
             "small" => Some(Self::SMALL),
             "medium" => Some(Self::MEDIUM),
             "full" => Some(Self::FULL),
@@ -73,7 +86,7 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for s in [Scale::SMALL, Scale::MEDIUM, Scale::FULL] {
+        for s in [Scale::TINY, Scale::SMALL, Scale::MEDIUM, Scale::FULL] {
             assert_eq!(Scale::parse(s.name), Some(s));
         }
         assert_eq!(Scale::parse("bogus"), None);
@@ -81,7 +94,12 @@ mod tests {
 
     #[test]
     fn presets_are_ordered() {
-        let sizes = [Scale::SMALL.neuro_n, Scale::MEDIUM.neuro_n, Scale::FULL.neuro_n];
+        let sizes = [
+            Scale::TINY.neuro_n,
+            Scale::SMALL.neuro_n,
+            Scale::MEDIUM.neuro_n,
+            Scale::FULL.neuro_n,
+        ];
         assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
         assert_eq!(Scale::MEDIUM.clustered_queries(), 500); // the paper's 5 × 100
     }

@@ -1,0 +1,51 @@
+//! Smoke test: drive the whole `repro` experiment harness — every figure —
+//! on the tiny preset, so the bench crate cannot silently rot. Runs in
+//! well under a second in debug mode.
+
+use quasii_bench::experiments::{Harness, ALL_EXPERIMENTS};
+use quasii_bench::scale::Scale;
+use quasii_bench::OutputDir;
+
+#[test]
+fn repro_harness_runs_every_experiment_at_tiny_scale() {
+    let dir = std::env::temp_dir().join(format!("quasii-smoke-{}", std::process::id()));
+    let out = OutputDir::new(&dir).expect("create temp output dir");
+
+    let mut harness = Harness::new(Scale::TINY, out);
+    for exp in ALL_EXPERIMENTS {
+        harness
+            .run(exp)
+            .unwrap_or_else(|e| panic!("experiment {exp} failed: {e}"));
+    }
+
+    // Every experiment writes at least one CSV; spot-check the directory is
+    // non-empty and the files have a header plus data rows.
+    let mut csvs = 0;
+    for entry in std::fs::read_dir(&dir).expect("read output dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "csv") {
+            csvs += 1;
+            let content = std::fs::read_to_string(&path).expect("read csv");
+            assert!(
+                content.lines().count() >= 2,
+                "{} has no data rows",
+                path.display()
+            );
+        }
+    }
+    assert!(
+        csvs >= ALL_EXPERIMENTS.len() - 2,
+        "only {csvs} CSVs written"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let dir = std::env::temp_dir().join(format!("quasii-smoke-err-{}", std::process::id()));
+    let out = OutputDir::new(&dir).expect("create temp output dir");
+    let mut harness = Harness::new(Scale::TINY, out);
+    assert!(harness.run("fig99").is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -191,13 +191,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             let universe = mbb_of(&records);
             let w = match pattern.as_str() {
                 "uniform" => workload::uniform(&universe, queries, volume, seed),
-                "clustered" => workload::clustered(
-                    &universe,
-                    5,
-                    queries.div_ceil(5),
-                    volume,
-                    seed,
-                ),
+                "clustered" => workload::clustered(&universe, 5, queries.div_ceil(5), volume, seed),
                 other => return Err(format!("unknown pattern '{other}'")),
             };
             let series = match index.as_str() {

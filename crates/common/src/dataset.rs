@@ -253,7 +253,10 @@ mod tests {
         let ext = max_extents(&a);
         // With 1 % heavy objects among 20 000 samples a >10-unit side is
         // essentially guaranteed.
-        assert!(ext.iter().any(|&e| e > 10.0), "expected heavy tail, got {ext:?}");
+        assert!(
+            ext.iter().any(|&e| e > 10.0),
+            "expected heavy tail, got {ext:?}"
+        );
         // And nothing exceeds the paper's 1000-unit cap.
         assert!(ext.iter().all(|&e| e <= 1000.0));
     }

@@ -129,12 +129,18 @@ pub fn read_csv_boxes<const D: usize>(path: impl AsRef<Path>) -> io::Result<Vec<
             ));
         }
         let parse = |s: &str| -> io::Result<f64> {
-            s.trim()
-                .parse::<f64>()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))
+            s.trim().parse::<f64>().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: {e}", lineno + 1),
+                )
+            })
         };
         let id: u64 = fields[0].trim().parse().map_err(|e| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
         })?;
         let mut lo = [0.0; D];
         let mut hi = [0.0; D];

@@ -56,10 +56,7 @@ pub fn knn_by_range<const D: usize, I: SpatialIndex<D> + ?Sized>(
         return Vec::new();
     }
     debug_assert!(
-        records
-            .iter()
-            .enumerate()
-            .all(|(i, r)| r.id == i as u64),
+        records.iter().enumerate().all(|(i, r)| r.id == i as u64),
         "records must be indexable by id"
     );
     // Density-based initial radius: a window expected to hold ~2k objects

@@ -103,9 +103,7 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
 pub fn break_even_query(incremental: &RunSeries, static_idx: &RunSeries) -> Option<usize> {
     let a = incremental.cumulative();
     let b = static_idx.cumulative();
-    a.iter()
-        .zip(b.iter())
-        .position(|(inc, st)| inc > st)
+    a.iter().zip(b.iter()).position(|(inc, st)| inc > st)
 }
 
 /// Renders series as a fixed-width table: one row per sampled query index,

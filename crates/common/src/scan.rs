@@ -67,6 +67,8 @@ mod tests {
     fn empty_dataset() {
         let mut scan = Scan::<2>::new(Vec::new());
         assert!(scan.is_empty());
-        assert!(scan.query_collect(&Aabb::new([0.0; 2], [1.0; 2])).is_empty());
+        assert!(scan
+            .query_collect(&Aabb::new([0.0; 2], [1.0; 2]))
+            .is_empty());
     }
 }

@@ -59,9 +59,7 @@ fn clamped_cube<const D: usize>(universe: &Aabb<D>, c: [f64; D], side: f64) -> A
     for k in 0..D {
         let span = universe.hi[k] - universe.lo[k];
         let s = side.min(span);
-        lo[k] = (c[k] - s * 0.5)
-            .max(universe.lo[k])
-            .min(universe.hi[k] - s);
+        lo[k] = (c[k] - s * 0.5).max(universe.lo[k]).min(universe.hi[k] - s);
         hi[k] = lo[k] + s;
     }
     Aabb::new(lo, hi)

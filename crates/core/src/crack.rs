@@ -165,7 +165,10 @@ mod tests {
         (0..n)
             .map(|id| {
                 let lo: f64 = rng.random_range(0.0..100.0);
-                Record::new(id as u64, Aabb::new([lo], [lo + rng.random_range(0.0..5.0)]))
+                Record::new(
+                    id as u64,
+                    Aabb::new([lo], [lo + rng.random_range(0.0..5.0)]),
+                )
             })
             .collect()
     }
@@ -215,7 +218,11 @@ mod tests {
         let mut empty: Vec<Record<1>> = vec![];
         assert_eq!(crack_two(&mut empty, 0, LOWER, 0.0), 0);
         let mut one = vec![rec1(5.0, 6.0)];
-        assert_eq!(crack_two(&mut one, 0, LOWER, 5.0), 0, "pivot == key goes right");
+        assert_eq!(
+            crack_two(&mut one, 0, LOWER, 5.0),
+            0,
+            "pivot == key goes right"
+        );
         assert_eq!(crack_two(&mut one, 0, LOWER, 5.1), 1);
     }
 

@@ -436,7 +436,11 @@ mod tests {
         for q in &workload::uniform(&u, 30, 1e-3, 52).queries {
             assert_matches_brute_force(&data, q, &idx.query_collect(q));
         }
-        assert_eq!(idx.stats().cracks, cracks, "no reorganization after finalize");
+        assert_eq!(
+            idx.stats().cracks,
+            cracks,
+            "no reorganization after finalize"
+        );
 
         // The hierarchy has exactly D levels of slices and τ-bounded leaves.
         let profile = idx.level_profile();
@@ -475,8 +479,7 @@ mod tests {
             for q in &queries {
                 let got = idx.query_collect(q);
                 assert_matches_brute_force(&data, q, &got);
-                idx.validate()
-                    .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+                idx.validate().unwrap_or_else(|e| panic!("{mode:?}: {e}"));
             }
         }
     }
@@ -487,7 +490,10 @@ mod tests {
         // reaches in must be found under Center assignment.
         let mut data = uniform_boxes_in::<2>(400, 1_000.0, 49);
         data.push(Record::new(400, Aabb::new([0.0, 0.0], [900.0, 5.0])));
-        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_assignment(AssignBy::Center));
+        let mut idx = Quasii::new(
+            data.clone(),
+            QuasiiConfig::with_assignment(AssignBy::Center),
+        );
         let q = Aabb::new([880.0, 0.0], [890.0, 4.0]);
         let got = idx.query_collect(&q);
         assert!(got.contains(&400));

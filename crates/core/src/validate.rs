@@ -130,9 +130,7 @@ fn check_level<const D: usize>(
 
         if !s.children.is_empty() {
             if !s.refined {
-                return Err(format!(
-                    "unrefined slice {i} at level {level} has children"
-                ));
+                return Err(format!("unrefined slice {i} at level {level} has children"));
             }
             check_level(data, &s.children, level + 1, s.begin, s.end, tau, mode)?;
         }

@@ -335,10 +335,14 @@ mod tests {
     fn replication_deduplicates_results() {
         // One large box overlapping many cells must be reported once.
         let mut data = vec![Record::new(0, Aabb::new([0.0; 2], [900.0; 2]))];
-        data.extend(uniform_boxes_in::<2>(100, 1_000.0, 4).into_iter().map(|mut r| {
-            r.id += 1;
-            r
-        }));
+        data.extend(
+            uniform_boxes_in::<2>(100, 1_000.0, 4)
+                .into_iter()
+                .map(|mut r| {
+                    r.id += 1;
+                    r
+                }),
+        );
         let mut g = UniformGrid::build(data.clone(), 30, Assignment::Replication);
         let q = Aabb::new([0.0; 2], [1_000.0; 2]);
         let got = g.query_collect(&q);

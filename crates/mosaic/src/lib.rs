@@ -209,9 +209,7 @@ impl<const D: usize> Mosaic<D> {
                         let c = self.data[pos as usize].mbb.center();
                         // Center must lie within the (closed) region.
                         for k in 0..D {
-                            if c[k] < node.region.lo[k] - 1e-9
-                                || c[k] > node.region.hi[k] + 1e-9
-                            {
+                            if c[k] < node.region.lo[k] - 1e-9 || c[k] > node.region.hi[k] + 1e-9 {
                                 return Err(format!(
                                     "object {pos} center outside its partition on dim {k}"
                                 ));
@@ -406,10 +404,10 @@ mod tests {
         for _ in 0..10 {
             m.query_collect(&q);
         }
-        assert!(m
-            .nodes
-            .iter()
-            .all(|n| n.depth <= 3), "max_depth must bound the tree");
+        assert!(
+            m.nodes.iter().all(|n| n.depth <= 3),
+            "max_depth must bound the tree"
+        );
         assert_eq!(m.leaf_count(), 64, "full grid at depth 3 in 2-d");
     }
 }

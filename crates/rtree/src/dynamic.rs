@@ -123,8 +123,7 @@ impl<const D: usize> DynamicRTree<D> {
         let (bbox_a, bbox_b, new_kind_a, new_kind_b) = match &mut self.nodes[id as usize].kind {
             DKind::Leaf { records } => {
                 let items = std::mem::take(records);
-                let (ga, gb, ba, bb) =
-                    quadratic_split(items, |r| r.mbb, self.min_fill);
+                let (ga, gb, ba, bb) = quadratic_split(items, |r| r.mbb, self.min_fill);
                 (
                     ba,
                     bb,

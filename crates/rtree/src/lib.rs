@@ -224,7 +224,10 @@ impl<const D: usize> RTree<D> {
                     for &c in children {
                         let d2 = dist2_point_box(p, &self.nodes[c as usize].bbox);
                         if best.len() < k || d2 <= best.peek().expect("k > 0").dist2 {
-                            heap.push(Reverse(Entry { dist2: d2, node: c as u64 }));
+                            heap.push(Reverse(Entry {
+                                dist2: d2,
+                                node: c as u64,
+                            }));
                         }
                     }
                 }

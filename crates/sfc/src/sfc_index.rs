@@ -172,7 +172,10 @@ mod tests {
         let mut idx = SfcIndex::build_default(data.clone());
         let q = Aabb::new([790.0, 0.0], [795.0, 5.0]); // far from the center
         let got = idx.query_collect(&q);
-        assert!(got.contains(&500), "edge-touching query must see the big box");
+        assert!(
+            got.contains(&500),
+            "edge-touching query must see the big box"
+        );
         assert_matches_brute_force(&data, &q, &got);
     }
 }

@@ -311,11 +311,10 @@ mod tests {
     fn bigmin_agrees_with_brute_force() {
         let g = grid2(3); // 8x8 grid, 64 codes: exhaustive check feasible.
         let cells: Vec<[u64; 2]> = (0..64u64).map(|c| g.decode(c)).collect();
-        let in_rect =
-            |c: u64, qlo: &[u64; 2], qhi: &[u64; 2]| -> bool {
-                let cc = &cells[c as usize];
-                qlo[0] <= cc[0] && cc[0] <= qhi[0] && qlo[1] <= cc[1] && cc[1] <= qhi[1]
-            };
+        let in_rect = |c: u64, qlo: &[u64; 2], qhi: &[u64; 2]| -> bool {
+            let cc = &cells[c as usize];
+            qlo[0] <= cc[0] && cc[0] <= qhi[0] && qlo[1] <= cc[1] && cc[1] <= qhi[1]
+        };
         for qx0 in 0..8u64 {
             for qy0 in 0..8u64 {
                 for qx1 in qx0..8u64 {
@@ -389,7 +388,11 @@ mod tests {
         let qlo = [1u64, 14u64];
         let qhi = [27u64, 17u64]; // wide, thin: many intervals
         let exact = g.decompose(&qlo, &qhi, 0);
-        assert!(exact.len() > 4, "expected fragmentation, got {}", exact.len());
+        assert!(
+            exact.len() > 4,
+            "expected fragmentation, got {}",
+            exact.len()
+        );
         let capped = g.decompose(&qlo, &qhi, 4);
         assert_eq!(capped.len(), 4);
         // Capped ranges are a superset: every exact range inside some capped.

@@ -11,8 +11,8 @@
 //! cargo run --release --example brain_exploration
 //! ```
 
-use quasii_suite::prelude::*;
 use quasii_common::geom::mbb_of;
+use quasii_suite::prelude::*;
 use std::time::Instant;
 
 fn main() {

@@ -6,9 +6,9 @@
 //! cargo run --release --example index_showdown
 //! ```
 
-use quasii_suite::prelude::*;
 use quasii_common::geom::mbb_of;
 use quasii_common::measure::{run_queries, timed, RunSeries};
+use quasii_suite::prelude::*;
 
 fn main() {
     let n = 300_000;

@@ -29,15 +29,16 @@ fn main() {
     // The same region again: the slices built by query 1 are reused.
     let t = std::time::Instant::now();
     let hits = index.query_collect(&query);
-    println!("query 2: {} hits in {:?} (refined path)", hits.len(), t.elapsed());
+    println!(
+        "query 2: {} hits in {:?} (refined path)",
+        hits.len(),
+        t.elapsed()
+    );
 
     // A few nearby queries refine the region further.
     for i in 0..5 {
         let off = 10.0 * i as f64;
-        let q = Aabb::new(
-            [100.0 + off, 100.0, 100.0],
-            [160.0 + off, 160.0, 160.0],
-        );
+        let q = Aabb::new([100.0 + off, 100.0, 100.0], [160.0 + off, 160.0, 160.0]);
         let t = std::time::Instant::now();
         let n = index.query_collect(&q).len();
         println!("nearby query {}: {} hits in {:?}", i + 1, n, t.elapsed());

@@ -1,0 +1,135 @@
+//! QUASII's core claim (paper §5, Figs. 7–9): repeating queries over the
+//! same region makes the index *converge* — per-query reorganization work
+//! is monotonically non-increasing, reaches zero, and the answers stay
+//! identical to the full-scan ground truth at every step.
+
+use quasii_suite::prelude::*;
+
+fn sorted(mut v: Vec<u64>) -> Vec<u64> {
+    v.sort_unstable();
+    v
+}
+
+/// Per-query deltas of the reorganization counters.
+struct WorkSample {
+    cracks: u64,
+    records_cracked: u64,
+    slices_created: u64,
+}
+
+fn run_repeated<const D: usize>(
+    data: Vec<Record<D>>,
+    query: Aabb<D>,
+    rounds: usize,
+    tau: usize,
+) -> (Vec<WorkSample>, bool) {
+    let mut scan = Scan::new(data.clone());
+    let expect = sorted(scan.query_collect(&query));
+
+    let mut idx = Quasii::new(data, QuasiiConfig::with_tau(tau));
+    let mut samples = Vec::with_capacity(rounds);
+    let mut prev = idx.stats();
+    let mut all_agree = true;
+    for _ in 0..rounds {
+        let got = sorted(idx.query_collect(&query));
+        all_agree &= got == expect;
+        idx.validate().expect("hierarchy invariants hold");
+        let now = idx.stats();
+        samples.push(WorkSample {
+            cracks: now.cracks - prev.cracks,
+            records_cracked: now.records_cracked - prev.records_cracked,
+            slices_created: now.slices_created - prev.slices_created,
+        });
+        prev = now;
+    }
+    (samples, all_agree)
+}
+
+#[test]
+fn repeated_identical_queries_converge_3d() {
+    let data = dataset::uniform_boxes_in::<3>(30_000, 1_000.0, 11);
+    let query = Aabb::new([200.0; 3], [260.0; 3]);
+    let (work, agree) = run_repeated(data, query, 10, 1_000);
+
+    assert!(agree, "every repetition must match the Scan ground truth");
+    // Monotone non-increasing crack work per query...
+    for w in work.windows(2) {
+        assert!(
+            w[1].records_cracked <= w[0].records_cracked,
+            "crack work grew between repetitions: {} -> {}",
+            w[0].records_cracked,
+            w[1].records_cracked
+        );
+        assert!(w[1].cracks <= w[0].cracks);
+        assert!(w[1].slices_created <= w[0].slices_created);
+    }
+    // ...with all the reorganization concentrated in the first repetition.
+    assert!(
+        work[0].records_cracked > 0,
+        "the first query over a fresh index must crack"
+    );
+    let tail = &work[1..];
+    assert!(
+        tail.iter().all(|w| w.cracks == 0 && w.slices_created == 0),
+        "an identical repeated query must not reorganize further"
+    );
+}
+
+#[test]
+fn repeated_identical_queries_converge_2d() {
+    let data = dataset::uniform_boxes_in::<2>(20_000, 1_000.0, 13);
+    let query = Aabb::new([500.0, 100.0], [620.0, 180.0]);
+    let (work, agree) = run_repeated(data, query, 8, 500);
+
+    assert!(agree, "every repetition must match the Scan ground truth");
+    for w in work.windows(2) {
+        assert!(w[1].records_cracked <= w[0].records_cracked);
+    }
+    assert!(work[1..].iter().all(|w| w.cracks == 0));
+}
+
+/// A *shifting* sequence inside one region: work may fluctuate query to
+/// query, but the cumulative crack work must flatten out (convergence in
+/// the Fig. 8 sense) while answers stay exact.
+#[test]
+fn clustered_sequence_converges_and_stays_exact() {
+    let data = dataset::uniform_boxes_in::<3>(30_000, 1_000.0, 17);
+    let mut scan = Scan::new(data.clone());
+    let mut idx = Quasii::new(data, QuasiiConfig::default());
+
+    let queries: Vec<Aabb<3>> = (0..30)
+        .map(|i| {
+            let off = 4.0 * (i % 10) as f64;
+            Aabb::new([300.0 + off; 3], [360.0 + off; 3])
+        })
+        .collect();
+
+    let mut per_query_work = Vec::new();
+    let mut prev_cracked = 0;
+    for q in &queries {
+        assert_eq!(
+            sorted(idx.query_collect(q)),
+            sorted(scan.query_collect(q)),
+            "index answer diverged from Scan ground truth"
+        );
+        idx.validate().expect("hierarchy invariants hold");
+        let cracked = idx.stats().records_cracked;
+        per_query_work.push(cracked - prev_cracked);
+        prev_cracked = cracked;
+    }
+
+    // The region is revisited three times; by the last sweep the slices are
+    // fully refined and crack work must have died out completely.
+    let last_sweep: u64 = per_query_work[20..].iter().sum();
+    assert_eq!(
+        last_sweep, 0,
+        "third sweep over the same region should be crack-free, got {per_query_work:?}"
+    );
+    // And the first sweep must dominate the total (front-loaded investment).
+    let first_sweep: u64 = per_query_work[..10].iter().sum();
+    let total: u64 = per_query_work.iter().sum();
+    assert!(
+        first_sweep * 10 >= total * 9,
+        "first sweep should carry >=90% of the crack work ({first_sweep}/{total})"
+    );
+}

@@ -1,11 +1,11 @@
 //! Cross-index correctness: every approach must return exactly the
 //! brute-force answer on every workload, dataset shape, and dimensionality.
 
-use quasii_suite::prelude::*;
 use quasii_common::dataset::degenerate;
 use quasii_common::geom::mbb_of;
 use quasii_common::index::assert_matches_brute_force;
 use quasii_rtree::DynamicRTree;
+use quasii_suite::prelude::*;
 
 /// Runs every index over the queries and checks against brute force.
 fn check_all_3d(data: &[Record<3>], queries: &[Aabb<3>]) {

@@ -2,9 +2,9 @@
 //! (work stops once a region is organized), must never corrupt structure,
 //! and must leave results identical no matter the query order.
 
-use quasii_suite::prelude::*;
 use quasii_common::geom::mbb_of;
 use quasii_common::index::brute_force;
+use quasii_suite::prelude::*;
 
 #[test]
 fn quasii_work_is_monotone_decreasing_within_a_cluster() {
@@ -135,7 +135,11 @@ fn interleaving_two_regions_converges_both() {
     let expect_b = brute_force(&data, &qb);
     let mut idx = Quasii::with_default_config(data);
     for i in 0..20 {
-        let (q, expect) = if i % 2 == 0 { (&qa, &expect_a) } else { (&qb, &expect_b) };
+        let (q, expect) = if i % 2 == 0 {
+            (&qa, &expect_a)
+        } else {
+            (&qb, &expect_b)
+        };
         let mut got = idx.query_collect(q);
         got.sort_unstable();
         assert_eq!(&got, expect, "iteration {i}");

@@ -2,9 +2,9 @@
 //! block): the expanding-window kNN must be exact over *every* index, and
 //! must match the R-Tree's native best-first kNN.
 
-use quasii_suite::prelude::*;
 use quasii_common::geom::mbb_of;
 use quasii_common::knn::{knn_brute_force, knn_by_range};
+use quasii_suite::prelude::*;
 
 fn dists(v: &[quasii_common::knn::Neighbor]) -> Vec<f64> {
     v.iter().map(|n| n.dist).collect()

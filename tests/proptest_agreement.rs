@@ -2,18 +2,13 @@
 //! sequences, every index returns exactly the brute-force result set.
 
 use proptest::prelude::*;
-use quasii_suite::prelude::*;
 use quasii_common::index::brute_force;
 use quasii_rtree::DynamicRTree;
+use quasii_suite::prelude::*;
 
 /// Arbitrary valid box in a small 2-d universe (including zero extents).
 fn arb_box2() -> impl Strategy<Value = Aabb<2>> {
-    (
-        0.0..100.0f64,
-        0.0..100.0f64,
-        0.0..20.0f64,
-        0.0..20.0f64,
-    )
+    (0.0..100.0f64, 0.0..100.0f64, 0.0..20.0f64, 0.0..20.0f64)
         .prop_map(|(x, y, w, h)| Aabb::new([x, y], [x + w, y + h]))
 }
 

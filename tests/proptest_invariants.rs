@@ -3,8 +3,8 @@
 //! mathematical contracts on arbitrary rectangles.
 
 use proptest::prelude::*;
-use quasii_suite::prelude::*;
 use quasii_sfc::ZGrid;
+use quasii_suite::prelude::*;
 
 fn arb_query2() -> impl Strategy<Value = Aabb<2>> {
     (0.0..100.0f64, 0.0..100.0f64, 0.1..50.0f64, 0.1..50.0f64)

@@ -1,0 +1,196 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use. The build environment has no access to crates.io, so the real crate
+//! cannot be fetched; this shim keeps the same macro and method surface
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`, `iter_batched_ref`) so the benches compile and run
+//! unchanged.
+//!
+//! Measurement is intentionally simple: each benchmark runs
+//! `sample_size` timed samples after one warm-up and reports
+//! min / median / mean wall-clock per iteration on stdout. There is no
+//! statistical analysis, HTML report, or outlier rejection — swap the real
+//! crate back in for publishable numbers. Set `CRITERION_QUICK=1` to run a
+//! single sample per benchmark (used by smoke tests).
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine call
+/// per batch regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (e.g. a cloned dataset).
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Collects per-sample durations for one benchmark.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            durations: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Times `routine` for `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.durations.push(t.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup is untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.durations.push(t.elapsed());
+        }
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but hands the routine a
+    /// mutable reference to the input.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..self.samples {
+            let mut input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            self.durations.push(t.elapsed());
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.durations.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        self.durations.sort();
+        let min = self.durations[0];
+        let median = self.durations[self.durations.len() / 2];
+        let mean = self.durations.iter().sum::<Duration>() / self.durations.len() as u32;
+        println!(
+            "{id:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            self.durations.len()
+        );
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let samples = if quick_mode() { 1 } else { samples.max(1) };
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    b.report(id);
+}
+
+/// Top-level benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

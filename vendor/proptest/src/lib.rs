@@ -1,0 +1,182 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be fetched. This shim keeps the same surface — the `proptest!`
+//! macro, `Strategy` + `prop_map`, range and tuple strategies,
+//! `prop::collection::vec`, `ProptestConfig`, `TestCaseError`, and the
+//! `prop_assert*` / `prop_assume!` macros — so the real dependency can be
+//! swapped back in without touching the test files.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its case index and its
+//!   deterministic seed instead of a minimized counterexample;
+//! * **deterministic by default** — case `i` of test `t` always uses the
+//!   same seed (derived from `t` and `i` by FNV-1a), so failures reproduce
+//!   exactly across runs and machines;
+//! * the number of cases is `ProptestConfig::cases`, overridable globally
+//!   with the `PROPTEST_CASES` environment variable (same variable the real
+//!   crate honors) — CI can dial suites up or down without code edits;
+//! * rejected cases (`prop_assume!`) do not count towards the case budget,
+//!   and more than `16 × cases` rejections abort the test (a coarser
+//!   version of real proptest's `max_global_rejects`).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the `prop` module re-export in the real prelude
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0.0..1.0f64, v in prop::collection::vec(0u64..10, 1..5)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.resolved_cases();
+                // Like real proptest, rejected cases (prop_assume!) do not
+                // count towards the case budget, and too many rejections
+                // abort instead of passing near-vacuously.
+                let max_rejects = cases.saturating_mul(16).max(1024);
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                let mut case: u32 = 0;
+                while accepted < cases {
+                    let seed = $crate::test_runner::case_seed(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    case += 1;
+                    let mut __rng = $crate::test_runner::TestRng::from_seed(seed);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        // Run the body in a closure so `?` and the
+                        // prop_assert*/prop_assume! early returns work.
+                        let mut __run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        };
+                        __run()
+                    };
+                    match __outcome {
+                        Ok(()) => accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                            rejected += 1;
+                            if rejected > max_rejects {
+                                panic!(
+                                    "proptest {} gave up: {rejected} rejected cases for {accepted}/{cases} accepted (last: {reason})",
+                                    stringify!($name),
+                                );
+                            }
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(reason)) => {
+                            panic!(
+                                "proptest case {accepted}/{cases} of {} failed (seed {seed:#x}): {reason}",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: `{:?}`\n right: `{:?}`\n {}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: `{:?}`",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// `prop_assume!(cond)` — skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,68 @@
+//! Distributions (`rand::distr` in rand 0.9). Only the uniform `f64`
+//! distribution is provided — the one the workspace uses.
+
+use crate::{RngCore, SampleRange};
+use std::fmt;
+
+/// Error constructing a distribution (e.g. an empty uniform range).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid distribution parameters (empty range?)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that produce values of `T` when sampled.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over an interval.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+    inclusive: bool,
+}
+
+impl Uniform<f64> {
+    /// Uniform over the half-open interval `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, Error> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(Error);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            inclusive: false,
+        })
+    }
+
+    /// Uniform over the closed interval `[lo, hi]`.
+    pub fn new_inclusive(lo: f64, hi: f64) -> Result<Self, Error> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(Error);
+        }
+        Ok(Self {
+            lo,
+            hi,
+            inclusive: true,
+        })
+    }
+}
+
+impl Distribution<f64> for Uniform<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.inclusive {
+            (self.lo..=self.hi).sample_one(rng)
+        } else {
+            (self.lo..self.hi).sample_one(rng)
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Concrete generators. `StdRng` here is SplitMix64, not ChaCha12 — see the
+//! crate-level note.
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic 64-bit generator (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    #[inline]
+    fn seed_from_u64(state: u64) -> Self {
+        Self { state }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
