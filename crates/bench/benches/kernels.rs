@@ -3,7 +3,7 @@
 //! interval decomposition (SFC/SFCracker), and STR tiling (R-Tree build).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use quasii::crack::{crack_three, crack_two};
+use quasii::crack::{crack_three, crack_three_measured, crack_two, crack_two_measured, DimBounds};
 use quasii::AssignBy;
 use quasii_common::dataset::uniform_boxes_in;
 use quasii_common::geom::Aabb;
@@ -25,6 +25,56 @@ fn bench_cracks(c: &mut Criterion) {
         b.iter_batched_ref(
             || data.clone(),
             |d| black_box(crack_three(d, 0, AssignBy::Lower, 3_000.0, 7_000.0)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+/// Old split scheme (partition pass + one `DimBounds` measuring pass per
+/// output segment) vs the fused single-pass kernels the engine now uses, at
+/// 1M records (~56 MB — well past cache, so the second traversal's memory
+/// traffic is what the fused variant saves).
+fn bench_fused_cracks(c: &mut Criterion) {
+    const MODE: AssignBy = AssignBy::Lower;
+    let data = uniform_boxes_in::<3>(1_000_000, 10_000.0, 4);
+    let mut g = c.benchmark_group("crack_1m");
+    g.bench_function("two_way_split_passes", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| {
+                let p = crack_two(d, 0, MODE, 5_000.0);
+                let lo = DimBounds::of(&d[..p], 0, MODE);
+                let hi = DimBounds::of(&d[p..], 0, MODE);
+                black_box((p, lo, hi))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("two_way_fused", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| black_box(crack_two_measured(d, 0, MODE, 5_000.0)),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("three_way_split_passes", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| {
+                let (p1, p2) = crack_three(d, 0, MODE, 3_000.0, 7_000.0);
+                let lo = DimBounds::of(&d[..p1], 0, MODE);
+                let mid = DimBounds::of(&d[p1..p2], 0, MODE);
+                let hi = DimBounds::of(&d[p2..], 0, MODE);
+                black_box((p1, p2, lo, mid, hi))
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("three_way_fused", |b| {
+        b.iter_batched_ref(
+            || data.clone(),
+            |d| black_box(crack_three_measured(d, 0, MODE, 3_000.0, 7_000.0)),
             BatchSize::LargeInput,
         )
     });
@@ -71,6 +121,6 @@ fn bench_str(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(10);
-    targets = bench_cracks, bench_zorder, bench_str
+    targets = bench_cracks, bench_fused_cracks, bench_zorder, bench_str
 }
 criterion_main!(kernels);

@@ -1,10 +1,16 @@
 //! `repro` — regenerates the paper's evaluation figures.
 //!
 //! ```text
-//! repro [--scale tiny|small|medium|full] [--out DIR] <experiment>...
-//! repro all                 # every figure (medium scale)
-//! repro fig9 --scale small  # one figure, tiny inputs
+//! repro [--scale tiny|small|medium|full] [--out DIR] [--threads N]
+//!       [--json PATH] <experiment>...
+//! repro all                        # every figure (medium scale)
+//! repro fig9 --scale small         # one figure, small inputs
+//! repro scaling --threads 2 --json summary.json
 //! ```
+//!
+//! `--threads` adds a worker count to the `scaling` sweep (and is recorded
+//! in the report); `--json` writes a machine-readable per-experiment timing
+//! summary so successive PRs can track the perf trajectory.
 
 use quasii_bench::experiments::{Harness, ALL_EXPERIMENTS};
 use quasii_bench::scale::Scale;
@@ -14,6 +20,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::MEDIUM;
     let mut out_dir = String::from("results");
+    let mut threads = 0usize;
+    let mut json_path: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -30,6 +38,22 @@ fn main() {
             "--out" => {
                 i += 1;
                 out_dir = args.get(i).cloned().unwrap_or(out_dir);
+            }
+            "--threads" => {
+                i += 1;
+                let v = args.get(i).map(String::as_str).unwrap_or("");
+                threads = v.parse().unwrap_or_else(|e| {
+                    eprintln!("--threads: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                i += 1;
+                json_path = args.get(i).cloned();
+                if json_path.is_none() {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }
             }
             "--help" | "-h" => {
                 print_usage();
@@ -57,6 +81,7 @@ fn main() {
     );
 
     let mut harness = Harness::new(scale, out);
+    harness.threads = threads;
     let t = std::time::Instant::now();
     for exp in &experiments {
         if let Err(e) = harness.run(exp) {
@@ -65,10 +90,20 @@ fn main() {
             std::process::exit(2);
         }
     }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, harness.json_report()) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] wrote timing summary to {path}");
+    }
     eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
 }
 
 fn print_usage() {
-    println!("usage: repro [--scale tiny|small|medium|full] [--out DIR] <experiment|all>...");
+    println!(
+        "usage: repro [--scale tiny|small|medium|full] [--out DIR] [--threads N] \
+         [--json PATH] <experiment|all>..."
+    );
     println!("experiments: {ALL_EXPERIMENTS:?}");
 }

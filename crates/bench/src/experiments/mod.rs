@@ -8,6 +8,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig6;
 pub mod fig7_9;
+pub mod scaling;
 pub mod summary;
 
 use crate::runner::Approach;
@@ -20,8 +21,29 @@ use quasii_common::workload;
 
 /// Experiment identifiers accepted by the `repro` binary.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "summary",
+    "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "scaling",
+    "summary",
 ];
+
+/// One row of the machine-readable report `repro --json` emits: either an
+/// experiment's wall time (series `"(wall)"`) or one measured series inside
+/// an experiment. Future PRs diff these files to track the perf trajectory.
+#[derive(Clone, Debug)]
+pub struct JsonRecord {
+    /// Experiment id (`fig7`, `scaling`, …).
+    pub experiment: String,
+    /// Series name within the experiment, or `"(wall)"`.
+    pub series: String,
+    /// Build (pre-processing) seconds; 0 for incremental indexes.
+    pub build_secs: f64,
+    /// Total wall-clock seconds (build + queries, or the experiment wall).
+    pub total_secs: f64,
+    /// Mean per-query seconds over the converged tail (0 when not
+    /// meaningful for the row).
+    pub tail_mean_secs: f64,
+    /// Total result cardinality over the series' queries.
+    pub results: u64,
+}
 
 /// The shared clustered-neuroscience execution (dataset §6.1, 5 clusters ×
 /// 100 queries, qvol 10⁻² %), with one series per approach.
@@ -63,7 +85,12 @@ pub struct Harness {
     pub scale: Scale,
     /// CSV sink.
     pub out: OutputDir,
+    /// Worker-thread override from `repro --threads` (0 = auto): the
+    /// `scaling` experiment adds it to its sweep, and it is recorded in the
+    /// JSON report so perf numbers carry their configuration.
+    pub threads: usize,
     neuro: Option<NeuroRun>,
+    records: Vec<JsonRecord>,
 }
 
 impl Harness {
@@ -72,8 +99,45 @@ impl Harness {
         Self {
             scale,
             out,
+            threads: 0,
             neuro: None,
+            records: Vec::new(),
         }
+    }
+
+    /// Appends one row to the machine-readable report.
+    pub fn record(&mut self, rec: JsonRecord) {
+        self.records.push(rec);
+    }
+
+    /// Renders every recorded row as the `repro --json` document.
+    pub fn json_report(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = format!(
+            "{{\n  \"scale\": \"{}\",\n  \"threads\": {},\n  \"records\": [",
+            esc(self.scale.name),
+            self.threads
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"experiment\": \"{}\", \"series\": \"{}\", \
+                 \"build_secs\": {:.9}, \"total_secs\": {:.9}, \
+                 \"tail_mean_secs\": {:.9}, \"results\": {}}}",
+                esc(&r.experiment),
+                esc(&r.series),
+                r.build_secs,
+                r.total_secs,
+                r.tail_mean_secs,
+                r.results
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
     }
 
     /// The neuroscience-like dataset at the current scale.
@@ -113,6 +177,16 @@ impl Harness {
             let approaches = neuro_approaches(grid_parts);
             let series = crate::runner::run_all(&approaches, &data, &w.queries);
             verify_agreement(&series);
+            for s in &series {
+                self.records.push(JsonRecord {
+                    experiment: "neuro".into(),
+                    series: s.name.clone(),
+                    build_secs: s.build_secs,
+                    total_secs: s.total_secs(),
+                    tail_mean_secs: s.tail_mean_secs(25),
+                    results: s.result_counts.iter().map(|&c| c as u64).sum(),
+                });
+            }
             self.neuro = Some(NeuroRun {
                 data,
                 queries: w.queries,
@@ -122,8 +196,10 @@ impl Harness {
         }
     }
 
-    /// Dispatches one experiment by id.
+    /// Dispatches one experiment by id, recording its wall time in the
+    /// JSON report.
     pub fn run(&mut self, name: &str) -> Result<(), String> {
+        let t = std::time::Instant::now();
         match name {
             "fig6a" => fig6::run_a(self),
             "fig6b" => fig6::run_b(self),
@@ -134,9 +210,18 @@ impl Harness {
             "fig11" => fig11::run_exp(self),
             "fig12" => fig12::run_exp(self),
             "ablation" => ablation::run_exp(self),
+            "scaling" => scaling::run_exp(self),
             "summary" => summary::run(self),
             other => return Err(format!("unknown experiment '{other}'")),
         }
+        self.records.push(JsonRecord {
+            experiment: name.into(),
+            series: "(wall)".into(),
+            build_secs: 0.0,
+            total_secs: t.elapsed().as_secs_f64(),
+            tail_mean_secs: 0.0,
+            results: 0,
+        });
         Ok(())
     }
 }

@@ -1,0 +1,114 @@
+//! `scaling` — batch-parallel query throughput, swept over worker threads ×
+//! batch size. Not a paper figure: it measures the execution subsystem this
+//! reproduction adds on top of the paper (ROADMAP "parallel query
+//! execution"), exploiting the fact that QUASII's top-level slices already
+//! partition the data array into disjoint crackable ranges.
+//!
+//! Every batched run is checked **byte-for-byte** against the sequential
+//! per-query reference — identical result vectors, in order — so the sweep
+//! doubles as an end-to-end determinism gate for the parallel path.
+
+use super::{Harness, JsonRecord};
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::geom::mbb_of;
+use quasii_common::index::SpatialIndex;
+use quasii_common::measure::{run_query_batches, timed};
+use quasii_common::workload;
+
+/// Runs the threads × batch-size sweep.
+pub fn run_exp(h: &mut Harness) {
+    println!("\n=== Scaling: batch-parallel query execution (threads x batch size) ===");
+    let data = h.uniform_data();
+    let universe = mbb_of(&data);
+    let n_queries = h.scale.uniform_queries;
+    let queries = workload::uniform(&universe, n_queries, 1e-3, 91).queries;
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Warm-up: one untimed full run stabilizes the allocator and page cache
+    // (every measured run clones the dataset and re-cracks from scratch, so
+    // without this the first combinations pay the cold faults and the
+    // speedup column compares against a drifting baseline).
+    {
+        let mut warm = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(1));
+        let _ = warm.execute_batch(&queries);
+    }
+
+    // Sequential per-query reference: the ground truth every batched run
+    // must reproduce exactly.
+    let mut seq = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(1));
+    let (ref_secs, reference) = timed(|| {
+        queries
+            .iter()
+            .map(|q| seq.query_collect(q))
+            .collect::<Vec<_>>()
+    });
+    println!(
+        "{} objects, {} queries, {hw} hardware thread(s); sequential reference \
+         {ref_secs:.3}s ({:.0} q/s)",
+        data.len(),
+        n_queries,
+        n_queries as f64 / ref_secs.max(1e-12)
+    );
+
+    let mut thread_counts = vec![1usize, 2, 4];
+    if h.threads > 0 && !thread_counts.contains(&h.threads) {
+        thread_counts.push(h.threads);
+        thread_counts.sort_unstable();
+    }
+    let mut batch_sizes: Vec<usize> = [16usize, 64, 256]
+        .into_iter()
+        .filter(|&b| b <= n_queries)
+        .collect();
+    if batch_sizes.is_empty() {
+        batch_sizes.push(n_queries.max(1));
+    }
+
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>10}",
+        "threads", "batch", "total (s)", "q/s", "speedup"
+    );
+    // Best-of-N per combination: each run re-cracks an identical clone, so
+    // the fastest repetition is the least-noise estimate of the same work.
+    const REPS: usize = 2;
+    let mut csv = String::from("threads,batch_size,total_secs,qps,speedup_vs_1thread\n");
+    for &batch in &batch_sizes {
+        let mut base_secs = f64::NAN;
+        for &threads in &thread_counts {
+            let mut total = f64::INFINITY;
+            let mut result_total = 0u64;
+            for _ in 0..REPS {
+                let cfg = QuasiiConfig::default().with_threads(threads);
+                let mut idx = Quasii::new(data.clone(), cfg);
+                let (series, results) = run_query_batches(&mut idx, &queries, batch);
+                assert_eq!(
+                    results, reference,
+                    "batched results diverged from the sequential reference \
+                     (threads={threads}, batch={batch})"
+                );
+                total = total.min(series.total_secs());
+                result_total = series.result_counts.iter().map(|&c| c as u64).sum();
+            }
+            let qps = n_queries as f64 / total.max(1e-12);
+            if threads == 1 {
+                base_secs = total;
+            }
+            let speedup = base_secs / total.max(1e-12);
+            println!("{threads:>8} {batch:>8} {total:>12.4} {qps:>10.0} {speedup:>9.2}x");
+            csv.push_str(&format!(
+                "{threads},{batch},{total:.6},{qps:.3},{speedup:.4}\n"
+            ));
+            h.record(JsonRecord {
+                experiment: "scaling".into(),
+                series: format!("QUASII-t{threads}-b{batch}"),
+                build_secs: 0.0,
+                total_secs: total,
+                tail_mean_secs: total / n_queries.max(1) as f64,
+                results: result_total,
+            });
+        }
+    }
+    println!("[check] all runs byte-identical to the sequential reference");
+    let _ = h.out.write_csv("scaling_batch.csv", &csv);
+}

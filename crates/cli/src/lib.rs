@@ -14,7 +14,8 @@
 use quasii::{Quasii, QuasiiConfig};
 use quasii_common::dataset;
 use quasii_common::geom::{max_extents, mbb_of, Record};
-use quasii_common::measure::{run_queries, timed};
+use quasii_common::index::SpatialIndex;
+use quasii_common::measure::{run_queries, run_query_batches, timed};
 use quasii_common::scan::Scan;
 use quasii_common::{io as qio, workload};
 use quasii_grid::{Assignment, UniformGrid};
@@ -55,6 +56,10 @@ pub enum Command {
         pattern: String,
         /// Workload seed.
         seed: u64,
+        /// Queries per `query_batch` call; 0 = one-by-one execution.
+        batch: usize,
+        /// Worker threads for QUASII batch execution (0 = auto).
+        threads: usize,
     },
     /// Show usage.
     Help,
@@ -110,6 +115,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             seed: get("seed", Some("7"))?
                 .parse()
                 .map_err(|e| format!("--seed: {e}"))?,
+            batch: get("batch", Some("0"))?
+                .parse()
+                .map_err(|e| format!("--batch: {e}"))?,
+            threads: get("threads", Some("0"))?
+                .parse()
+                .map_err(|e| format!("--threads: {e}"))?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -125,8 +136,12 @@ USAGE:
   quasii info     --data FILE
   quasii bench    --data FILE [--index scan|rtree|grid|sfc|sfcracker|mosaic|quasii]
                   [--queries N] [--volume FRAC] [--pattern uniform|clustered] [--seed S]
+                  [--batch N] [--threads N]
 
-Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).";
+Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
+--batch N executes the workload in batches of N queries through the index's
+batch path (QUASII cracks disjoint top-level partitions on --threads workers;
+0 = machine parallelism). Results are identical to one-by-one execution.";
 
 fn load(path: &str) -> Result<Vec<Record<3>>, String> {
     let res = if path.ends_with(".csv") {
@@ -186,6 +201,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             volume,
             pattern,
             seed,
+            batch,
+            threads,
         } => {
             let records = load(&data)?;
             let universe = mbb_of(&records);
@@ -194,50 +211,79 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 "clustered" => workload::clustered(&universe, 5, queries.div_ceil(5), volume, seed),
                 other => return Err(format!("unknown pattern '{other}'")),
             };
-            let series = match index.as_str() {
+
+            /// Runs the workload one query at a time (`batch == 0`) or in
+            /// batches through the index's batch path, printing one summary
+            /// line either way.
+            fn report<I: SpatialIndex<3>>(
+                mut index: I,
+                build_secs: f64,
+                queries: &[quasii_common::geom::Aabb<3>],
+                batch: usize,
+            ) {
+                if batch == 0 {
+                    let series = run_queries(&mut index, build_secs, queries);
+                    let total_results: usize = series.result_counts.iter().sum();
+                    println!(
+                        "{}: build {:.4}s, first query {:.4}s, {} queries in {:.4}s (tail mean {:.1}µs), {} results",
+                        series.name,
+                        series.build_secs,
+                        series.query_secs.first().copied().unwrap_or(0.0),
+                        series.query_secs.len(),
+                        series.total_secs() - series.build_secs,
+                        series.tail_mean_secs(20) * 1e6,
+                        total_results
+                    );
+                } else {
+                    let (series, _) = run_query_batches(&mut index, queries, batch);
+                    let total_results: usize = series.result_counts.iter().sum();
+                    println!(
+                        "{}: build {:.4}s, {} queries in batches of {} in {:.4}s ({:.0} q/s), {} results",
+                        series.name,
+                        build_secs,
+                        series.queries(),
+                        series.batch_size,
+                        series.total_secs(),
+                        series.throughput_qps(),
+                        total_results
+                    );
+                }
+            }
+
+            match index.as_str() {
                 "scan" => {
-                    let (b, mut i) = timed(|| Scan::new(records));
-                    run_queries(&mut i, b, &w.queries)
+                    let (b, i) = timed(|| Scan::new(records));
+                    report(i, b, &w.queries, batch);
                 }
                 "rtree" => {
-                    let (b, mut i) = timed(|| RTree::bulk_load_default(records));
-                    run_queries(&mut i, b, &w.queries)
+                    let (b, i) = timed(|| RTree::bulk_load_default(records));
+                    report(i, b, &w.queries, batch);
                 }
                 "grid" => {
                     let parts = (records.len() as f64).cbrt().round().clamp(8.0, 256.0) as usize;
-                    let (b, mut i) =
+                    let (b, i) =
                         timed(|| UniformGrid::build(records, parts, Assignment::QueryExtension));
-                    run_queries(&mut i, b, &w.queries)
+                    report(i, b, &w.queries, batch);
                 }
                 "sfc" => {
-                    let (b, mut i) = timed(|| SfcIndex::build_default(records));
-                    run_queries(&mut i, b, &w.queries)
+                    let (b, i) = timed(|| SfcIndex::build_default(records));
+                    report(i, b, &w.queries, batch);
                 }
                 "sfcracker" => {
-                    let (b, mut i) = timed(|| SfCracker::with_default_bits(records));
-                    run_queries(&mut i, b, &w.queries)
+                    let (b, i) = timed(|| SfCracker::with_default_bits(records));
+                    report(i, b, &w.queries, batch);
                 }
                 "mosaic" => {
-                    let (b, mut i) = timed(|| Mosaic::with_defaults(records));
-                    run_queries(&mut i, b, &w.queries)
+                    let (b, i) = timed(|| Mosaic::with_defaults(records));
+                    report(i, b, &w.queries, batch);
                 }
                 "quasii" => {
-                    let (b, mut i) = timed(|| Quasii::new(records, QuasiiConfig::default()));
-                    run_queries(&mut i, b, &w.queries)
+                    let cfg = QuasiiConfig::default().with_threads(threads);
+                    let (b, i) = timed(|| Quasii::new(records, cfg));
+                    report(i, b, &w.queries, batch);
                 }
                 other => return Err(format!("unknown index '{other}'")),
-            };
-            let total_results: usize = series.result_counts.iter().sum();
-            println!(
-                "{}: build {:.4}s, first query {:.4}s, {} queries in {:.4}s (tail mean {:.1}µs), {} results",
-                series.name,
-                series.build_secs,
-                series.query_secs.first().copied().unwrap_or(0.0),
-                series.query_secs.len(),
-                series.total_secs() - series.build_secs,
-                series.tail_mean_secs(20) * 1e6,
-                total_results
-            );
+            }
             Ok(())
         }
     }
@@ -268,7 +314,7 @@ mod tests {
     #[test]
     fn parse_bench_full() {
         let cmd = parse(&args(
-            "bench --data d.qsd --index rtree --queries 50 --volume 0.01 --pattern uniform --seed 3",
+            "bench --data d.qsd --index rtree --queries 50 --volume 0.01 --pattern uniform --seed 3 --batch 25 --threads 2",
         ))
         .unwrap();
         match cmd {
@@ -278,6 +324,8 @@ mod tests {
                 volume,
                 pattern,
                 seed,
+                batch,
+                threads,
                 ..
             } => {
                 assert_eq!(index, "rtree");
@@ -285,6 +333,15 @@ mod tests {
                 assert_eq!(volume, 0.01);
                 assert_eq!(pattern, "uniform");
                 assert_eq!(seed, 3);
+                assert_eq!(batch, 25);
+                assert_eq!(threads, 2);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        // Batch/threads default to 0 (per-query mode, auto parallelism).
+        match parse(&args("bench --data d.qsd")).unwrap() {
+            Command::Bench { batch, threads, .. } => {
+                assert_eq!((batch, threads), (0, 0));
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -321,9 +378,23 @@ mod tests {
                 volume: 1e-4,
                 pattern: "clustered".into(),
                 seed: 2,
+                batch: 0,
+                threads: 0,
             })
             .unwrap();
         }
+        // Batch-parallel path: batches of 8 on 2 workers.
+        execute(Command::Bench {
+            data: out.clone(),
+            index: "quasii".into(),
+            queries: 20,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 2,
+            batch: 8,
+            threads: 2,
+        })
+        .unwrap();
         assert!(execute(Command::Bench {
             data: out.clone(),
             index: "btree".into(),
@@ -331,6 +402,8 @@ mod tests {
             volume: 1e-4,
             pattern: "clustered".into(),
             seed: 2,
+            batch: 0,
+            threads: 0,
         })
         .is_err());
         std::fs::remove_file(&path).ok();

@@ -19,6 +19,14 @@ pub trait SpatialIndex<const D: usize> {
     /// Appends the ids of all objects whose MBB intersects `query` to `out`.
     fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>);
 
+    /// Answers a batch of queries, returning one id vector per query in
+    /// `queries` order. The default executes them sequentially; indexes
+    /// with a parallel batch path (QUASII) override it. Implementations
+    /// must return exactly what the sequential loop would.
+    fn query_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        queries.iter().map(|q| self.query_collect(q)).collect()
+    }
+
     /// Number of indexed objects.
     fn len(&self) -> usize;
 

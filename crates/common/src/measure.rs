@@ -90,6 +90,66 @@ pub fn run_queries<const D: usize, I: SpatialIndex<D>>(
     }
 }
 
+/// Timing record of one index executing a query stream in fixed-size
+/// batches via [`SpatialIndex::query_batch`] — the batch-throughput
+/// counterpart of [`RunSeries`] (which times queries one by one).
+#[derive(Clone, Debug)]
+pub struct BatchSeries {
+    /// Index name as reported by [`SpatialIndex::name`].
+    pub name: String,
+    /// Queries handed to the index per `query_batch` call (the last batch
+    /// may be smaller).
+    pub batch_size: usize,
+    /// Wall-clock seconds per batch, in execution order.
+    pub batch_secs: Vec<f64>,
+    /// Result cardinality per *query*, in stream order.
+    pub result_counts: Vec<usize>,
+}
+
+impl BatchSeries {
+    /// Total wall-clock seconds across all batches.
+    pub fn total_secs(&self) -> f64 {
+        self.batch_secs.iter().sum()
+    }
+
+    /// Number of queries executed.
+    pub fn queries(&self) -> usize {
+        self.result_counts.len()
+    }
+
+    /// Queries per second over the whole stream.
+    pub fn throughput_qps(&self) -> f64 {
+        self.queries() as f64 / self.total_secs().max(1e-12)
+    }
+}
+
+/// Runs `index` over `queries` in batches of `batch_size`, timing each
+/// `query_batch` call, and returns the series together with every result
+/// (so callers can check batched answers byte-for-byte against a sequential
+/// reference).
+pub fn run_query_batches<const D: usize, I: SpatialIndex<D>>(
+    index: &mut I,
+    queries: &[Aabb<D>],
+    batch_size: usize,
+) -> (BatchSeries, Vec<Vec<u64>>) {
+    let batch_size = batch_size.max(1);
+    let mut batch_secs = Vec::with_capacity(queries.len().div_ceil(batch_size));
+    let mut results = Vec::with_capacity(queries.len());
+    for chunk in queries.chunks(batch_size) {
+        let t = Instant::now();
+        let hits = index.query_batch(chunk);
+        batch_secs.push(t.elapsed().as_secs_f64());
+        results.extend(hits);
+    }
+    let series = BatchSeries {
+        name: index.name().to_string(),
+        batch_size,
+        batch_secs,
+        result_counts: results.iter().map(Vec::len).collect(),
+    };
+    (series, results)
+}
+
 /// Times a closure, returning (elapsed seconds, value).
 pub fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let t = Instant::now();
@@ -257,6 +317,31 @@ mod tests {
         assert!(csv.starts_with("query,A,B\n"));
         let csv_c = to_csv(&[&a, &b], "cumulative");
         assert!(csv_c.lines().count() == 3);
+    }
+
+    #[test]
+    fn run_query_batches_covers_stream_and_counts() {
+        let data = uniform_boxes_in::<2>(300, 100.0, 6);
+        let mut scan = Scan::new(data.clone());
+        let qs: Vec<Aabb<2>> = (0..7)
+            .map(|i| {
+                let v = i as f64 * 10.0;
+                Aabb::new([v, 0.0], [v + 15.0, 100.0])
+            })
+            .collect();
+        let (series, results) = run_query_batches(&mut scan, &qs, 3);
+        assert_eq!(series.batch_secs.len(), 3, "7 queries in batches of 3");
+        assert_eq!(series.queries(), 7);
+        assert_eq!(results.len(), 7);
+        assert!(series.throughput_qps() > 0.0);
+        // Batched results match the one-by-one loop exactly.
+        let mut fresh = Scan::new(data);
+        let reference: Vec<Vec<u64>> = qs.iter().map(|q| fresh.query_collect(q)).collect();
+        assert_eq!(results, reference);
+        // batch_size 0 is clamped.
+        let (series, _) = run_query_batches(&mut fresh, &qs, 0);
+        assert_eq!(series.batch_size, 1);
+        assert_eq!(series.batch_secs.len(), 7);
     }
 
     #[test]

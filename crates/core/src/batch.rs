@@ -1,0 +1,443 @@
+//! Batch-parallel query execution.
+//!
+//! QUASII's top-level slice list contiguously partitions the data array, and
+//! every crack a query triggers stays inside the top-level slice it refines
+//! (`refine` only touches `data[s.begin..s.end]`). [`Quasii::execute_batch`]
+//! exploits exactly the structure the paper builds: it splits the data array
+//! along top-level slice boundaries into disjoint `&mut [Record]` windows
+//! (a `split_at_mut` chain — safe because sibling slices never share array
+//! ranges), assigns each query of the batch to the partitions the sequential
+//! engine would visit for it, and runs the partitions on scoped worker
+//! threads pulling from a chunked work queue.
+//!
+//! # Determinism
+//!
+//! Results are **bit-for-bit identical for every thread count**, including
+//! the sequential `threads = 1` path, because:
+//!
+//! * a partition runs its assigned queries in ascending batch order — the
+//!   same order the sequential loop applies them to those slices;
+//! * the root-level search restricted to a partition visits exactly the
+//!   slices the sequential extended binary search (§5.2) would visit there.
+//!   The assignment predicate reproduces its "step one back" rule through
+//!   the partitions' key boundaries: partition `k` holds assignment keys in
+//!   `[bounds[k], bounds[k+1])`, and those boundaries are stable for the
+//!   whole batch — cracks only permute records within a partition, and the
+//!   front sub-slice always keeps the minimum key;
+//! * per-query hits are concatenated in partition order, which is ascending
+//!   data-array order — the order the sequential loop appends them in;
+//! * worker counters are folded back with order-independent sums.
+//!
+//! Every slice therefore sees the same sequence of refine/descend operations
+//! it would see under sequential execution, so the final hierarchy, data
+//! permutation, result vectors and stats are all independent of the thread
+//! count *and* of how queries are split into batches.
+
+use crate::engine;
+use crate::slice::Slice;
+use crate::stats::QuasiiStats;
+use crate::Quasii;
+use quasii_common::geom::{Aabb, Record};
+use quasii_common::index::SpatialIndex;
+use std::sync::Mutex;
+
+/// Work-queue chunking: partitions per worker thread, so stragglers (a
+/// partition that happens to hold the hot slices) rebalance onto idle
+/// workers instead of serializing the batch.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// One unit of work: a contiguous run of top-level slices, the matching
+/// disjoint window of the data array, and the batch queries that reach it.
+struct Partition<'a, const D: usize> {
+    /// Position in partition order (ascending data ranges).
+    index: usize,
+    /// Offset of `data[0]` within the full array (slices are rebased by
+    /// this amount while the partition is detached).
+    offset: usize,
+    /// This partition's window of the data array.
+    data: &'a mut [Record<D>],
+    /// This partition's run of the top-level slice list, rebased to local
+    /// indices.
+    slices: Vec<Slice<D>>,
+    /// Indices (into the batch) of the queries assigned here, ascending.
+    queries: Vec<usize>,
+    /// Ids found per assigned query (aligned with `queries`).
+    hits: Vec<Vec<u64>>,
+    /// Work counters accumulated by whichever worker ran this partition.
+    stats: QuasiiStats,
+}
+
+/// Rebases a slice subtree from absolute data indices to partition-local
+/// ones (`sub`) or back (`add`).
+fn shift<const D: usize>(s: &mut Slice<D>, offset: usize, add: bool) {
+    if add {
+        s.begin += offset;
+        s.end += offset;
+    } else {
+        s.begin -= offset;
+        s.end -= offset;
+    }
+    for c in &mut s.children {
+        shift(c, offset, add);
+    }
+}
+
+impl<const D: usize> Quasii<D> {
+    /// The worker-thread count [`execute_batch`](Self::execute_batch) will
+    /// use: the [`threads`](crate::QuasiiConfig::threads) knob, with `0`
+    /// resolved to [`std::thread::available_parallelism`].
+    pub fn effective_threads(&self) -> usize {
+        match self.cfg.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Executes a batch of range queries, cracking disjoint top-level
+    /// partitions of the data array in parallel, and returns one id vector
+    /// per query (in `queries` order).
+    ///
+    /// Results, the final hierarchy and the stats counters are bit-for-bit
+    /// identical to running the queries one by one through
+    /// [`SpatialIndex::query`], for every thread count (see the module
+    /// documentation for why).
+    ///
+    /// # Panics
+    ///
+    /// A panic on a worker thread (a bug — the engine itself never panics
+    /// on valid inputs) propagates out of this call while the top-level
+    /// hierarchy is detached; the index is then poisoned, and any further
+    /// query panics with an explicit message rather than silently
+    /// returning empty results.
+    ///
+    /// ```
+    /// use quasii::{Quasii, QuasiiConfig};
+    /// use quasii_common::geom::{Aabb, Record};
+    ///
+    /// let data: Vec<Record<2>> = (0..5_000)
+    ///     .map(|i| {
+    ///         let v = i as f64 / 10.0;
+    ///         Record::new(i, Aabb::new([v; 2], [v + 2.0; 2]))
+    ///     })
+    ///     .collect();
+    /// let mut index = Quasii::new(data, QuasiiConfig::default().with_threads(2));
+    /// let batch = [
+    ///     Aabb::new([10.0; 2], [30.0; 2]),
+    ///     Aabb::new([200.0; 2], [220.0; 2]),
+    /// ];
+    /// let results = index.execute_batch(&batch);
+    /// assert_eq!(results.len(), 2);
+    /// assert!(!results[0].is_empty() && !results[1].is_empty());
+    /// ```
+    pub fn execute_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        self.ensure_init();
+        let mut results: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
+        results.resize_with(queries.len(), Vec::new);
+        let threads = self.effective_threads();
+        // Sequential prefix: the whole batch with one worker; otherwise only
+        // until the top level has cracked open far enough to split (a fresh
+        // index starts as a single whole-dataset slice).
+        let mut next = 0;
+        while next < queries.len() && (threads <= 1 || self.root.len() < 2) {
+            let q = &queries[next];
+            SpatialIndex::query(self, q, &mut results[next]);
+            next += 1;
+        }
+        if next < queries.len() {
+            self.run_partitioned(&queries[next..], &mut results[next..], threads);
+        }
+        results
+    }
+
+    /// Parallel remainder of a batch: requires `root.len() >= 2` and
+    /// `threads >= 2`.
+    fn run_partitioned(&mut self, queries: &[Aabb<D>], results: &mut [Vec<u64>], threads: usize) {
+        let extended: Vec<Aabb<D>> = queries.iter().map(|q| self.extend_query(q)).collect();
+
+        // Group the top-level slices into contiguous runs of roughly equal
+        // record counts. More runs than workers, so the queue balances load.
+        let target_parts = (threads * CHUNKS_PER_WORKER).min(self.root.len());
+        let per_part = self.data.len().div_ceil(target_parts).max(1);
+        let roots = std::mem::take(&mut self.root);
+        let mut groups: Vec<Vec<Slice<D>>> = Vec::with_capacity(target_parts);
+        let mut cur: Vec<Slice<D>> = Vec::new();
+        let mut cur_records = 0usize;
+        for s in roots {
+            cur_records += s.len();
+            cur.push(s);
+            if cur_records >= per_part && groups.len() + 1 < target_parts {
+                groups.push(std::mem::take(&mut cur));
+                cur_records = 0;
+            }
+        }
+        if !cur.is_empty() {
+            groups.push(cur);
+        }
+        let m = groups.len();
+
+        // Key boundaries between partitions: partition k owns assignment
+        // keys in [bounds[k], bounds[k+1]). bounds[k] is the key_lo of the
+        // partition's first slice, which make_sub measured exactly; it stays
+        // the partition's true minimum for the whole batch because cracks
+        // never move records across partitions and the front sub-slice of
+        // any refinement keeps the minimum-key record.
+        let mut bounds = Vec::with_capacity(m + 1);
+        bounds.push(f64::NEG_INFINITY);
+        for g in &groups[1..] {
+            bounds.push(g[0].key_lo);
+        }
+        bounds.push(f64::INFINITY);
+
+        // Detach the disjoint data windows (split_at_mut chain) and rebase
+        // each group's slices onto its window.
+        let mut parts: Vec<Partition<'_, D>> = Vec::with_capacity(m);
+        let mut rest: &mut [Record<D>] = &mut self.data;
+        let mut consumed = 0usize;
+        for (index, mut slices) in groups.into_iter().enumerate() {
+            let begin = slices[0].begin;
+            let end = slices.last().expect("groups are non-empty").end;
+            debug_assert_eq!(begin, consumed, "top-level slices must be contiguous");
+            let (window, tail) = rest.split_at_mut(end - consumed);
+            rest = tail;
+            consumed = end;
+            for s in &mut slices {
+                shift(s, begin, false);
+            }
+            parts.push(Partition {
+                index,
+                offset: begin,
+                data: window,
+                slices,
+                queries: Vec::new(),
+                hits: Vec::new(),
+                stats: QuasiiStats::default(),
+            });
+        }
+
+        // Assign each query to exactly the partitions the sequential root
+        // search would visit: the candidate range [qe.lo, qe.hi] on the
+        // root dimension, where `bounds[k + 1] >= qe.lo` (not `>`) admits
+        // the partition holding the "step one back" slice.
+        for (j, qe) in extended.iter().enumerate() {
+            for (k, p) in parts.iter_mut().enumerate() {
+                if bounds[k] <= qe.hi[0] && bounds[k + 1] >= qe.lo[0] {
+                    p.queries.push(j);
+                }
+            }
+        }
+
+        // Chunked work queue: workers pop partitions until none are left.
+        let env = &self.env;
+        let queue: Mutex<Vec<Partition<'_, D>>> = Mutex::new(parts);
+        let done: Mutex<Vec<Partition<'_, D>>> = Mutex::new(Vec::with_capacity(m));
+        let workers = threads.min(m);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let popped = queue.lock().expect("queue poisoned").pop();
+                    let Some(mut p) = popped else { break };
+                    let mut rt = engine::Runtime::<D>::new();
+                    for &j in &p.queries {
+                        let mut out = Vec::new();
+                        engine::query_level(
+                            p.data,
+                            &mut p.slices,
+                            &queries[j],
+                            &extended[j],
+                            env,
+                            &mut rt,
+                            &mut out,
+                        );
+                        p.hits.push(out);
+                    }
+                    p.stats = rt.stats;
+                    done.lock().expect("done poisoned").push(p);
+                });
+            }
+        });
+
+        // Reassemble: partitions back in data order, slices rebased to
+        // absolute indices, hits concatenated per query in partition order
+        // (= ascending data order, the sequential append order), counters
+        // summed.
+        let mut finished = done.into_inner().expect("done poisoned");
+        finished.sort_unstable_by_key(|p| p.index);
+        debug_assert_eq!(finished.len(), m);
+        self.rt.stats.queries += queries.len() as u64;
+        for p in &mut finished {
+            self.rt.stats.merge(&p.stats);
+            for s in &mut p.slices {
+                shift(s, p.offset, true);
+            }
+            self.root.append(&mut p.slices);
+            for (&j, hits) in p.queries.iter().zip(p.hits.drain(..)) {
+                results[j].extend(hits);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Quasii, QuasiiConfig};
+    use quasii_common::dataset::{degenerate, uniform_boxes_in};
+    use quasii_common::geom::{Aabb, Record};
+    use quasii_common::index::{assert_matches_brute_force, SpatialIndex};
+    use quasii_common::workload;
+
+    /// The sequential ground truth: a fresh index answering one query at a
+    /// time, plus its final observable state.
+    fn sequential_reference<const D: usize>(
+        data: &[Record<D>],
+        queries: &[Aabb<D>],
+        cfg: &QuasiiConfig,
+    ) -> (Vec<Vec<u64>>, Quasii<D>) {
+        let mut idx = Quasii::new(data.to_vec(), cfg.clone().with_threads(1));
+        let results = queries.iter().map(|q| idx.query_collect(q)).collect();
+        (results, idx)
+    }
+
+    fn ids<const D: usize>(data: &[Record<D>]) -> Vec<u64> {
+        data.iter().map(|r| r.id).collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_bit_for_bit_across_thread_counts() {
+        let data = uniform_boxes_in::<3>(4_000, 1_000.0, 71);
+        let u = Aabb::new([0.0; 3], [1_000.0; 3]);
+        let queries = workload::uniform(&u, 60, 1e-3, 72).queries;
+        let cfg = QuasiiConfig::with_tau(16);
+        let (reference, seq) = sequential_reference(&data, &queries, &cfg);
+        for threads in [1, 2, 4, 8] {
+            let mut idx = Quasii::new(data.clone(), cfg.clone().with_threads(threads));
+            let got = idx.execute_batch(&queries);
+            assert_eq!(got, reference, "results diverged at threads={threads}");
+            idx.validate()
+                .unwrap_or_else(|e| panic!("threads={threads}: {e}"));
+            assert_eq!(
+                idx.stats(),
+                seq.stats(),
+                "work counters diverged at threads={threads}"
+            );
+            assert_eq!(
+                ids(idx.data()),
+                ids(seq.data()),
+                "data permutation diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_agrees_with_brute_force() {
+        let data = uniform_boxes_in::<3>(2_500, 500.0, 73);
+        let u = Aabb::new([0.0; 3], [500.0; 3]);
+        let queries = workload::clustered(&u, 4, 10, 1e-3, 74).queries;
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(12).with_threads(4));
+        let got = idx.execute_batch(&queries);
+        for (q, hits) in queries.iter().zip(&got) {
+            assert_matches_brute_force(&data, q, hits);
+        }
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn batching_is_transparent_to_later_queries() {
+        // A batch run, then individual queries, must behave exactly like a
+        // purely sequential history (the hierarchy converged identically).
+        let data = uniform_boxes_in::<3>(3_000, 800.0, 75);
+        let u = Aabb::new([0.0; 3], [800.0; 3]);
+        let w = workload::uniform(&u, 40, 1e-3, 76).queries;
+        let (batch, later) = w.split_at(25);
+        let cfg = QuasiiConfig::with_tau(20);
+
+        let (mut expect, mut seq) = sequential_reference(&data, batch, &cfg);
+        for q in later {
+            expect.push(seq.query_collect(q));
+        }
+
+        let mut idx = Quasii::new(data, cfg.with_threads(3));
+        let mut got = idx.execute_batch(batch);
+        for q in later {
+            got.push(idx.query_collect(q));
+        }
+        assert_eq!(got, expect);
+        assert_eq!(idx.stats(), seq.stats());
+    }
+
+    #[test]
+    fn chained_batches_equal_one_big_batch() {
+        let data = uniform_boxes_in::<2>(2_000, 400.0, 77);
+        let u = Aabb::new([0.0; 2], [400.0; 2]);
+        let queries = workload::uniform(&u, 48, 1e-3, 78).queries;
+        let cfg = QuasiiConfig::with_tau(10).with_threads(4);
+
+        let mut one = Quasii::new(data.clone(), cfg.clone());
+        let whole = one.execute_batch(&queries);
+
+        let mut chunked = Quasii::new(data, cfg);
+        let mut got = Vec::new();
+        for chunk in queries.chunks(7) {
+            got.extend(chunked.execute_batch(chunk));
+        }
+        assert_eq!(got, whole);
+        assert_eq!(chunked.stats(), one.stats());
+    }
+
+    #[test]
+    fn empty_batch_empty_dataset_and_single_query() {
+        let mut empty = Quasii::<3>::new(Vec::new(), QuasiiConfig::default().with_threads(4));
+        assert!(empty.execute_batch(&[]).is_empty());
+        let q = Aabb::new([0.0; 3], [1.0; 3]);
+        assert_eq!(empty.execute_batch(&[q]), vec![Vec::<u64>::new()]);
+        empty.validate().unwrap();
+
+        let data = uniform_boxes_in::<3>(500, 100.0, 79);
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(4));
+        assert!(idx.execute_batch(&[]).is_empty());
+        let q = Aabb::new([10.0; 3], [40.0; 3]);
+        let got = idx.execute_batch(&[q]);
+        assert_matches_brute_force(&data, &q, &got[0]);
+    }
+
+    #[test]
+    fn degenerate_datasets_survive_parallel_batches() {
+        for data in [
+            degenerate::identical::<2>(600),
+            degenerate::shared_lower::<2>(600),
+        ] {
+            let mut cfg = QuasiiConfig::with_tau(8).with_threads(4);
+            cfg.max_artificial_depth = 16;
+            let queries = [
+                Aabb::new([0.0; 2], [700.0; 2]),
+                Aabb::new([5.0; 2], [6.0; 2]),
+                Aabb::new([2.0; 2], [80.0; 2]),
+            ];
+            let (reference, _) = sequential_reference(&data, &queries, &cfg);
+            let mut idx = Quasii::new(data.clone(), cfg);
+            assert_eq!(idx.execute_batch(&queries), reference);
+            idx.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn query_batch_trait_method_routes_to_execute_batch() {
+        let data = uniform_boxes_in::<3>(1_000, 200.0, 80);
+        let queries = vec![Aabb::new([0.0; 3], [50.0; 3]); 3];
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(2));
+        let got = idx.query_batch(&queries);
+        assert_eq!(got.len(), 3);
+        for (q, hits) in queries.iter().zip(&got) {
+            assert_matches_brute_force(&data, q, hits);
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_to_parallelism() {
+        let idx = Quasii::<2>::new(Vec::new(), QuasiiConfig::default());
+        assert!(idx.effective_threads() >= 1);
+        let idx = Quasii::<2>::new(Vec::new(), QuasiiConfig::default().with_threads(7));
+        assert_eq!(idx.effective_threads(), 7);
+    }
+}

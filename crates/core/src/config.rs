@@ -38,6 +38,12 @@ pub struct QuasiiConfig {
     /// Upper bound on recursive artificial (midpoint) splits per slice.
     /// Guards against non-separable value distributions.
     pub max_artificial_depth: usize,
+    /// Worker threads for [`crate::Quasii::execute_batch`]: `0` (the
+    /// default) resolves to [`std::thread::available_parallelism`], `1`
+    /// forces the sequential per-query path, `n > 1` runs disjoint
+    /// top-level partitions on `n` scoped workers. Results are bit-for-bit
+    /// identical for every value.
+    pub threads: usize,
 }
 
 impl Default for QuasiiConfig {
@@ -46,6 +52,7 @@ impl Default for QuasiiConfig {
             tau: 60,
             assign_by: AssignBy::Lower,
             max_artificial_depth: 64,
+            threads: 0,
         }
     }
 }
@@ -65,6 +72,13 @@ impl QuasiiConfig {
             assign_by,
             ..Self::default()
         }
+    }
+
+    /// Returns `self` with the batch worker-thread count set (chainable:
+    /// `QuasiiConfig::with_tau(60).with_threads(4)`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -132,5 +146,7 @@ mod tests {
     fn default_config_matches_paper() {
         let c = QuasiiConfig::default();
         assert_eq!(c.tau, 60);
+        assert_eq!(c.threads, 0, "0 = auto (available parallelism)");
+        assert_eq!(QuasiiConfig::with_tau(8).with_threads(4).threads, 4);
     }
 }

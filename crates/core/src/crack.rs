@@ -9,7 +9,7 @@
 //! [`crate::AssignBy`]).
 
 use crate::config::AssignBy;
-use quasii_common::geom::Record;
+use quasii_common::geom::{Aabb, Record};
 
 /// The representative (assignment) coordinate of `r` on `dim`.
 #[inline(always)]
@@ -63,6 +63,61 @@ impl DimBounds {
     }
 }
 
+/// Full measurements of one crack output segment, accumulated *during* the
+/// partition pass by the fused kernels ([`crack_two_measured`],
+/// [`crack_three_measured`]): the assignment-key minimum (drives the sorted
+/// slice lists) plus the exact MBB over **all** dimensions (drives both the
+/// open-ended bbox of an above-τ slice and the exact MBB of a refined one).
+///
+/// Folding the measurement into the partition pass removes the separate
+/// `DimBounds::of` + `Slice::measure_exact` traversals the engine used to
+/// make per sub-segment, roughly halving per-crack memory traffic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SegMeasure<const D: usize> {
+    /// Minimum assignment key over the segment (`+inf` when empty).
+    pub min_key: f64,
+    /// Exact MBB of the segment ([`Aabb::empty`] when empty).
+    pub mbb: Aabb<D>,
+}
+
+impl<const D: usize> SegMeasure<D> {
+    /// Identity measurement of an empty segment.
+    pub fn empty() -> Self {
+        Self {
+            min_key: f64::INFINITY,
+            mbb: Aabb::empty(),
+        }
+    }
+
+    /// Folds one record in; `key` is its precomputed assignment key.
+    #[inline(always)]
+    fn add(&mut self, r: &Record<D>, key: f64) {
+        if key < self.min_key {
+            self.min_key = key;
+        }
+        self.mbb.expand(&r.mbb);
+    }
+
+    /// Measures a segment with a plain scan — used by the rare fallback
+    /// paths (rank-based splits) that bypass the fused kernels.
+    pub fn of(seg: &[Record<D>], dim: usize, mode: AssignBy) -> Self {
+        let mut m = Self::empty();
+        for r in seg {
+            m.add(r, key_of(r, dim, mode));
+        }
+        m
+    }
+
+    /// The per-dimension view of this measurement.
+    pub fn dim_bounds(&self, dim: usize) -> DimBounds {
+        DimBounds {
+            min_key: self.min_key,
+            min_lo: self.mbb.lo[dim],
+            max_hi: self.mbb.hi[dim],
+        }
+    }
+}
+
 /// Two-way crack: reorders `seg` so records with `key < pivot` precede the
 /// rest; returns the split point (first index of the `>= pivot` part).
 ///
@@ -90,6 +145,61 @@ pub fn crack_two<const D: usize>(
         j -= 1;
     }
     i
+}
+
+/// Fused two-way crack: same partition (and identical split point) as
+/// [`crack_two`], but additionally measures both output segments *during*
+/// the pass. Every record is folded into its final side's [`SegMeasure`]
+/// exactly once, at the moment the partition decides where it lands, so the
+/// kernel touches each record once instead of the two to three passes of
+/// the split partition-then-measure scheme.
+pub fn crack_two_measured<const D: usize>(
+    seg: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+    pivot: f64,
+) -> (usize, SegMeasure<D>, SegMeasure<D>) {
+    let mut left = SegMeasure::empty();
+    let mut right = SegMeasure::empty();
+    let mut i = 0usize;
+    let mut j = seg.len();
+    loop {
+        // `ki`/`kj` carry the key each scan stopped on, so the swap branch
+        // below does not recompute them.
+        let mut ki = f64::NAN;
+        while i < j {
+            let k = key_of(&seg[i], dim, mode);
+            if k >= pivot {
+                ki = k;
+                break;
+            }
+            left.add(&seg[i], k);
+            i += 1;
+        }
+        let mut kj = f64::NAN;
+        while i < j {
+            let k = key_of(&seg[j - 1], dim, mode);
+            if k < pivot {
+                kj = k;
+                break;
+            }
+            right.add(&seg[j - 1], k);
+            j -= 1;
+        }
+        if i + 1 >= j {
+            break;
+        }
+        // Both scans stopped on a misplaced pair (i + 1 < j implies neither
+        // exhausted the range, so ki/kj are set): seg[i] belongs right,
+        // seg[j-1] belongs left. Measure both on their final side, swap.
+        debug_assert!(!ki.is_nan() && !kj.is_nan());
+        right.add(&seg[i], ki);
+        left.add(&seg[j - 1], kj);
+        seg.swap(i, j - 1);
+        i += 1;
+        j -= 1;
+    }
+    (i, left, right)
 }
 
 /// Three-way crack (Dutch national flag): partitions `seg` into
@@ -120,6 +230,43 @@ pub fn crack_three<const D: usize>(
         }
     }
     (lt, gt)
+}
+
+/// Fused three-way crack: same partition (and identical split points) as
+/// [`crack_three`], measuring the three output segments during the pass.
+/// Each record is folded into its final segment's [`SegMeasure`] exactly
+/// once, at first examination — the Dutch-flag invariant guarantees every
+/// element is examined once, and the region it is classified into then is
+/// the region it ends in.
+pub fn crack_three_measured<const D: usize>(
+    seg: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+    low: f64,
+    high: f64,
+) -> (usize, usize, [SegMeasure<D>; 3]) {
+    debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
+    let mut m = [SegMeasure::empty(); 3];
+    let mut lt = 0usize;
+    let mut i = 0usize;
+    let mut gt = seg.len();
+    while i < gt {
+        let v = key_of(&seg[i], dim, mode);
+        if v < low {
+            m[0].add(&seg[i], v);
+            seg.swap(lt, i);
+            lt += 1;
+            i += 1;
+        } else if v > high {
+            m[2].add(&seg[i], v);
+            gt -= 1;
+            seg.swap(i, gt);
+        } else {
+            m[1].add(&seg[i], v);
+            i += 1;
+        }
+    }
+    (lt, gt, m)
 }
 
 /// Rank-based fallback split used when midpoint (value) splits cannot
@@ -314,6 +461,90 @@ mod tests {
         assert_eq!(c.min_key, 1.25);
         let e = DimBounds::of::<1>(&[], 0, LOWER);
         assert!(e.min_lo.is_infinite() && e.max_hi.is_infinite());
+    }
+
+    /// Reference measurement: plain scans over the already-partitioned data.
+    fn measure_ref(seg: &[Record<3>], mode: AssignBy) -> SegMeasure<3> {
+        SegMeasure::of(seg, 0, mode)
+    }
+
+    fn random_segment3(n: usize, seed: u64) -> Vec<Record<3>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| {
+                let mut lo = [0.0; 3];
+                let mut hi = [0.0; 3];
+                for k in 0..3 {
+                    lo[k] = rng.random_range(0.0..100.0);
+                    hi[k] = lo[k] + rng.random_range(0.0..8.0);
+                }
+                Record::new(id as u64, Aabb::new(lo, hi))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_two_way_matches_split_passes() {
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            for (seed, pivot) in [(11, 50.0), (12, 0.0), (13, 200.0), (14, 97.5)] {
+                let mut fused = random_segment3(500, seed);
+                let mut plain = fused.clone();
+                let (p, left, right) = crack_two_measured(&mut fused, 0, mode, pivot);
+                let p_ref = crack_two(&mut plain, 0, mode, pivot);
+                assert_eq!(p, p_ref, "split point diverged (mode {mode:?})");
+                let ids = |s: &[Record<3>]| s.iter().map(|r| r.id).collect::<Vec<_>>();
+                // Same partition contents (the physical order inside each
+                // side is identical: both kernels do the same swaps).
+                assert_eq!(ids(&fused), ids(&plain));
+                assert_eq!(left, measure_ref(&fused[..p], mode));
+                assert_eq!(right, measure_ref(&fused[p..], mode));
+                assert_eq!(
+                    left.dim_bounds(0),
+                    DimBounds::of(&fused[..p], 0, mode),
+                    "DimBounds view must match the unfused measurement"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_three_way_matches_split_passes() {
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            for (seed, lo, hi) in [(21, 25.0, 75.0), (22, 50.0, 50.0), (23, -5.0, -1.0)] {
+                let mut fused = random_segment3(700, seed);
+                let mut plain = fused.clone();
+                let (p1, p2, m) = crack_three_measured(&mut fused, 0, mode, lo, hi);
+                let (r1, r2) = crack_three(&mut plain, 0, mode, lo, hi);
+                assert_eq!((p1, p2), (r1, r2), "split points diverged");
+                let ids = |s: &[Record<3>]| s.iter().map(|r| r.id).collect::<Vec<_>>();
+                assert_eq!(ids(&fused), ids(&plain));
+                assert_eq!(m[0], measure_ref(&fused[..p1], mode));
+                assert_eq!(m[1], measure_ref(&fused[p1..p2], mode));
+                assert_eq!(m[2], measure_ref(&fused[p2..], mode));
+            }
+        }
+    }
+
+    #[test]
+    fn fused_kernels_handle_empty_and_degenerate_segments() {
+        let mut empty: Vec<Record<3>> = vec![];
+        let (p, l, r) = crack_two_measured(&mut empty, 0, AssignBy::Lower, 1.0);
+        assert_eq!(p, 0);
+        assert_eq!(l, SegMeasure::empty());
+        assert_eq!(r, SegMeasure::empty());
+        let (p1, p2, m) = crack_three_measured(&mut empty, 0, AssignBy::Lower, 0.0, 1.0);
+        assert_eq!((p1, p2), (0, 0));
+        assert!(m.iter().all(|x| *x == SegMeasure::empty()));
+
+        // All keys equal: everything lands on one side, the other is empty.
+        let mut same: Vec<Record<3>> = (0..10)
+            .map(|i| Record::new(i, Aabb::new([7.0; 3], [8.0; 3])))
+            .collect();
+        let (p, l, r) = crack_two_measured(&mut same, 0, AssignBy::Lower, 7.0);
+        assert_eq!(p, 0);
+        assert_eq!(l, SegMeasure::empty());
+        assert_eq!(r.min_key, 7.0);
+        assert_eq!(r.mbb, Aabb::new([7.0; 3], [8.0; 3]));
     }
 
     #[test]

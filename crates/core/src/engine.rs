@@ -7,7 +7,7 @@
 //! is rebuilt around it.
 
 use crate::config::AssignBy;
-use crate::crack::{crack_median, crack_three, crack_two, DimBounds};
+use crate::crack::{crack_median, crack_three_measured, crack_two_measured, SegMeasure};
 use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use quasii_common::geom::{Aabb, Record};
@@ -59,21 +59,21 @@ fn placeholder<const D: usize>() -> Slice<D> {
 }
 
 /// Builds a sub-slice over `begin..end` after a crack of `parent` on its
-/// dimension, measuring dimension bounds (and the exact MBB when the slice
-/// reaches τ, §5.1).
+/// dimension, from the measurements the fused crack kernel accumulated
+/// during the partition pass — no re-scan of the records (§5.1: the exact
+/// MBB when the slice reaches τ, open-ended dimension bounds otherwise).
 #[allow(clippy::too_many_arguments)]
 fn make_sub<const D: usize>(
-    data: &[Record<D>],
     parent: &Slice<D>,
     begin: usize,
     end: usize,
     cut_lo: f64,
     cut_hi: f64,
+    m: &SegMeasure<D>,
     env: &Env<D>,
     rt: &mut Runtime<D>,
 ) -> Slice<D> {
     let dim = parent.level;
-    let b = DimBounds::of(&data[begin..end], dim, env.mode);
     let mut s = Slice {
         level: dim,
         begin,
@@ -81,16 +81,16 @@ fn make_sub<const D: usize>(
         bbox: parent.bbox,
         cut_lo,
         cut_hi,
-        key_lo: b.min_key,
+        key_lo: m.min_key,
         refined: false,
         children: Vec::new(),
     };
     if s.len() <= env.tau[dim] {
-        s.measure_exact(data);
+        s.bbox = m.mbb;
         s.refined = true;
     } else {
-        s.bbox.lo[dim] = b.min_lo;
-        s.bbox.hi[dim] = b.max_hi;
+        s.bbox.lo[dim] = m.mbb.lo[dim];
+        s.bbox.hi[dim] = m.mbb.hi[dim];
     }
     rt.note_slice(&s);
     s
@@ -144,22 +144,26 @@ fn artificial<const D: usize>(
     let mid = 0.5 * (lo + hi);
     let seg = &mut data[s.begin..s.end];
     let seg_len = seg.len() as u64;
-    let mut split = crack_two(seg, dim, env.mode, mid);
+    let (mut split, mut lm, mut rm) = crack_two_measured(seg, dim, env.mode, mid);
     let mut split_value = mid;
     if split == 0 || split == seg.len() {
-        // Midpoint failed to separate — rank-based fallback.
+        // Midpoint failed to separate — rank-based fallback (rare: only on
+        // degenerate value distributions, so the extra measuring scans here
+        // do not matter).
         split = crack_median(seg, dim, env.mode);
         if split == 0 || split == seg.len() {
             out.push(force_refine(data, s, rt));
             return;
         }
-        split_value = DimBounds::of(&seg[split..], dim, env.mode).min_key;
+        lm = SegMeasure::of(&seg[..split], dim, env.mode);
+        rm = SegMeasure::of(&seg[split..], dim, env.mode);
+        split_value = rm.min_key;
     }
     rt.stats.cracks += 1;
     rt.stats.records_cracked += seg_len;
     let m = s.begin + split;
-    let left = make_sub(data, &s, s.begin, m, s.cut_lo, split_value, env, rt);
-    let right = make_sub(data, &s, m, s.end, split_value, s.cut_hi, env, rt);
+    let left = make_sub(&s, s.begin, m, s.cut_lo, split_value, &lm, env, rt);
+    let right = make_sub(&s, m, s.end, split_value, s.cut_hi, &rm, env, rt);
     artificial(data, left, qe, env, rt, out, depth + 1);
     artificial(data, right, qe, env, rt, out, depth + 1);
 }
@@ -187,33 +191,34 @@ pub(crate) fn refine<const D: usize>(
     match (inside_l, inside_u) {
         (true, true) => {
             // Both query bounds inside the slice: three-way slicing.
-            let (p1, p2) = crack_three(&mut data[s.begin..s.end], dim, env.mode, ql, qu);
+            let (p1, p2, m) =
+                crack_three_measured(&mut data[s.begin..s.end], dim, env.mode, ql, qu);
             rt.stats.cracks += 1;
             rt.stats.records_cracked += seg_len;
             let (b, m1, m2, e) = (s.begin, s.begin + p1, s.begin + p2, s.end);
-            primary.push(make_sub(data, &s, b, m1, cl, ql, env, rt));
-            primary.push(make_sub(data, &s, m1, m2, ql, qu, env, rt));
-            primary.push(make_sub(data, &s, m2, e, qu, ch, env, rt));
+            primary.push(make_sub(&s, b, m1, cl, ql, &m[0], env, rt));
+            primary.push(make_sub(&s, m1, m2, ql, qu, &m[1], env, rt));
+            primary.push(make_sub(&s, m2, e, qu, ch, &m[2], env, rt));
         }
         (true, false) => {
             // Only the lower bound cuts the slice: two-way at ql.
-            let p = crack_two(&mut data[s.begin..s.end], dim, env.mode, ql);
+            let (p, lm, rm) = crack_two_measured(&mut data[s.begin..s.end], dim, env.mode, ql);
             rt.stats.cracks += 1;
             rt.stats.records_cracked += seg_len;
             let m = s.begin + p;
-            primary.push(make_sub(data, &s, s.begin, m, cl, ql, env, rt));
-            primary.push(make_sub(data, &s, m, s.end, ql, ch, env, rt));
+            primary.push(make_sub(&s, s.begin, m, cl, ql, &lm, env, rt));
+            primary.push(make_sub(&s, m, s.end, ql, ch, &rm, env, rt));
         }
         (false, true) => {
             // Only the upper bound cuts the slice: two-way keeping
             // `key <= qu` on the left (pivot just above qu).
             let pivot = qu.next_up();
-            let p = crack_two(&mut data[s.begin..s.end], dim, env.mode, pivot);
+            let (p, lm, rm) = crack_two_measured(&mut data[s.begin..s.end], dim, env.mode, pivot);
             rt.stats.cracks += 1;
             rt.stats.records_cracked += seg_len;
             let m = s.begin + p;
-            primary.push(make_sub(data, &s, s.begin, m, cl, qu, env, rt));
-            primary.push(make_sub(data, &s, m, s.end, qu, ch, env, rt));
+            primary.push(make_sub(&s, s.begin, m, cl, qu, &lm, env, rt));
+            primary.push(make_sub(&s, m, s.end, qu, ch, &rm, env, rt));
         }
         (false, false) => {
             // The query covers the slice on this dimension: only artificial
@@ -295,7 +300,10 @@ pub(crate) fn query_level<const D: usize>(
         .partition_point(|s| s.key_lo < qe.lo[dim])
         .saturating_sub(1);
 
-    let mut replacements: Vec<(usize, Vec<Slice<D>>)> = Vec::new();
+    // Allocated lazily on the first refinement: in the fully converged
+    // regime every overlapping slice takes the `descend` fast path below and
+    // steady-state queries perform no allocation besides the result vector.
+    let mut replacements: Option<Vec<(usize, Vec<Slice<D>>)>> = None;
     for i in start..slices.len() {
         if slices[i].key_lo > qe.hi[dim] {
             break; // sorted by key: nothing further can hold a qualifying key
@@ -316,13 +324,15 @@ pub(crate) fn query_level<const D: usize>(
                 descend(data, sub, q, qe, env, rt, out);
             }
         }
-        replacements.push((i, subs));
+        replacements.get_or_insert_with(Vec::new).push((i, subs));
     }
 
     // Splice replacements back, right to left so indices stay valid; slice
     // lists remain sorted because every replacement covers exactly its
     // predecessor's range.
-    for (i, subs) in replacements.into_iter().rev() {
-        slices.splice(i..=i, subs);
+    if let Some(replacements) = replacements {
+        for (i, subs) in replacements.into_iter().rev() {
+            slices.splice(i..=i, subs);
+        }
     }
 }

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod config;
 pub mod crack;
 mod engine;
@@ -95,6 +96,16 @@ impl<const D: usize> Quasii<D> {
     /// then the initial whole-dataset slice `s0`.
     fn ensure_init(&mut self) {
         if self.initialized {
+            // An initialized index over a non-empty dataset always has a
+            // root list — except when a worker panicked mid-batch, after
+            // `execute_batch` detached the top level and before it was
+            // reassembled. Fail loudly instead of answering every later
+            // query with silently empty results.
+            assert!(
+                self.data.is_empty() || !self.root.is_empty(),
+                "QUASII index poisoned: a previous execute_batch panicked \
+                 while the slice hierarchy was detached"
+            );
             return;
         }
         self.initialized = true;
@@ -222,6 +233,19 @@ impl<const D: usize> Quasii<D> {
         validate::validate(self)
     }
 
+    /// Query extension (§5.2): reorganization must consider the query grown
+    /// by the maximum object extent in the direction opposite the
+    /// assignment coordinate, so that every qualifying object's key falls
+    /// inside the extended range.
+    pub(crate) fn extend_query(&self, query: &Aabb<D>) -> Aabb<D> {
+        let mut qe = *query;
+        for k in 0..D {
+            qe.lo[k] -= self.ext_low[k];
+            qe.hi[k] += self.ext_high[k];
+        }
+        qe
+    }
+
     pub(crate) fn raw_parts(&self) -> (&[Record<D>], &[Slice<D>], &[usize; D], AssignBy) {
         (&self.data, &self.root, &self.env.tau, self.cfg.assign_by)
     }
@@ -235,15 +259,7 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
     fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>) {
         self.ensure_init();
         self.rt.stats.queries += 1;
-        // Query extension (§5.2): reorganization must consider the query
-        // grown by the maximum object extent in the direction opposite the
-        // assignment coordinate, so that every qualifying object's key falls
-        // inside the extended range.
-        let mut qe = *query;
-        for k in 0..D {
-            qe.lo[k] -= self.ext_low[k];
-            qe.hi[k] += self.ext_high[k];
-        }
+        let qe = self.extend_query(query);
         engine::query_level(
             &mut self.data,
             &mut self.root,
@@ -253,6 +269,10 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
             &mut self.rt,
             out,
         );
+    }
+
+    fn query_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        self.execute_batch(queries)
     }
 
     fn len(&self) -> usize {

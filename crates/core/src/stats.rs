@@ -29,6 +29,21 @@ impl QuasiiStats {
     pub fn did_work(&self) -> bool {
         self.cracks > 0 || self.slices_created > 0
     }
+
+    /// Accumulates `other` into `self`. Used by batch execution to fold
+    /// per-worker counters back into the engine's totals; addition is
+    /// order-independent, so the merged stats do not depend on worker
+    /// scheduling or thread count.
+    pub fn merge(&mut self, other: &QuasiiStats) {
+        self.queries += other.queries;
+        self.cracks += other.cracks;
+        self.records_cracked += other.records_cracked;
+        self.slices_created += other.slices_created;
+        self.slices_refined += other.slices_refined;
+        self.default_children += other.default_children;
+        self.forced_refinements += other.forced_refinements;
+        self.objects_tested += other.objects_tested;
+    }
 }
 
 #[cfg(test)]
@@ -40,6 +55,35 @@ mod tests {
         let s = QuasiiStats::default();
         assert_eq!(s.queries, 0);
         assert!(!s.did_work());
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = QuasiiStats {
+            queries: 1,
+            cracks: 2,
+            records_cracked: 3,
+            slices_created: 4,
+            slices_refined: 5,
+            default_children: 6,
+            forced_refinements: 7,
+            objects_tested: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(
+            a,
+            QuasiiStats {
+                queries: 2,
+                cracks: 4,
+                records_cracked: 6,
+                slices_created: 8,
+                slices_refined: 10,
+                default_children: 12,
+                forced_refinements: 14,
+                objects_tested: 16,
+            }
+        );
     }
 
     #[test]
