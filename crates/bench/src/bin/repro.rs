@@ -2,15 +2,18 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|medium|full] [--out DIR] [--threads N]
-//!       [--json PATH] <experiment>...
+//!       [--shards K] [--json PATH] <experiment>...
 //! repro all                        # every figure (medium scale)
 //! repro fig9 --scale small         # one figure, small inputs
 //! repro scaling --threads 2 --json summary.json
+//! repro sharding --shards 4 --threads 2
 //! ```
 //!
-//! `--threads` adds a worker count to the `scaling` sweep (and is recorded
-//! in the report); `--json` writes a machine-readable per-experiment timing
-//! summary so successive PRs can track the perf trajectory.
+//! `--threads` adds a worker count to the `scaling` and `sharding` sweeps,
+//! `--shards` a shard count to the `sharding` sweep (both are recorded in
+//! the report); `--json` writes a machine-readable per-experiment timing
+//! summary, with the full run configuration embedded, so successive PRs can
+//! track the perf trajectory.
 
 use quasii_bench::experiments::{Harness, ALL_EXPERIMENTS};
 use quasii_bench::scale::Scale;
@@ -21,6 +24,7 @@ fn main() {
     let mut scale = Scale::MEDIUM;
     let mut out_dir = String::from("results");
     let mut threads = 0usize;
+    let mut shards = 0usize;
     let mut json_path: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
@@ -44,6 +48,14 @@ fn main() {
                 let v = args.get(i).map(String::as_str).unwrap_or("");
                 threads = v.parse().unwrap_or_else(|e| {
                     eprintln!("--threads: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--shards" => {
+                i += 1;
+                let v = args.get(i).map(String::as_str).unwrap_or("");
+                shards = v.parse().unwrap_or_else(|e| {
+                    eprintln!("--shards: {e}");
                     std::process::exit(2);
                 });
             }
@@ -82,6 +94,7 @@ fn main() {
 
     let mut harness = Harness::new(scale, out);
     harness.threads = threads;
+    harness.shards = shards;
     let t = std::time::Instant::now();
     for exp in &experiments {
         if let Err(e) = harness.run(exp) {
@@ -103,7 +116,7 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: repro [--scale tiny|small|medium|full] [--out DIR] [--threads N] \
-         [--json PATH] <experiment|all>..."
+         [--shards K] [--json PATH] <experiment|all>..."
     );
     println!("experiments: {ALL_EXPERIMENTS:?}");
 }

@@ -9,6 +9,7 @@ pub mod fig12;
 pub mod fig6;
 pub mod fig7_9;
 pub mod scaling;
+pub mod sharding;
 pub mod summary;
 
 use crate::runner::Approach;
@@ -22,8 +23,15 @@ use quasii_common::workload;
 /// Experiment identifiers accepted by the `repro` binary.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "scaling",
-    "summary",
+    "sharding", "summary",
 ];
+
+/// Seed of the neuroscience-like dataset generator.
+pub const NEURO_DATA_SEED: u64 = 42;
+/// Seed of the uniform synthetic dataset generator.
+pub const UNIFORM_DATA_SEED: u64 = 43;
+/// Seed of the clustered neuro query workload.
+pub const NEURO_WORKLOAD_SEED: u64 = 7;
 
 /// One row of the machine-readable report `repro --json` emits: either an
 /// experiment's wall time (series `"(wall)"`) or one measured series inside
@@ -86,9 +94,14 @@ pub struct Harness {
     /// CSV sink.
     pub out: OutputDir,
     /// Worker-thread override from `repro --threads` (0 = auto): the
-    /// `scaling` experiment adds it to its sweep, and it is recorded in the
-    /// JSON report so perf numbers carry their configuration.
+    /// `scaling` and `sharding` experiments add it to their sweeps, and it
+    /// is recorded in the JSON report so perf numbers carry their
+    /// configuration.
     pub threads: usize,
+    /// Shard-count override from `repro --shards` (0 = default sweep): the
+    /// `sharding` experiment adds it to its sweep; recorded in the JSON
+    /// report.
+    pub shards: usize,
     neuro: Option<NeuroRun>,
     records: Vec<JsonRecord>,
 }
@@ -100,6 +113,7 @@ impl Harness {
             scale,
             out,
             threads: 0,
+            shards: 0,
             neuro: None,
             records: Vec::new(),
         }
@@ -110,15 +124,34 @@ impl Harness {
         self.records.push(rec);
     }
 
-    /// Renders every recorded row as the `repro --json` document.
+    /// Renders every recorded row as the `repro --json` document. The
+    /// leading `config` object embeds the full run configuration (scale
+    /// preset with its sizes, thread/shard overrides, generator seeds) so a
+    /// trajectory file is self-describing: two reports are comparable iff
+    /// their `config` objects match.
     pub fn json_report(&self) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
         let mut out = format!(
-            "{{\n  \"scale\": \"{}\",\n  \"threads\": {},\n  \"records\": [",
+            "{{\n  \"config\": {{\n    \"scale\": \"{}\",\n    \"neuro_n\": {},\n    \
+             \"uniform_n\": {},\n    \"clusters\": {},\n    \"per_cluster\": {},\n    \
+             \"uniform_queries\": {},\n    \"threads\": {},\n    \"shards\": {},\n    \
+             \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \
+             \"scaling_workload\": {}, \"sharding_workload\": {}}}\n  }},\n  \"records\": [",
             esc(self.scale.name),
-            self.threads
+            self.scale.neuro_n,
+            self.scale.uniform_n,
+            self.scale.clusters,
+            self.scale.per_cluster,
+            self.scale.uniform_queries,
+            self.threads,
+            self.shards,
+            NEURO_DATA_SEED,
+            UNIFORM_DATA_SEED,
+            NEURO_WORKLOAD_SEED,
+            scaling::WORKLOAD_SEED,
+            sharding::WORKLOAD_SEED,
         );
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
@@ -142,12 +175,12 @@ impl Harness {
 
     /// The neuroscience-like dataset at the current scale.
     pub fn neuro_data(&self) -> Vec<Record<3>> {
-        dataset::neuro_like::<3>(self.scale.neuro_n, 42)
+        dataset::neuro_like::<3>(self.scale.neuro_n, NEURO_DATA_SEED)
     }
 
     /// The uniform synthetic dataset at the current scale.
     pub fn uniform_data(&self) -> Vec<Record<3>> {
-        dataset::uniform_boxes::<3>(self.scale.uniform_n, 43)
+        dataset::uniform_boxes::<3>(self.scale.uniform_n, UNIFORM_DATA_SEED)
     }
 
     /// Read access to the cached neuro execution (call
@@ -171,7 +204,7 @@ impl Harness {
                 self.scale.clusters,
                 self.scale.per_cluster,
                 1e-4,
-                7,
+                NEURO_WORKLOAD_SEED,
             );
             let grid_parts = grid_parts_for(data.len(), true);
             let approaches = neuro_approaches(grid_parts);
@@ -211,6 +244,7 @@ impl Harness {
             "fig12" => fig12::run_exp(self),
             "ablation" => ablation::run_exp(self),
             "scaling" => scaling::run_exp(self),
+            "sharding" => sharding::run_exp(self),
             "summary" => summary::run(self),
             other => return Err(format!("unknown experiment '{other}'")),
         }

@@ -15,13 +15,17 @@ use quasii_common::index::SpatialIndex;
 use quasii_common::measure::{run_query_batches, timed};
 use quasii_common::workload;
 
+/// Seed of the uniform query workload this experiment sweeps (recorded in
+/// the `repro --json` config block).
+pub const WORKLOAD_SEED: u64 = 91;
+
 /// Runs the threads × batch-size sweep.
 pub fn run_exp(h: &mut Harness) {
     println!("\n=== Scaling: batch-parallel query execution (threads x batch size) ===");
     let data = h.uniform_data();
     let universe = mbb_of(&data);
     let n_queries = h.scale.uniform_queries;
-    let queries = workload::uniform(&universe, n_queries, 1e-3, 91).queries;
+    let queries = workload::uniform(&universe, n_queries, 1e-3, WORKLOAD_SEED).queries;
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

@@ -22,6 +22,7 @@ use quasii_grid::{Assignment, UniformGrid};
 use quasii_mosaic::Mosaic;
 use quasii_rtree::RTree;
 use quasii_sfc::{SfCracker, SfcIndex};
+use quasii_shard::{ShardConfig, ShardedQuasii};
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -52,7 +53,7 @@ pub enum Command {
         queries: usize,
         /// Query volume fraction.
         volume: f64,
-        /// "uniform" or "clustered".
+        /// "uniform", "clustered" or "skewed" (Zipf hot-region).
         pattern: String,
         /// Workload seed.
         seed: u64,
@@ -60,6 +61,8 @@ pub enum Command {
         batch: usize,
         /// Worker threads for QUASII batch execution (0 = auto).
         threads: usize,
+        /// Shard count for `--index quasii`; 0 = unsharded single engine.
+        shards: usize,
     },
     /// Show usage.
     Help,
@@ -121,6 +124,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             threads: get("threads", Some("0"))?
                 .parse()
                 .map_err(|e| format!("--threads: {e}"))?,
+            shards: get("shards", Some("0"))?
+                .parse()
+                .map_err(|e| format!("--shards: {e}"))?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -135,13 +141,20 @@ USAGE:
   quasii generate --out FILE [--family uniform|neuro] [--n N] [--seed S]
   quasii info     --data FILE
   quasii bench    --data FILE [--index scan|rtree|grid|sfc|sfcracker|mosaic|quasii]
-                  [--queries N] [--volume FRAC] [--pattern uniform|clustered] [--seed S]
-                  [--batch N] [--threads N]
+                  [--queries N] [--volume FRAC]
+                  [--pattern uniform|clustered|skewed] [--seed S]
+                  [--batch N] [--threads N] [--shards K]
 
 Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
 --batch N executes the workload in batches of N queries through the index's
 batch path (QUASII cracks disjoint top-level partitions on --threads workers;
-0 = machine parallelism). Results are identical to one-by-one execution.";
+0 = machine parallelism). --shards K (quasii only) splits the dataset across
+K QUASII engines behind a key-range router; with --batch N, --threads feeds
+both parallelism levels (--threads shard workers x --threads engine workers)
+and results come back in canonical id-sorted order.
+--pattern skewed is a Zipf hot-region workload that concentrates
+most queries on one region (the shard-imbalance stress). Results are
+identical to one-by-one execution.";
 
 fn load(path: &str) -> Result<Vec<Record<3>>, String> {
     let res = if path.ends_with(".csv") {
@@ -203,12 +216,17 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             seed,
             batch,
             threads,
+            shards,
         } => {
+            if shards > 0 && index != "quasii" {
+                return Err("--shards requires --index quasii".to_string());
+            }
             let records = load(&data)?;
             let universe = mbb_of(&records);
             let w = match pattern.as_str() {
                 "uniform" => workload::uniform(&universe, queries, volume, seed),
                 "clustered" => workload::clustered(&universe, 5, queries.div_ceil(5), volume, seed),
+                "skewed" => workload::skewed(&universe, 8, queries, volume, 1.1, seed),
                 other => return Err(format!("unknown pattern '{other}'")),
             };
 
@@ -277,6 +295,17 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     let (b, i) = timed(|| Mosaic::with_defaults(records));
                     report(i, b, &w.queries, batch);
                 }
+                "quasii" if shards > 0 => {
+                    let cfg = ShardConfig::default()
+                        .with_shards(shards)
+                        .with_shard_threads(threads)
+                        .with_inner(QuasiiConfig::default().with_threads(threads));
+                    let (b, i) = timed(|| ShardedQuasii::new(records, cfg));
+                    let snaps = i.snapshots();
+                    let per_shard: Vec<usize> = snaps.iter().map(|s| s.records).collect();
+                    println!("shards: {shards} engines, records per shard {per_shard:?}");
+                    report(i, b, &w.queries, batch);
+                }
                 "quasii" => {
                     let cfg = QuasiiConfig::default().with_threads(threads);
                     let (b, i) = timed(|| Quasii::new(records, cfg));
@@ -338,10 +367,24 @@ mod tests {
             }
             other => panic!("wrong parse: {other:?}"),
         }
-        // Batch/threads default to 0 (per-query mode, auto parallelism).
+        // Batch/threads/shards default to 0 (per-query, auto, unsharded).
         match parse(&args("bench --data d.qsd")).unwrap() {
-            Command::Bench { batch, threads, .. } => {
-                assert_eq!((batch, threads), (0, 0));
+            Command::Bench {
+                batch,
+                threads,
+                shards,
+                ..
+            } => {
+                assert_eq!((batch, threads, shards), (0, 0, 0));
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&args("bench --data d.qsd --shards 4 --pattern skewed")).unwrap() {
+            Command::Bench {
+                shards, pattern, ..
+            } => {
+                assert_eq!(shards, 4);
+                assert_eq!(pattern, "skewed");
             }
             other => panic!("wrong parse: {other:?}"),
         }
@@ -380,6 +423,7 @@ mod tests {
                 seed: 2,
                 batch: 0,
                 threads: 0,
+                shards: 0,
             })
             .unwrap();
         }
@@ -393,8 +437,35 @@ mod tests {
             seed: 2,
             batch: 8,
             threads: 2,
+            shards: 0,
         })
         .unwrap();
+        // Sharded two-level path on the skewed (hot-region) workload.
+        execute(Command::Bench {
+            data: out.clone(),
+            index: "quasii".into(),
+            queries: 20,
+            volume: 1e-4,
+            pattern: "skewed".into(),
+            seed: 2,
+            batch: 8,
+            threads: 2,
+            shards: 3,
+        })
+        .unwrap();
+        // --shards is a router over QUASII engines only.
+        assert!(execute(Command::Bench {
+            data: out.clone(),
+            index: "rtree".into(),
+            queries: 1,
+            volume: 1e-4,
+            pattern: "uniform".into(),
+            seed: 2,
+            batch: 0,
+            threads: 0,
+            shards: 2,
+        })
+        .is_err());
         assert!(execute(Command::Bench {
             data: out.clone(),
             index: "btree".into(),
@@ -404,6 +475,7 @@ mod tests {
             seed: 2,
             batch: 0,
             threads: 0,
+            shards: 0,
         })
         .is_err());
         std::fs::remove_file(&path).ok();

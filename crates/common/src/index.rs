@@ -49,6 +49,24 @@ pub trait SpatialIndex<const D: usize> {
     }
 }
 
+/// Runs every query through `index` and canonicalizes each result to
+/// ascending id order — the order-independent form sharded/parallel
+/// execution paths are checked against (it equals [`brute_force`]'s output
+/// for a correct index).
+pub fn canonical_results<const D: usize, I: SpatialIndex<D>>(
+    index: &mut I,
+    queries: &[Aabb<D>],
+) -> Vec<Vec<u64>> {
+    queries
+        .iter()
+        .map(|q| {
+            let mut hits = index.query_collect(q);
+            hits.sort_unstable();
+            hits
+        })
+        .collect()
+}
+
 /// Ground truth by exhaustive scan, independent of any index implementation.
 pub fn brute_force<const D: usize>(data: &[Record<D>], query: &Aabb<D>) -> Vec<u64> {
     let mut out: Vec<u64> = data

@@ -7,6 +7,9 @@
 //!   queries with qvol = 10⁻²%.
 //! * [`uniform`] — up to 10 000 uniformly placed queries of a given volume
 //!   fraction (Figs. 10–12).
+//! * [`skewed`] — Zipf-like hot-region workload (not from the paper):
+//!   hotspot regions whose popularity follows a power law, so most of the
+//!   stream hammers one region — the adversarial case for shard balance.
 
 use crate::geom::Aabb;
 use rand::distr::{Distribution, Uniform};
@@ -129,6 +132,61 @@ pub fn uniform<const D: usize>(
     }
 }
 
+/// Skewed (Zipf-like hot-region) workload: `hotspots` regions are placed
+/// uniformly in the universe, and each of the `n` queries picks region `h`
+/// with probability proportional to `1 / (h + 1)^exponent` (a Zipf law —
+/// region 0 is the hot region), then scatters Gaussian around its center
+/// exactly like [`clustered`]. With the conventional `exponent ≈ 1` the hot
+/// region absorbs a large constant fraction of the stream, which is what
+/// stresses shard-router balance: uniform and clustered workloads spread
+/// load evenly over key ranges, this one does not.
+pub fn skewed<const D: usize>(
+    universe: &Aabb<D>,
+    hotspots: usize,
+    n: usize,
+    volume_frac: f64,
+    exponent: f64,
+    seed: u64,
+) -> QueryWorkload<D> {
+    let hotspots = hotspots.max(1);
+    let side = query_side(universe, volume_frac);
+    let sigma = side;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<[f64; D]> = (0..hotspots)
+        .map(|_| {
+            let mut c = [0.0; D];
+            for (k, x) in c.iter_mut().enumerate() {
+                let u = Uniform::new(universe.lo[k], universe.hi[k]).expect("valid universe");
+                *x = u.sample(&mut rng);
+            }
+            c
+        })
+        .collect();
+    // Cumulative Zipf weights over the hotspot ranks.
+    let mut cumulative = Vec::with_capacity(hotspots);
+    let mut total = 0.0;
+    for h in 0..hotspots {
+        total += 1.0 / ((h + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let queries = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>() * total;
+            let h = cumulative.partition_point(|&c| c <= u).min(hotspots - 1);
+            let mut qc = centers[h];
+            for (k, x) in qc.iter_mut().enumerate() {
+                *x = (*x + gaussian(&mut rng) * sigma).clamp(universe.lo[k], universe.hi[k]);
+            }
+            clamped_cube(universe, qc, side)
+        })
+        .collect();
+    QueryWorkload {
+        name: "skewed",
+        volume_frac,
+        queries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +260,52 @@ mod tests {
             quadrants[idx] = true;
         }
         assert!(quadrants.iter().all(|&b| b), "{quadrants:?}");
+    }
+
+    #[test]
+    fn skewed_concentrates_on_the_hot_region() {
+        let u = universe::<3>(10_000.0);
+        let w = skewed(&u, 4, 400, 1e-6, 1.1, 9);
+        assert_eq!(w.len(), 400);
+        assert_eq!(w.name, "skewed");
+        assert!(w.queries.iter().all(|q| u.contains(q) && q.is_valid()));
+        // Greedily bucket queries by proximity (regions are far apart
+        // relative to σ); the Zipf law with exponent 1.1 gives rank 0 a
+        // ~47% share, far above the 25% a uniform split over 4 regions
+        // would produce.
+        let mut buckets: Vec<([f64; 3], usize)> = Vec::new();
+        let near = 1_000.0; // σ = one query side = 100 here; 10σ separates regions
+        for q in &w.queries {
+            let c = q.center();
+            match buckets
+                .iter_mut()
+                .find(|(b, _)| (0..3).map(|k| (b[k] - c[k]).powi(2)).sum::<f64>().sqrt() < near)
+            {
+                Some((_, count)) => *count += 1,
+                None => buckets.push((c, 1)),
+            }
+        }
+        let max_share = buckets.iter().map(|&(_, c)| c).max().unwrap_or(0) as f64 / w.len() as f64;
+        assert!(
+            max_share > 0.35,
+            "hot region should absorb well over a uniform share, got {max_share}"
+        );
+    }
+
+    #[test]
+    fn skewed_is_deterministic_and_single_hotspot_degenerates() {
+        let u = universe::<2>(1_000.0);
+        let a = skewed(&u, 8, 50, 1e-3, 1.1, 5);
+        let b = skewed(&u, 8, 50, 1e-3, 1.1, 5);
+        assert_eq!(a.queries, b.queries);
+        // One hotspot: everything lands in a single tight region.
+        let w = skewed(&u, 1, 60, 1e-3, 1.1, 6);
+        let c0 = w.queries[0].center();
+        let side = query_side(&u, 1e-3);
+        assert!(w.queries.iter().all(|q| {
+            let c = q.center();
+            (0..2).map(|k| (c[k] - c0[k]).powi(2)).sum::<f64>().sqrt() < 20.0 * side
+        }));
     }
 
     #[test]

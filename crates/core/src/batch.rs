@@ -20,10 +20,11 @@
 //! * the root-level search restricted to a partition visits exactly the
 //!   slices the sequential extended binary search (§5.2) would visit there.
 //!   The assignment predicate reproduces its "step one back" rule through
-//!   the partitions' key boundaries: partition `k` holds assignment keys in
-//!   `[bounds[k], bounds[k+1])`, and those boundaries are stable for the
-//!   whole batch — cracks only permute records within a partition, and the
-//!   front sub-slice always keeps the minimum key;
+//!   the partitions' key boundaries (shared [`KeyFences`] machinery, also
+//!   used by the `quasii-shard` router): partition `k` holds assignment
+//!   keys in `[bounds[k], bounds[k+1])`, and those boundaries are stable
+//!   for the whole batch — cracks only permute records within a partition,
+//!   and the front sub-slice always keeps the minimum key;
 //! * per-query hits are concatenated in partition order, which is ascending
 //!   data-array order — the order the sequential loop appends them in;
 //! * worker counters are folded back with order-independent sums.
@@ -34,6 +35,7 @@
 //! count *and* of how queries are split into batches.
 
 use crate::engine;
+use crate::fence::KeyFences;
 use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use crate::Quasii;
@@ -178,17 +180,12 @@ impl<const D: usize> Quasii<D> {
         let m = groups.len();
 
         // Key boundaries between partitions: partition k owns assignment
-        // keys in [bounds[k], bounds[k+1]). bounds[k] is the key_lo of the
-        // partition's first slice, which make_sub measured exactly; it stays
-        // the partition's true minimum for the whole batch because cracks
-        // never move records across partitions and the front sub-slice of
-        // any refinement keeps the minimum-key record.
-        let mut bounds = Vec::with_capacity(m + 1);
-        bounds.push(f64::NEG_INFINITY);
-        for g in &groups[1..] {
-            bounds.push(g[0].key_lo);
-        }
-        bounds.push(f64::INFINITY);
+        // keys in [fences.range(k)). The inner fence before partition k is
+        // the key_lo of its first slice, which make_sub measured exactly; it
+        // stays the partition's true minimum for the whole batch because
+        // cracks never move records across partitions and the front
+        // sub-slice of any refinement keeps the minimum-key record.
+        let fences = KeyFences::from_inner(groups[1..].iter().map(|g| g[0].key_lo).collect());
 
         // Detach the disjoint data windows (split_at_mut chain) and rebase
         // each group's slices onto its window.
@@ -218,14 +215,11 @@ impl<const D: usize> Quasii<D> {
 
         // Assign each query to exactly the partitions the sequential root
         // search would visit: the candidate range [qe.lo, qe.hi] on the
-        // root dimension, where `bounds[k + 1] >= qe.lo` (not `>`) admits
-        // the partition holding the "step one back" slice.
-        for (j, qe) in extended.iter().enumerate() {
-            for (k, p) in parts.iter_mut().enumerate() {
-                if bounds[k] <= qe.hi[0] && bounds[k + 1] >= qe.lo[0] {
-                    p.queries.push(j);
-                }
-            }
+        // root dimension; `KeyFences::overlapping`'s closed lower edge
+        // admits the partition holding the "step one back" slice.
+        let assigned = fences.assign(extended.iter().map(|qe| (qe.lo[0], qe.hi[0])));
+        for (p, queries) in parts.iter_mut().zip(assigned) {
+            p.queries = queries;
         }
 
         // Chunked work queue: workers pop partitions until none are left.

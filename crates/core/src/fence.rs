@@ -1,0 +1,200 @@
+//! Key-range fences — the partition-boundary bookkeeping shared by the
+//! intra-index batch partitioner ([`crate::Quasii::execute_batch`]) and the
+//! multi-instance shard router (`quasii-shard`).
+//!
+//! Both layers exploit the same structure: a sequence of disjoint key ranges
+//! on one dimension, `partition k` owning assignment keys in
+//! `[bounds[k], bounds[k+1])`, with sentinel bounds `-inf` and `+inf` at the
+//! ends. A query whose (extension-adjusted) span on that dimension is
+//! `[lo, hi]` must visit every partition whose range can hold a qualifying
+//! key. [`KeyFences`] centralizes the fence construction, the ownership
+//! lookup and the overlap predicate so the batch layer and the shard layer
+//! cannot drift apart.
+
+use std::ops::Range;
+
+/// Sorted key fences over one dimension: `parts()` disjoint partitions,
+/// partition `k` owning assignment keys in `[bounds[k], bounds[k+1])`.
+///
+/// Duplicate inner fences are allowed and yield empty partitions (this is
+/// how a degenerate all-identical-keys dataset collapses into a single
+/// non-empty shard while keeping the requested partition count).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KeyFences {
+    /// `parts() + 1` sorted bounds; `bounds[0] = -inf`, `bounds[last] = +inf`.
+    bounds: Vec<f64>,
+}
+
+impl KeyFences {
+    /// The trivial fence set: one partition owning every key.
+    pub fn single() -> Self {
+        Self {
+            bounds: vec![f64::NEG_INFINITY, f64::INFINITY],
+        }
+    }
+
+    /// Builds fences from the sorted inner boundary values (the sentinels
+    /// are added here); `inner.len() + 1` partitions result.
+    pub fn from_inner(inner: Vec<f64>) -> Self {
+        debug_assert!(
+            inner.windows(2).all(|w| w[0] <= w[1]),
+            "inner fences must be sorted"
+        );
+        let mut bounds = Vec::with_capacity(inner.len() + 2);
+        bounds.push(f64::NEG_INFINITY);
+        bounds.extend(inner);
+        bounds.push(f64::INFINITY);
+        Self { bounds }
+    }
+
+    /// Plans `parts` equi-depth partitions from a sorted key sample: inner
+    /// fence `i` is the sample's `i/parts` quantile, so each partition owns
+    /// roughly the same number of sampled keys.
+    pub fn equi_depth(sorted_keys: &[f64], parts: usize) -> Self {
+        debug_assert!(
+            sorted_keys
+                .windows(2)
+                .all(|w| w[0].total_cmp(&w[1]).is_le()),
+            "equi_depth needs a sorted sample"
+        );
+        if parts <= 1 || sorted_keys.is_empty() {
+            return Self::single();
+        }
+        let n = sorted_keys.len();
+        let inner = (1..parts).map(|i| sorted_keys[i * n / parts]).collect();
+        Self::from_inner(inner)
+    }
+
+    /// Number of partitions.
+    pub fn parts(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The key range `[lo, hi)` partition `k` owns.
+    pub fn range(&self, k: usize) -> (f64, f64) {
+        (self.bounds[k], self.bounds[k + 1])
+    }
+
+    /// The partition owning assignment key `key`.
+    pub fn owner_of(&self, key: f64) -> usize {
+        let m = self.parts();
+        self.bounds[1..m].partition_point(|&f| f <= key)
+    }
+
+    /// The contiguous run of partitions a query spanning `[lo, hi]` must
+    /// visit: every `k` with `bounds[k] <= hi && bounds[k+1] >= lo`. The
+    /// `>= lo` (not `>`) edge admits the partition just below `lo`, which
+    /// reproduces the "step one back" rule of the paper's extended binary
+    /// search (§5.2) when the fences are partition minimum keys.
+    pub fn overlapping(&self, lo: f64, hi: f64) -> Range<usize> {
+        let m = self.parts();
+        let start = self.bounds[1..=m].partition_point(|&b| b < lo);
+        let end = self.bounds[..m].partition_point(|&b| b <= hi);
+        start..end.max(start)
+    }
+
+    /// Assigns a sequence of query spans to partitions: entry `k` of the
+    /// result lists the indices of the spans visiting partition `k`, in
+    /// ascending input order.
+    pub fn assign(&self, spans: impl IntoIterator<Item = (f64, f64)>) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = Vec::with_capacity(self.parts());
+        out.resize_with(self.parts(), Vec::new);
+        for (j, (lo, hi)) in spans.into_iter().enumerate() {
+            for k in self.overlapping(lo, hi) {
+                out[k].push(j);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_owns_everything() {
+        let f = KeyFences::single();
+        assert_eq!(f.parts(), 1);
+        assert_eq!(f.owner_of(-1e300), 0);
+        assert_eq!(f.owner_of(1e300), 0);
+        assert_eq!(f.overlapping(3.0, 4.0), 0..1);
+        assert_eq!(f.range(0), (f64::NEG_INFINITY, f64::INFINITY));
+    }
+
+    #[test]
+    fn ownership_uses_half_open_ranges() {
+        let f = KeyFences::from_inner(vec![10.0, 20.0]);
+        assert_eq!(f.parts(), 3);
+        assert_eq!(f.owner_of(9.9), 0);
+        assert_eq!(f.owner_of(10.0), 1, "fence value belongs to the right");
+        assert_eq!(f.owner_of(19.9), 1);
+        assert_eq!(f.owner_of(20.0), 2);
+        for key in [-5.0, 0.0, 10.0, 15.0, 20.0, 99.0] {
+            let k = f.owner_of(key);
+            let (lo, hi) = f.range(k);
+            assert!(lo <= key && key < hi, "key {key} outside range of {k}");
+        }
+    }
+
+    #[test]
+    fn overlapping_matches_the_scalar_predicate() {
+        // The closed-form range must agree with the O(parts) predicate the
+        // batch layer used before the refactor, for every span.
+        let f = KeyFences::from_inner(vec![1.0, 5.0, 5.0, 9.0]);
+        let m = f.parts();
+        let probes = [-2.0, 0.0, 1.0, 3.0, 5.0, 7.0, 9.0, 12.0];
+        for &lo in &probes {
+            for &hi in &probes {
+                let got: Vec<usize> = f.overlapping(lo, hi).collect();
+                let want: Vec<usize> = (0..m)
+                    .filter(|&k| {
+                        let (b0, b1) = f.range(k);
+                        b0 <= hi && b1 >= lo
+                    })
+                    .collect();
+                assert_eq!(got, want, "span [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn equi_depth_splits_evenly() {
+        let keys: Vec<f64> = (0..100).map(f64::from).collect();
+        let f = KeyFences::equi_depth(&keys, 4);
+        assert_eq!(f.parts(), 4);
+        let mut counts = [0usize; 4];
+        for &k in &keys {
+            counts[f.owner_of(k)] += 1;
+        }
+        assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn equi_depth_degenerates_gracefully() {
+        // All-identical sample: every fence equals the key, so every record
+        // lands in the last partition and the others stay empty.
+        let keys = vec![7.0; 50];
+        let f = KeyFences::equi_depth(&keys, 3);
+        assert_eq!(f.parts(), 3);
+        assert_eq!(f.owner_of(7.0), 2);
+        assert_eq!(f.owner_of(6.9), 0);
+        // Empty sample and single-part requests collapse to one partition.
+        assert_eq!(KeyFences::equi_depth(&[], 5), KeyFences::single());
+        assert_eq!(KeyFences::equi_depth(&keys, 1), KeyFences::single());
+    }
+
+    #[test]
+    fn assign_lists_queries_in_order() {
+        let f = KeyFences::from_inner(vec![10.0]);
+        let assigned = f.assign([(0.0, 3.0), (5.0, 15.0), (12.0, 13.0), (9.0, 9.5)]);
+        assert_eq!(assigned, vec![vec![0, 1, 3], vec![1, 2]]);
+    }
+
+    #[test]
+    fn disjoint_span_visits_nothing() {
+        let f = KeyFences::from_inner(vec![10.0]);
+        // hi < lo (an empty extended span) must not underflow.
+        assert!(f.overlapping(20.0, 5.0).is_empty());
+    }
+}

@@ -35,11 +35,13 @@ mod batch;
 mod config;
 pub mod crack;
 mod engine;
+pub mod fence;
 mod slice;
 mod stats;
 mod validate;
 
 pub use config::{tau_schedule, AssignBy, QuasiiConfig};
+pub use fence::KeyFences;
 pub use stats::QuasiiStats;
 
 use engine::{Env, Runtime};

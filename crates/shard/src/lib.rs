@@ -1,0 +1,676 @@
+//! # quasii-shard
+//!
+//! Sharded QUASII: a multi-instance shard router that splits one dataset
+//! across `K` independent [`Quasii`] engines and fans queries out to the
+//! shards whose key ranges they overlap — the scale-out layer on top of the
+//! paper's single-array incremental index.
+//!
+//! ## Design
+//!
+//! * **Planning** — one upfront pass samples record assignment keys along
+//!   the first cracked dimension (dimension 0, the same key every engine
+//!   cracks first) and picks `K − 1` equi-depth boundary fences via the
+//!   [`KeyFences`] machinery shared with the intra-engine batch partitioner.
+//!   Each shard owns the records whose key falls in its fence range; its
+//!   *interior* stays adaptively cracked per the paper — only the shard
+//!   boundaries come from a static sort-then-partition planning pass.
+//! * **Routing** — a query visits exactly the shards whose fence ranges
+//!   intersect its extension-adjusted span on dimension 0 (the same §5.2
+//!   query-extension rule the engine itself applies, using the *global*
+//!   maximum object extent so no shard holding a qualifying record is ever
+//!   skipped).
+//! * **Two-level parallelism** — a batch executes shards on scoped worker
+//!   threads ([`ShardConfig::shard_threads`]), and each shard runs its
+//!   assigned sub-batch through [`Quasii::execute_batch`], which itself
+//!   cracks disjoint top-level partitions on
+//!   [`QuasiiConfig::threads`] workers: total concurrency is
+//!   `shard_threads × threads`.
+//!
+//! ## Determinism
+//!
+//! Per-shard state (data permutation, hierarchy, stats) is **bit-for-bit
+//! identical for every shard-thread count, engine-thread count and batch
+//! size**: routing depends only on the fences and the global extent (both
+//! fixed at construction), so each shard always sees the same query
+//! subsequence in the same order, and the engine's batch path is itself
+//! deterministic (see `quasii::Quasii::execute_batch`).
+//!
+//! Result vectors are returned in **canonical (ascending id) order**. The
+//! single-instance engine emits hits in physical data order, which depends
+//! on its private crack permutation; a sharded deployment cannot reproduce
+//! that order (a query spanning a fence interleaves records the fence
+//! separated), and a service layer must not leak its internal layout
+//! anyway. Canonicalizing makes every query's result vector byte-identical
+//! across **every** (shard count, thread count, batch size) configuration
+//! — and equal to the sorted single-instance answer, which is exactly the
+//! brute-force ground truth's format. `tests/shard.rs` and the `repro
+//! sharding` experiment assert all three equalities byte-for-byte.
+//!
+//! ```
+//! use quasii_shard::{ShardConfig, ShardedQuasii};
+//! use quasii_common::geom::{Aabb, Record};
+//! use quasii_common::index::SpatialIndex;
+//!
+//! let data: Vec<Record<2>> = (0..5_000)
+//!     .map(|i| {
+//!         let v = i as f64 / 10.0;
+//!         Record::new(i, Aabb::new([v; 2], [v + 2.0; 2]))
+//!     })
+//!     .collect();
+//! let mut index = ShardedQuasii::new(data, ShardConfig::default().with_shards(4));
+//! let hits = index.query_collect(&Aabb::new([100.0; 2], [120.0; 2]));
+//! assert!(!hits.is_empty());
+//! assert!(hits.windows(2).all(|w| w[0] < w[1]), "canonical id order");
+//! assert_eq!(index.snapshots().len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+use quasii::crack::key_of;
+use quasii::{AssignBy, KeyFences, Quasii, QuasiiConfig, QuasiiStats};
+use quasii_common::geom::{Aabb, Record};
+use quasii_common::index::SpatialIndex;
+use std::sync::Mutex;
+
+/// Tuning knobs of [`ShardedQuasii`].
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Number of shards `K` the planner splits the dataset into (`0` and
+    /// `1` both mean a single shard). Degenerate key distributions may
+    /// leave some shards empty; the shard count itself is always honored.
+    pub shards: usize,
+    /// Concurrent shard workers for [`ShardedQuasii::execute_batch`]:
+    /// `0` (the default) resolves to
+    /// [`std::thread::available_parallelism`], `1` executes shards
+    /// sequentially in shard order. Results are identical for every value.
+    pub shard_threads: usize,
+    /// Upper bound on the number of keys the boundary planner samples
+    /// (stride-subsampled deterministically, no RNG).
+    pub sample_cap: usize,
+    /// Configuration handed to every per-shard engine; its
+    /// [`threads`](QuasiiConfig::threads) field is the *inner* level of the
+    /// two-level parallelism.
+    pub inner: QuasiiConfig,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            shard_threads: 0,
+            sample_cap: 4096,
+            inner: QuasiiConfig::default(),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Returns `self` with the shard count set (chainable).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Returns `self` with the shard-worker count set (chainable).
+    pub fn with_shard_threads(mut self, shard_threads: usize) -> Self {
+        self.shard_threads = shard_threads;
+        self
+    }
+
+    /// Returns `self` with the per-shard engine configuration set
+    /// (chainable).
+    pub fn with_inner(mut self, inner: QuasiiConfig) -> Self {
+        self.inner = inner;
+        self
+    }
+}
+
+/// Point-in-time view of one shard — record count, refinement progress and
+/// work counters. This is the introspection seam a future service layer
+/// serves over the network (per-shard health, balance and convergence
+/// without touching the engines).
+#[derive(Clone, Debug)]
+pub struct ShardSnapshot<const D: usize> {
+    /// Shard index (ascending key ranges).
+    pub shard: usize,
+    /// Lower fence (inclusive) of the owned key range on dimension 0.
+    pub key_lo: f64,
+    /// Upper fence (exclusive) of the owned key range on dimension 0.
+    pub key_hi: f64,
+    /// Records owned by the shard.
+    pub records: usize,
+    /// Slices currently in the shard's hierarchy (crack progress; 0 until
+    /// the shard's first query).
+    pub slices: usize,
+    /// Slices per hierarchy level (crack depth profile).
+    pub level_profile: [usize; D],
+    /// The shard engine's cumulative work counters.
+    pub stats: QuasiiStats,
+    /// Approximate heap bytes of the shard's index structure.
+    pub index_bytes: usize,
+}
+
+/// Router-level counters (the engines keep their own [`QuasiiStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Queries accepted by the router.
+    pub queries: u64,
+    /// Total shard executions dispatched (one query may visit several
+    /// shards; `shard_visits / queries` is the mean fan-out).
+    pub shard_visits: u64,
+}
+
+/// A sharded QUASII deployment: `K` independent engines behind one
+/// [`SpatialIndex`] facade.
+pub struct ShardedQuasii<const D: usize> {
+    shards: Vec<Quasii<D>>,
+    fences: KeyFences,
+    cfg: ShardConfig,
+    /// Router-side query extension on dimension 0, derived from the global
+    /// maximum object extent and the assignment mode (mirrors the engine's
+    /// §5.2 extension so routing is conservative).
+    ext_low0: f64,
+    ext_high0: f64,
+    router: RouterStats,
+}
+
+/// One unit of shard work inside a batch: the target engine, the batch
+/// indices routed to it, and the hits it produced.
+struct Task<'a, const D: usize> {
+    shard: usize,
+    engine: &'a mut Quasii<D>,
+    queries: Vec<usize>,
+    hits: Vec<Vec<u64>>,
+}
+
+/// Equi-depth boundary planning: deterministic stride sample of the
+/// dimension-0 assignment keys, sorted, then quantile fences.
+fn plan_fences<const D: usize>(
+    data: &[Record<D>],
+    shards: usize,
+    mode: AssignBy,
+    sample_cap: usize,
+) -> KeyFences {
+    if shards <= 1 || data.is_empty() {
+        return KeyFences::single();
+    }
+    let stride = data.len().div_ceil(sample_cap.max(2)).max(1);
+    let mut keys: Vec<f64> = data
+        .iter()
+        .step_by(stride)
+        .map(|r| key_of(r, 0, mode))
+        .collect();
+    keys.sort_unstable_by(f64::total_cmp);
+    KeyFences::equi_depth(&keys, shards)
+}
+
+impl<const D: usize> ShardedQuasii<D> {
+    /// Plans shard boundaries and splits `data` into `cfg.shards` owned
+    /// partitions, each backed by its own [`Quasii`] engine.
+    ///
+    /// Unlike [`Quasii::new`] this is **O(n)**: the planner samples and
+    /// sorts keys, measures the global dimension-0 extent (needed before
+    /// the first query can be routed) and physically partitions the
+    /// records. Records keep their relative order within each shard, so a
+    /// single-shard deployment is byte-identical to the plain engine.
+    pub fn new(data: Vec<Record<D>>, cfg: ShardConfig) -> Self {
+        let mode = cfg.inner.assign_by;
+        let mut ext0 = 0.0f64;
+        for r in &data {
+            ext0 = ext0.max(r.mbb.hi[0] - r.mbb.lo[0]);
+        }
+        let (ext_low0, ext_high0) = match mode {
+            AssignBy::Lower => (ext0, 0.0),
+            AssignBy::Center => (ext0 * 0.5, ext0 * 0.5),
+            AssignBy::Upper => (0.0, ext0),
+        };
+        let fences = plan_fences(&data, cfg.shards, mode, cfg.sample_cap);
+        let mut parts: Vec<Vec<Record<D>>> = Vec::with_capacity(fences.parts());
+        parts.resize_with(fences.parts(), Vec::new);
+        for r in data {
+            parts[fences.owner_of(key_of(&r, 0, mode))].push(r);
+        }
+        let shards = parts
+            .into_iter()
+            .map(|p| Quasii::new(p, cfg.inner.clone()))
+            .collect();
+        Self {
+            shards,
+            fences,
+            cfg,
+            ext_low0,
+            ext_high0,
+            router: RouterStats::default(),
+        }
+    }
+
+    /// Number of shards (fence ranges; some may be empty on degenerate key
+    /// distributions).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The planned key fences (shard `k` owns dimension-0 assignment keys
+    /// in `fences().range(k)`).
+    pub fn fences(&self) -> &KeyFences {
+        &self.fences
+    }
+
+    /// The configuration this deployment was built with.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Read access to the per-shard engines, in shard order.
+    pub fn engines(&self) -> &[Quasii<D>] {
+        &self.shards
+    }
+
+    /// Router-level counters (queries accepted, shard executions).
+    pub fn router_stats(&self) -> RouterStats {
+        self.router
+    }
+
+    /// Engine work counters folded across all shards. `queries` counts
+    /// per-shard executions (a query visiting two shards counts twice);
+    /// [`router_stats`](Self::router_stats) has the user-facing count.
+    pub fn stats(&self) -> QuasiiStats {
+        let mut total = QuasiiStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+
+    /// Point-in-time snapshot of every shard, in shard order — the seam a
+    /// service layer exposes for balance/convergence monitoring.
+    pub fn snapshots(&self) -> Vec<ShardSnapshot<D>> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let (key_lo, key_hi) = self.fences.range(k);
+                ShardSnapshot {
+                    shard: k,
+                    key_lo,
+                    key_hi,
+                    records: s.data().len(),
+                    slices: s.slice_count(),
+                    level_profile: s.level_profile(),
+                    stats: s.stats(),
+                    index_bytes: s.index_bytes(),
+                }
+            })
+            .collect()
+    }
+
+    /// The shard-worker count [`execute_batch`](Self::execute_batch) will
+    /// use: the [`shard_threads`](ShardConfig::shard_threads) knob, with
+    /// `0` resolved to [`std::thread::available_parallelism`].
+    pub fn effective_shard_threads(&self) -> usize {
+        match self.cfg.shard_threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Completes the incremental build of every shard (see
+    /// [`Quasii::finalize`]).
+    pub fn finalize(&mut self) {
+        for s in &mut self.shards {
+            s.finalize();
+        }
+    }
+
+    /// Checks every shard's structural invariants plus the router's
+    /// ownership invariant (each record's key inside its shard's fence
+    /// range); returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mode = self.cfg.inner.assign_by;
+        for (k, s) in self.shards.iter().enumerate() {
+            s.validate().map_err(|e| format!("shard {k}: {e}"))?;
+            let (lo, hi) = self.fences.range(k);
+            for r in s.data() {
+                let key = key_of(r, 0, mode);
+                if !(lo <= key && key < hi) {
+                    return Err(format!(
+                        "shard {k}: record {} key {key} outside owned range [{lo}, {hi})",
+                        r.id
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The extension-adjusted routing span of `query` on dimension 0.
+    fn extended_span(&self, query: &Aabb<D>) -> (f64, f64) {
+        (query.lo[0] - self.ext_low0, query.hi[0] + self.ext_high0)
+    }
+
+    /// Executes a batch of range queries across the shards — shards on
+    /// scoped worker threads, each shard's sub-batch through the engine's
+    /// own batch-parallel path — and returns one id vector per query (in
+    /// `queries` order, each in canonical ascending-id order).
+    ///
+    /// Results are byte-identical for every (shard count, shard-thread
+    /// count, engine-thread count, batch size) combination, and equal to
+    /// the canonicalized single-instance answer (see the module docs).
+    pub fn execute_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        self.router.queries += queries.len() as u64;
+        let mut results: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
+        results.resize_with(queries.len(), Vec::new);
+        if queries.is_empty() {
+            return results;
+        }
+        let assigned = self
+            .fences
+            .assign(queries.iter().map(|q| self.extended_span(q)));
+        self.router.shard_visits += assigned.iter().map(|a| a.len() as u64).sum::<u64>();
+        let workers_cap = self.effective_shard_threads();
+
+        let mut tasks: Vec<Task<'_, D>> = Vec::new();
+        for ((shard, engine), queries) in self.shards.iter_mut().enumerate().zip(assigned) {
+            if !queries.is_empty() {
+                tasks.push(Task {
+                    shard,
+                    engine,
+                    queries,
+                    hits: Vec::new(),
+                });
+            }
+        }
+
+        fn run_task<const D: usize>(t: &mut Task<'_, D>, queries: &[Aabb<D>]) {
+            let sub: Vec<Aabb<D>> = t.queries.iter().map(|&j| queries[j]).collect();
+            t.hits = t.engine.execute_batch(&sub);
+        }
+
+        let workers = workers_cap.min(tasks.len());
+        let finished = if workers <= 1 {
+            // Sequential path: shards in ascending order, no thread setup.
+            for t in &mut tasks {
+                run_task(t, queries);
+            }
+            tasks
+        } else {
+            // Work queue over the shards; every shard engine is an
+            // independent `&mut`, so workers never contend beyond the pop.
+            let queue: Mutex<Vec<Task<'_, D>>> = Mutex::new(tasks);
+            let done: Mutex<Vec<Task<'_, D>>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let popped = queue.lock().expect("queue poisoned").pop();
+                        let Some(mut t) = popped else { break };
+                        run_task(&mut t, queries);
+                        done.lock().expect("done poisoned").push(t);
+                    });
+                }
+            });
+            let mut v = done.into_inner().expect("done poisoned");
+            v.sort_unstable_by_key(|t| t.shard);
+            v
+        };
+
+        // Merge hits per query in shard order (deterministic), then
+        // canonicalize: shards are disjoint, so this is a duplicate-free
+        // union sorted by id.
+        for t in finished {
+            for (&j, hits) in t.queries.iter().zip(t.hits) {
+                results[j].extend(hits);
+            }
+        }
+        for r in &mut results {
+            r.sort_unstable();
+        }
+        results
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
+    fn name(&self) -> &'static str {
+        "QUASII-sharded"
+    }
+
+    fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>) {
+        self.router.queries += 1;
+        let (lo, hi) = self.extended_span(query);
+        let range = self.fences.overlapping(lo, hi);
+        self.router.shard_visits += range.len() as u64;
+        let mut hits = Vec::new();
+        for k in range {
+            self.shards[k].query(query, &mut hits);
+        }
+        hits.sort_unstable();
+        out.extend(hits);
+    }
+
+    fn query_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        self.execute_batch(queries)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.data().len()).sum()
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.index_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasii_common::dataset::{degenerate, uniform_boxes_in};
+    use quasii_common::index::{assert_matches_brute_force, brute_force, canonical_results};
+    use quasii_common::workload;
+
+    /// Canonical reference: single-instance sequential execution with each
+    /// query's hits sorted.
+    fn canonical_reference<const D: usize>(
+        data: &[Record<D>],
+        queries: &[Aabb<D>],
+        cfg: &QuasiiConfig,
+    ) -> Vec<Vec<u64>> {
+        let mut idx = Quasii::new(data.to_vec(), cfg.clone().with_threads(1));
+        canonical_results(&mut idx, queries)
+    }
+
+    #[test]
+    fn matches_single_instance_across_shard_counts() {
+        let data = uniform_boxes_in::<3>(4_000, 1_000.0, 101);
+        let u = Aabb::new([0.0; 3], [1_000.0; 3]);
+        let queries = workload::uniform(&u, 50, 1e-3, 102).queries;
+        let inner = QuasiiConfig::with_tau(16);
+        let reference = canonical_reference(&data, &queries, &inner);
+        for shards in [1usize, 2, 3, 7] {
+            let cfg = ShardConfig::default()
+                .with_shards(shards)
+                .with_inner(inner.clone());
+            let mut idx = ShardedQuasii::new(data.clone(), cfg);
+            assert_eq!(idx.shard_count(), shards.max(1));
+            let got = idx.execute_batch(&queries);
+            assert_eq!(got, reference, "shards = {shards}");
+            idx.validate()
+                .unwrap_or_else(|e| panic!("shards = {shards}: {e}"));
+        }
+    }
+
+    /// Observable state of one run: results, per-shard id orders, stats.
+    type RunState = (Vec<Vec<u64>>, Vec<Vec<u64>>, QuasiiStats);
+
+    #[test]
+    fn two_level_parallelism_is_deterministic() {
+        let data = uniform_boxes_in::<3>(3_000, 800.0, 103);
+        let u = Aabb::new([0.0; 3], [800.0; 3]);
+        let queries = workload::clustered(&u, 3, 12, 1e-3, 104).queries;
+        let mut baseline: Option<RunState> = None;
+        for shard_threads in [1usize, 2, 4] {
+            for inner_threads in [1usize, 3] {
+                let cfg = ShardConfig::default()
+                    .with_shards(3)
+                    .with_shard_threads(shard_threads)
+                    .with_inner(QuasiiConfig::with_tau(12).with_threads(inner_threads));
+                let mut idx = ShardedQuasii::new(data.clone(), cfg);
+                let got = idx.execute_batch(&queries);
+                let orders: Vec<Vec<u64>> = idx
+                    .engines()
+                    .iter()
+                    .map(|s| s.data().iter().map(|r| r.id).collect())
+                    .collect();
+                let stats = idx.stats();
+                match &baseline {
+                    None => baseline = Some((got, orders, stats)),
+                    Some((r, o, st)) => {
+                        assert_eq!(&got, r, "results at {shard_threads}x{inner_threads}");
+                        assert_eq!(&orders, o, "permutation at {shard_threads}x{inner_threads}");
+                        assert_eq!(&stats, st, "stats at {shard_threads}x{inner_threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_batches_and_single_queries_agree() {
+        let data = uniform_boxes_in::<2>(2_000, 400.0, 105);
+        let u = Aabb::new([0.0; 2], [400.0; 2]);
+        let queries = workload::uniform(&u, 30, 1e-3, 106).queries;
+        let cfg = ShardConfig::default()
+            .with_shards(4)
+            .with_inner(QuasiiConfig::with_tau(10));
+
+        let mut whole = ShardedQuasii::new(data.clone(), cfg.clone());
+        let expect = whole.execute_batch(&queries);
+
+        let mut chunked = ShardedQuasii::new(data.clone(), cfg.clone());
+        let mut got = Vec::new();
+        for chunk in queries.chunks(7) {
+            got.extend(chunked.execute_batch(chunk));
+        }
+        assert_eq!(got, expect);
+        assert_eq!(chunked.stats(), whole.stats());
+
+        let mut one_by_one = ShardedQuasii::new(data, cfg);
+        let singles: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|q| one_by_one.query_collect(q))
+            .collect();
+        assert_eq!(singles, expect);
+        assert_eq!(one_by_one.stats(), whole.stats());
+        assert_eq!(one_by_one.router_stats(), whole.router_stats());
+    }
+
+    #[test]
+    fn degenerate_keys_collapse_into_one_shard() {
+        let data = degenerate::identical::<2>(600);
+        let mut cfg = ShardConfig::default()
+            .with_shards(5)
+            .with_inner(QuasiiConfig::with_tau(8));
+        cfg.inner.max_artificial_depth = 16;
+        let mut idx = ShardedQuasii::new(data.clone(), cfg);
+        assert_eq!(idx.shard_count(), 5);
+        let snaps = idx.snapshots();
+        let populated: Vec<usize> = snaps
+            .iter()
+            .filter(|s| s.records > 0)
+            .map(|s| s.shard)
+            .collect();
+        assert_eq!(populated, vec![4], "identical keys land in the last shard");
+        let q = Aabb::new([5.5; 2], [5.8; 2]);
+        let got = idx.query_collect(&q);
+        assert_eq!(got.len(), 600);
+        assert_matches_brute_force(&data, &q, &got);
+        idx.validate().unwrap();
+    }
+
+    #[test]
+    fn router_never_misses_straddling_objects() {
+        // A huge object whose key sits far left of the query must still be
+        // found: the router's extension uses the global max extent.
+        let mut data = uniform_boxes_in::<2>(1_000, 1_000.0, 107);
+        data.push(Record::new(1_000, Aabb::new([0.0, 0.0], [900.0, 5.0])));
+        let cfg = ShardConfig::default().with_shards(4);
+        let mut idx = ShardedQuasii::new(data.clone(), cfg);
+        let q = Aabb::new([880.0, 0.0], [890.0, 4.0]);
+        let got = idx.query_collect(&q);
+        assert!(got.contains(&1_000));
+        assert_matches_brute_force(&data, &q, &got);
+    }
+
+    #[test]
+    fn empty_dataset_and_empty_batch() {
+        let mut idx = ShardedQuasii::<3>::new(Vec::new(), ShardConfig::default().with_shards(3));
+        assert!(idx.is_empty());
+        assert_eq!(idx.shard_count(), 1, "empty data plans a single shard");
+        assert!(idx.execute_batch(&[]).is_empty());
+        let q = Aabb::new([0.0; 3], [1.0; 3]);
+        assert_eq!(idx.execute_batch(&[q]), vec![Vec::<u64>::new()]);
+        idx.validate().unwrap();
+
+        let data = uniform_boxes_in::<3>(400, 100.0, 108);
+        let mut idx = ShardedQuasii::new(data.clone(), ShardConfig::default().with_shards(2));
+        assert!(idx.execute_batch(&[]).is_empty());
+        let q = Aabb::new([10.0; 3], [40.0; 3]);
+        let got = idx.execute_batch(&[q]);
+        assert_eq!(got[0], brute_force(&data, &q));
+    }
+
+    #[test]
+    fn snapshots_cover_partition_and_progress() {
+        let data = uniform_boxes_in::<3>(3_000, 500.0, 109);
+        let cfg = ShardConfig::default().with_shards(4);
+        let mut idx = ShardedQuasii::new(data, cfg);
+        let before = idx.snapshots();
+        assert_eq!(before.len(), 4);
+        assert_eq!(before.iter().map(|s| s.records).sum::<usize>(), 3_000);
+        // Equi-depth planning: no shard owns more than half the data.
+        assert!(before.iter().all(|s| s.records < 1_500), "{before:?}");
+        assert!(before.iter().all(|s| s.slices == 0), "lazy engines");
+        assert!(before.windows(2).all(|w| w[0].key_hi == w[1].key_lo));
+
+        idx.query_collect(&Aabb::new([0.0; 3], [500.0; 3]));
+        let after = idx.snapshots();
+        assert!(after.iter().any(|s| s.slices > 0));
+        assert!(after.iter().any(|s| s.stats.did_work()));
+        assert_eq!(idx.router_stats().queries, 1);
+        assert!(idx.router_stats().shard_visits >= 1);
+        assert!(idx.index_bytes() > 0);
+        assert_eq!(idx.name(), "QUASII-sharded");
+    }
+
+    #[test]
+    fn finalize_freezes_every_shard() {
+        let data = uniform_boxes_in::<3>(2_000, 500.0, 110);
+        let mut idx = ShardedQuasii::new(
+            data.clone(),
+            ShardConfig::default()
+                .with_shards(3)
+                .with_inner(QuasiiConfig::with_tau(32)),
+        );
+        idx.finalize();
+        idx.validate().unwrap();
+        let cracks = idx.stats().cracks;
+        assert!(cracks > 0);
+        let u = Aabb::new([0.0; 3], [500.0; 3]);
+        for q in &workload::uniform(&u, 20, 1e-3, 111).queries {
+            assert_matches_brute_force(&data, q, &idx.query_collect(q));
+        }
+        assert_eq!(
+            idx.stats().cracks,
+            cracks,
+            "no reorganization after finalize"
+        );
+    }
+
+    #[test]
+    fn effective_shard_threads_resolves_zero() {
+        let idx = ShardedQuasii::<2>::new(Vec::new(), ShardConfig::default());
+        assert!(idx.effective_shard_threads() >= 1);
+        let idx = ShardedQuasii::<2>::new(Vec::new(), ShardConfig::default().with_shard_threads(5));
+        assert_eq!(idx.effective_shard_threads(), 5);
+    }
+}

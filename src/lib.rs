@@ -16,6 +16,8 @@
 //!   one-dimensional (Z-order) static index and its cracking variant;
 //! * [`quasii_mosaic::Mosaic`] — the incremental octree adapted from Space
 //!   Odyssey;
+//! * [`quasii_shard::ShardedQuasii`] — the multi-instance shard router
+//!   (two-level parallel scale-out on top of the paper's engine);
 //! * [`quasii_common`] — geometry, datasets, workloads, measurement.
 
 pub use quasii;
@@ -24,6 +26,7 @@ pub use quasii_grid;
 pub use quasii_mosaic;
 pub use quasii_rtree;
 pub use quasii_sfc;
+pub use quasii_shard;
 
 /// Convenience prelude used by the examples.
 pub mod prelude {
@@ -37,4 +40,5 @@ pub mod prelude {
     pub use quasii_mosaic::Mosaic;
     pub use quasii_rtree::RTree;
     pub use quasii_sfc::{SfCracker, SfcIndex};
+    pub use quasii_shard::{ShardConfig, ShardSnapshot, ShardedQuasii};
 }
