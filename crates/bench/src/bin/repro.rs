@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|medium|full] [--out DIR] [--threads N]
-//!       [--shards K] [--json PATH] <experiment>...
+//!       [--shards K] [--assign-by lower|center|upper] [--json PATH]
+//!       <experiment>...
 //! repro all                        # every figure (medium scale)
 //! repro fig9 --scale small         # one figure, small inputs
 //! repro scaling --threads 2 --json summary.json
@@ -10,11 +11,13 @@
 //! ```
 //!
 //! `--threads` adds a worker count to the `scaling` and `sharding` sweeps,
-//! `--shards` a shard count to the `sharding` sweep (both are recorded in
-//! the report); `--json` writes a machine-readable per-experiment timing
+//! `--shards` a shard count to the `sharding` sweep, `--assign-by` picks
+//! QUASII's assignment coordinate for those sweeps (all recorded in the
+//! report); `--json` writes a machine-readable per-experiment timing
 //! summary, with the full run configuration embedded, so successive PRs can
 //! track the perf trajectory.
 
+use quasii::AssignBy;
 use quasii_bench::experiments::{Harness, ALL_EXPERIMENTS};
 use quasii_bench::scale::Scale;
 use quasii_bench::OutputDir;
@@ -25,6 +28,7 @@ fn main() {
     let mut out_dir = String::from("results");
     let mut threads = 0usize;
     let mut shards = 0usize;
+    let mut assign_by = AssignBy::default();
     let mut json_path: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
@@ -56,6 +60,14 @@ fn main() {
                 let v = args.get(i).map(String::as_str).unwrap_or("");
                 shards = v.parse().unwrap_or_else(|e| {
                     eprintln!("--shards: {e}");
+                    std::process::exit(2);
+                });
+            }
+            "--assign-by" => {
+                i += 1;
+                let v = args.get(i).map(String::as_str).unwrap_or("");
+                assign_by = AssignBy::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown assignment mode '{v}' (lower|center|upper)");
                     std::process::exit(2);
                 });
             }
@@ -95,6 +107,7 @@ fn main() {
     let mut harness = Harness::new(scale, out);
     harness.threads = threads;
     harness.shards = shards;
+    harness.assign_by = assign_by;
     let t = std::time::Instant::now();
     for exp in &experiments {
         if let Err(e) = harness.run(exp) {
@@ -116,7 +129,7 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: repro [--scale tiny|small|medium|full] [--out DIR] [--threads N] \
-         [--shards K] [--json PATH] <experiment|all>..."
+         [--shards K] [--assign-by lower|center|upper] [--json PATH] <experiment|all>..."
     );
     println!("experiments: {ALL_EXPERIMENTS:?}");
 }

@@ -15,6 +15,7 @@ pub mod summary;
 use crate::runner::Approach;
 use crate::scale::Scale;
 use crate::OutputDir;
+use quasii::AssignBy;
 use quasii_common::dataset;
 use quasii_common::geom::{mbb_of, Aabb, Record};
 use quasii_common::measure::RunSeries;
@@ -102,6 +103,12 @@ pub struct Harness {
     /// `sharding` experiment adds it to its sweep; recorded in the JSON
     /// report.
     pub shards: usize,
+    /// QUASII assignment coordinate from `repro --assign-by` (paper
+    /// default: lower). The `scaling` and `sharding` experiments build
+    /// every engine with it — center/upper are the modes where the cached
+    /// key column saves the most work — and it is recorded in the JSON
+    /// report so trajectory files carry their configuration.
+    pub assign_by: AssignBy,
     neuro: Option<NeuroRun>,
     records: Vec<JsonRecord>,
 }
@@ -114,6 +121,7 @@ impl Harness {
             out,
             threads: 0,
             shards: 0,
+            assign_by: AssignBy::default(),
             neuro: None,
             records: Vec::new(),
         }
@@ -137,6 +145,7 @@ impl Harness {
             "{{\n  \"config\": {{\n    \"scale\": \"{}\",\n    \"neuro_n\": {},\n    \
              \"uniform_n\": {},\n    \"clusters\": {},\n    \"per_cluster\": {},\n    \
              \"uniform_queries\": {},\n    \"threads\": {},\n    \"shards\": {},\n    \
+             \"assign_by\": \"{}\",\n    \
              \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \
              \"scaling_workload\": {}, \"sharding_workload\": {}}}\n  }},\n  \"records\": [",
             esc(self.scale.name),
@@ -147,6 +156,7 @@ impl Harness {
             self.scale.uniform_queries,
             self.threads,
             self.shards,
+            esc(self.assign_by.name()),
             NEURO_DATA_SEED,
             UNIFORM_DATA_SEED,
             NEURO_WORKLOAD_SEED,

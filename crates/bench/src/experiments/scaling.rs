@@ -22,6 +22,8 @@ pub const WORKLOAD_SEED: u64 = 91;
 /// Runs the threads × batch-size sweep.
 pub fn run_exp(h: &mut Harness) {
     println!("\n=== Scaling: batch-parallel query execution (threads x batch size) ===");
+    let assign_by = h.assign_by;
+    let base_cfg = move || QuasiiConfig::default().with_assign_by(assign_by);
     let data = h.uniform_data();
     let universe = mbb_of(&data);
     let n_queries = h.scale.uniform_queries;
@@ -35,13 +37,13 @@ pub fn run_exp(h: &mut Harness) {
     // without this the first combinations pay the cold faults and the
     // speedup column compares against a drifting baseline).
     {
-        let mut warm = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(1));
+        let mut warm = Quasii::new(data.clone(), base_cfg().with_threads(1));
         let _ = warm.execute_batch(&queries);
     }
 
     // Sequential per-query reference: the ground truth every batched run
     // must reproduce exactly.
-    let mut seq = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(1));
+    let mut seq = Quasii::new(data.clone(), base_cfg().with_threads(1));
     let (ref_secs, reference) = timed(|| {
         queries
             .iter()
@@ -83,7 +85,7 @@ pub fn run_exp(h: &mut Harness) {
             let mut total = f64::INFINITY;
             let mut result_total = 0u64;
             for _ in 0..REPS {
-                let cfg = QuasiiConfig::default().with_threads(threads);
+                let cfg = base_cfg().with_threads(threads);
                 let mut idx = Quasii::new(data.clone(), cfg);
                 let (series, results) = run_query_batches(&mut idx, &queries, batch);
                 assert_eq!(

@@ -38,6 +38,8 @@ const BATCH: usize = 64;
 /// Runs the shards × threads sweep.
 pub fn run_exp(h: &mut Harness) {
     println!("\n=== Sharding: multi-instance shard router (shards x threads) ===");
+    let assign_by = h.assign_by;
+    let base_cfg = move || QuasiiConfig::default().with_assign_by(assign_by);
     let data = h.uniform_data();
     let universe = mbb_of(&data);
     let n_queries = h.scale.uniform_queries;
@@ -55,7 +57,7 @@ pub fn run_exp(h: &mut Harness) {
     // Canonical reference: single-instance sequential execution with each
     // query's hits in ascending id order — the order-independent contract
     // every sharded configuration must reproduce byte-for-byte.
-    let mut seq = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(1));
+    let mut seq = Quasii::new(data.clone(), base_cfg().with_threads(1));
     let (ref_secs, reference) = timed(|| canonical_results(&mut seq, &queries));
     println!(
         "{} objects, {} skewed queries ({HOTSPOTS} hotspots, Zipf {ZIPF_EXPONENT}); \
@@ -94,7 +96,7 @@ pub fn run_exp(h: &mut Harness) {
                 let cfg = ShardConfig::default()
                     .with_shards(shards)
                     .with_shard_threads(threads)
-                    .with_inner(QuasiiConfig::default().with_threads(threads));
+                    .with_inner(base_cfg().with_threads(threads));
                 let mut idx = ShardedQuasii::new(data.clone(), cfg);
                 let (series, results) = run_query_batches(&mut idx, &queries, batch);
                 assert_eq!(

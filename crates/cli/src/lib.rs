@@ -63,6 +63,8 @@ pub enum Command {
         threads: usize,
         /// Shard count for `--index quasii`; 0 = unsharded single engine.
         shards: usize,
+        /// Assignment coordinate for QUASII: lower|center|upper.
+        assign_by: String,
     },
     /// Show usage.
     Help,
@@ -127,6 +129,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             shards: get("shards", Some("0"))?
                 .parse()
                 .map_err(|e| format!("--shards: {e}"))?,
+            assign_by: get("assign-by", Some("lower"))?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -144,6 +147,7 @@ USAGE:
                   [--queries N] [--volume FRAC]
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--batch N] [--threads N] [--shards K]
+                  [--assign-by lower|center|upper]
 
 Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
 --batch N executes the workload in batches of N queries through the index's
@@ -154,7 +158,9 @@ both parallelism levels (--threads shard workers x --threads engine workers)
 and results come back in canonical id-sorted order.
 --pattern skewed is a Zipf hot-region workload that concentrates
 most queries on one region (the shard-imbalance stress). Results are
-identical to one-by-one execution.";
+identical to one-by-one execution. --assign-by picks QUASII's slice
+assignment coordinate (paper footnote 1; lower is the paper's default —
+center/upper exercise the engine's cached-key modes).";
 
 fn load(path: &str) -> Result<Vec<Record<3>>, String> {
     let res = if path.ends_with(".csv") {
@@ -217,9 +223,15 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             batch,
             threads,
             shards,
+            assign_by,
         } => {
             if shards > 0 && index != "quasii" {
                 return Err("--shards requires --index quasii".to_string());
+            }
+            let assign_by = quasii::AssignBy::parse(&assign_by)
+                .ok_or_else(|| format!("unknown --assign-by '{assign_by}' (lower|center|upper)"))?;
+            if assign_by != quasii::AssignBy::default() && index != "quasii" {
+                return Err("--assign-by requires --index quasii".to_string());
             }
             let records = load(&data)?;
             let universe = mbb_of(&records);
@@ -299,7 +311,11 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     let cfg = ShardConfig::default()
                         .with_shards(shards)
                         .with_shard_threads(threads)
-                        .with_inner(QuasiiConfig::default().with_threads(threads));
+                        .with_inner(
+                            QuasiiConfig::default()
+                                .with_threads(threads)
+                                .with_assign_by(assign_by),
+                        );
                     let (b, i) = timed(|| ShardedQuasii::new(records, cfg));
                     let snaps = i.snapshots();
                     let per_shard: Vec<usize> = snaps.iter().map(|s| s.records).collect();
@@ -307,7 +323,9 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     report(i, b, &w.queries, batch);
                 }
                 "quasii" => {
-                    let cfg = QuasiiConfig::default().with_threads(threads);
+                    let cfg = QuasiiConfig::default()
+                        .with_threads(threads)
+                        .with_assign_by(assign_by);
                     let (b, i) = timed(|| Quasii::new(records, cfg));
                     report(i, b, &w.queries, batch);
                 }
@@ -381,13 +399,42 @@ mod tests {
         }
         match parse(&args("bench --data d.qsd --shards 4 --pattern skewed")).unwrap() {
             Command::Bench {
-                shards, pattern, ..
+                shards,
+                pattern,
+                assign_by,
+                ..
             } => {
                 assert_eq!(shards, 4);
                 assert_eq!(pattern, "skewed");
+                assert_eq!(assign_by, "lower", "paper default");
             }
             other => panic!("wrong parse: {other:?}"),
         }
+        match parse(&args("bench --data d.qsd --assign-by center")).unwrap() {
+            Command::Bench { assign_by, .. } => assert_eq!(assign_by, "center"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assign_by_is_validated_and_quasii_only() {
+        let bench = |index: &str, assign_by: &str| Command::Bench {
+            data: "/nonexistent.qsd".into(),
+            index: index.into(),
+            queries: 1,
+            volume: 1e-4,
+            pattern: "uniform".into(),
+            seed: 1,
+            batch: 0,
+            threads: 0,
+            shards: 0,
+            assign_by: assign_by.into(),
+        };
+        // Both rejections fire before the dataset is even loaded.
+        let err = execute(bench("quasii", "sideways")).unwrap_err();
+        assert!(err.contains("--assign-by"), "{err}");
+        let err = execute(bench("rtree", "center")).unwrap_err();
+        assert!(err.contains("--assign-by requires"), "{err}");
     }
 
     #[test]
@@ -424,6 +471,7 @@ mod tests {
                 batch: 0,
                 threads: 0,
                 shards: 0,
+                assign_by: "lower".into(),
             })
             .unwrap();
         }
@@ -438,6 +486,7 @@ mod tests {
             batch: 8,
             threads: 2,
             shards: 0,
+            assign_by: "center".into(),
         })
         .unwrap();
         // Sharded two-level path on the skewed (hot-region) workload.
@@ -451,6 +500,7 @@ mod tests {
             batch: 8,
             threads: 2,
             shards: 3,
+            assign_by: "lower".into(),
         })
         .unwrap();
         // --shards is a router over QUASII engines only.
@@ -464,6 +514,7 @@ mod tests {
             batch: 0,
             threads: 0,
             shards: 2,
+            assign_by: "lower".into(),
         })
         .is_err());
         assert!(execute(Command::Bench {
@@ -476,6 +527,7 @@ mod tests {
             batch: 0,
             threads: 0,
             shards: 0,
+            assign_by: "lower".into(),
         })
         .is_err());
         std::fs::remove_file(&path).ok();

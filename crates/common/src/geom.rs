@@ -95,6 +95,22 @@ impl<const D: usize> Aabb<D> {
         true
     }
 
+    /// Same truth table as [`intersects`](Self::intersects), computed as a
+    /// short-circuit-free conjunction: all `2 × D` interval comparisons are
+    /// evaluated and AND-folded, so the test compiles to straight-line
+    /// flag arithmetic with no data-dependent branch. Used by predicated
+    /// scan loops (QUASII's bottom-level collect) where the per-record
+    /// early exit of `intersects` would be an unpredictable branch.
+    #[inline(always)]
+    pub fn intersects_branchless(&self, other: &Self) -> bool {
+        let mut ok = true;
+        for k in 0..D {
+            ok &= self.lo[k] <= other.hi[k];
+            ok &= self.hi[k] >= other.lo[k];
+        }
+        ok
+    }
+
     /// Interval intersection restricted to a single dimension.
     #[inline(always)]
     pub fn intersects_dim(&self, other: &Self, dim: usize) -> bool {
@@ -275,6 +291,31 @@ mod tests {
         assert!(a.intersects(&b), "shared face counts as intersection");
         let corner = b2([1.0, 1.0], [2.0, 2.0]);
         assert!(a.intersects(&corner), "shared corner counts");
+    }
+
+    #[test]
+    fn intersects_branchless_matches_intersects() {
+        // Exhaustive-ish cross product of overlap, touch, disjoint,
+        // containment and empty-box cases on both operand orders.
+        let boxes = [
+            b2([0.0, 0.0], [2.0, 2.0]),
+            b2([1.0, 1.0], [3.0, 3.0]),
+            b2([2.0, 0.0], [4.0, 1.0]),
+            b2([2.5, 2.5], [4.0, 4.0]),
+            b2([0.5, 0.5], [1.5, 1.5]),
+            Aabb::point([2.0, 2.0]),
+            Aabb::empty(),
+            Aabb::universe(),
+        ];
+        for a in &boxes {
+            for b in &boxes {
+                assert_eq!(
+                    a.intersects_branchless(b),
+                    a.intersects(b),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

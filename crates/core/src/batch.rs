@@ -6,7 +6,9 @@
 //! exploits exactly the structure the paper builds: it splits the data array
 //! along top-level slice boundaries into disjoint `&mut [Record]` windows
 //! (a `split_at_mut` chain — safe because sibling slices never share array
-//! ranges), assigns each query of the batch to the partitions the sequential
+//! ranges), hands each worker the matching disjoint window of the
+//! assignment-key column (see [`crate::keys`]; cracks keep both in
+//! lockstep), assigns each query of the batch to the partitions the sequential
 //! engine would visit for it, and runs the partitions on scoped worker
 //! threads pulling from a chunked work queue.
 //!
@@ -58,6 +60,11 @@ struct Partition<'a, const D: usize> {
     offset: usize,
     /// This partition's window of the data array.
     data: &'a mut [Record<D>],
+    /// The matching disjoint window of the assignment-key column (kept in
+    /// lockstep with `data` by the crack kernels).
+    keys: &'a mut [f64],
+    /// The matching disjoint window of the upper-bound column.
+    his: &'a mut [f64],
     /// This partition's run of the top-level slice list, rebased to local
     /// indices.
     slices: Vec<Slice<D>>,
@@ -188,16 +195,23 @@ impl<const D: usize> Quasii<D> {
         let fences = KeyFences::from_inner(groups[1..].iter().map(|g| g[0].key_lo).collect());
 
         // Detach the disjoint data windows (split_at_mut chain) and rebase
-        // each group's slices onto its window.
+        // each group's slices onto its window; the key column is split
+        // along the exact same boundaries so each worker cracks its
+        // (keys, data) pair in lockstep.
         let mut parts: Vec<Partition<'_, D>> = Vec::with_capacity(m);
         let mut rest: &mut [Record<D>] = &mut self.data;
+        let (mut rest_keys, mut rest_his) = self.keys.as_mut_slices();
         let mut consumed = 0usize;
         for (index, mut slices) in groups.into_iter().enumerate() {
             let begin = slices[0].begin;
             let end = slices.last().expect("groups are non-empty").end;
             debug_assert_eq!(begin, consumed, "top-level slices must be contiguous");
             let (window, tail) = rest.split_at_mut(end - consumed);
+            let (key_window, key_tail) = rest_keys.split_at_mut(end - consumed);
+            let (hi_window, hi_tail) = rest_his.split_at_mut(end - consumed);
             rest = tail;
+            rest_keys = key_tail;
+            rest_his = hi_tail;
             consumed = end;
             for s in &mut slices {
                 shift(s, begin, false);
@@ -206,6 +220,8 @@ impl<const D: usize> Quasii<D> {
                 index,
                 offset: begin,
                 data: window,
+                keys: key_window,
+                his: hi_window,
                 slices,
                 queries: Vec::new(),
                 hits: Vec::new(),
@@ -237,6 +253,8 @@ impl<const D: usize> Quasii<D> {
                         let mut out = Vec::new();
                         engine::query_level(
                             p.data,
+                            p.keys,
+                            p.his,
                             &mut p.slices,
                             &queries[j],
                             &extended[j],

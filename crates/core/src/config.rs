@@ -20,6 +20,27 @@ pub enum AssignBy {
     Upper,
 }
 
+impl AssignBy {
+    /// Parses the CLI/harness spelling (`lower` | `center` | `upper`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "lower" => Some(Self::Lower),
+            "center" => Some(Self::Center),
+            "upper" => Some(Self::Upper),
+            _ => None,
+        }
+    }
+
+    /// The CLI/harness spelling ([`parse`](Self::parse) inverse).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Lower => "lower",
+            Self::Center => "center",
+            Self::Upper => "upper",
+        }
+    }
+}
+
 /// Tuning knobs of [`crate::Quasii`].
 ///
 /// The paper stresses that QUASII "has only one configuration parameter, a
@@ -78,6 +99,14 @@ impl QuasiiConfig {
     /// `QuasiiConfig::with_tau(60).with_threads(4)`).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Returns `self` with the assignment coordinate set (chainable —
+    /// unlike [`with_assignment`](Self::with_assignment), which is a
+    /// constructor).
+    pub fn with_assign_by(mut self, assign_by: AssignBy) -> Self {
+        self.assign_by = assign_by;
         self
     }
 }
@@ -148,5 +177,19 @@ mod tests {
         assert_eq!(c.tau, 60);
         assert_eq!(c.threads, 0, "0 = auto (available parallelism)");
         assert_eq!(QuasiiConfig::with_tau(8).with_threads(4).threads, 4);
+        assert_eq!(
+            QuasiiConfig::default()
+                .with_assign_by(AssignBy::Upper)
+                .assign_by,
+            AssignBy::Upper
+        );
+    }
+
+    #[test]
+    fn assign_by_parse_round_trips() {
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            assert_eq!(AssignBy::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(AssignBy::parse("sideways"), None);
     }
 }

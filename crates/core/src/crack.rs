@@ -7,6 +7,35 @@
 //! Slicing": each object belongs to exactly one slice, no replication), or
 //! the center/upper corner per the paper's footnote 1 (see
 //! [`crate::AssignBy`]).
+//!
+//! # Kernel generations
+//!
+//! The engine has gone through three kernel generations:
+//!
+//! 1. **record-streaming** — compare-and-swap over the wide `Record<D>`
+//!    array, recomputing [`key_of`] on every probe, then separate measuring
+//!    passes per output segment (kept in [`reference`] as the oracle);
+//! 2. **fused** — same record-streaming comparison loop, but each record is
+//!    folded into its output segment's full [`SegMeasure`] during the
+//!    partition pass (also in [`reference`]);
+//! 3. **keyed** — the current generation (this module's `*_keyed*`
+//!    functions): the partition scans two narrow, cache-resident columns
+//!    maintained by [`crate::keys::KeyColumn`] — the **assignment-key
+//!    column** (`keys[i] == key_of(&recs[i], dim, mode)`) it compares
+//!    against the pivot, and the companion upper-bound column
+//!    (`his[i] == recs[i].mbb.hi[dim]`) it folds bounding information from
+//!    — and touches the wide records **only to swap misplaced pairs**.
+//!    Instead of the full multi-dimensional [`SegMeasure`], the keyed
+//!    kernels measure exactly what the engine consumes per output segment:
+//!    a [`DimBounds`] on the crack dimension (the engine lazily computes an
+//!    exact MBB only for the at-most-τ-sized segments that become refined
+//!    slices, where the scan is cache-resident). Cf. Idreos et al.'s
+//!    database cracking and Pirk et al.'s predicated "fancy scan" kernels.
+//!
+//! Every keyed kernel produces **the same permutation, split points and
+//! measurements** as its record-streaming counterpart in [`reference`]
+//! (permutations and split points bit-for-bit; measurements value-equal
+//! min/max folds); `tests/keyed_kernels.rs` proves it property-based.
 
 use crate::config::AssignBy;
 use quasii_common::geom::{Aabb, Record};
@@ -23,7 +52,9 @@ pub fn key_of<const D: usize>(r: &Record<D>, dim: usize, mode: AssignBy) -> f64 
 
 /// Per-dimension measurements of a record segment: the assignment-key
 /// minimum (drives the sorted slice lists) and the actual spatial interval
-/// (drives slice MBBs).
+/// (drives slice MBBs). This is exactly what the engine needs per crack
+/// output segment that stays *unrefined* — the keyed kernels measure it
+/// from the narrow columns during the partition pass.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DimBounds {
     /// Minimum assignment key over the segment (`+inf` when empty).
@@ -44,7 +75,32 @@ impl DimBounds {
         }
     }
 
-    /// Measures a segment.
+    /// Folds one element's assignment key and upper bound in. Kept
+    /// `inline(always)` and only ever called on fixed named locals so the
+    /// accumulator stays in registers (an index-selected destination would
+    /// force it into memory).
+    #[inline(always)]
+    fn fold_key_hi(&mut self, k: f64, h: f64) {
+        if k < self.min_key {
+            self.min_key = k;
+        }
+        if h > self.max_hi {
+            self.max_hi = h;
+        }
+    }
+
+    /// Folds one element's lower bound in (only needed by `Center`/`Upper`
+    /// assignment, where the key is not the lower bound).
+    #[inline(always)]
+    fn fold_lo(&mut self, lo: f64) {
+        if lo < self.min_lo {
+            self.min_lo = lo;
+        }
+    }
+
+    /// Measures a segment with a record-streaming scan (the oracle for the
+    /// keyed kernels' in-pass measurements; also used by the rare rank-based
+    /// fallback path).
     pub fn of<const D: usize>(seg: &[Record<D>], dim: usize, mode: AssignBy) -> Self {
         let mut b = Self::empty();
         for r in seg {
@@ -63,15 +119,11 @@ impl DimBounds {
     }
 }
 
-/// Full measurements of one crack output segment, accumulated *during* the
-/// partition pass by the fused kernels ([`crack_two_measured`],
-/// [`crack_three_measured`]): the assignment-key minimum (drives the sorted
-/// slice lists) plus the exact MBB over **all** dimensions (drives both the
-/// open-ended bbox of an above-τ slice and the exact MBB of a refined one).
-///
-/// Folding the measurement into the partition pass removes the separate
-/// `DimBounds::of` + `Slice::measure_exact` traversals the engine used to
-/// make per sub-segment, roughly halving per-crack memory traffic.
+/// Full measurements of one crack output segment: the assignment-key
+/// minimum plus the exact MBB over **all** dimensions. The fused
+/// [`reference`] kernels accumulate this during their partition pass; the
+/// current keyed engine instead measures [`DimBounds`] in-pass and derives
+/// the exact MBB lazily (only for segments small enough to become refined).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SegMeasure<const D: usize> {
     /// Minimum assignment key over the segment (`+inf` when empty).
@@ -98,8 +150,7 @@ impl<const D: usize> SegMeasure<D> {
         self.mbb.expand(&r.mbb);
     }
 
-    /// Measures a segment with a plain scan — used by the rare fallback
-    /// paths (rank-based splits) that bypass the fused kernels.
+    /// Measures a segment with a plain record scan.
     pub fn of(seg: &[Record<D>], dim: usize, mode: AssignBy) -> Self {
         let mut m = Self::empty();
         for r in seg {
@@ -118,113 +169,180 @@ impl<const D: usize> SegMeasure<D> {
     }
 }
 
-/// Two-way crack: reorders `seg` so records with `key < pivot` precede the
-/// rest; returns the split point (first index of the `>= pivot` part).
+// ---------------------------------------------------------------------------
+// Keyed kernels — the engine's hot path. All of them operate on a
+// `(keys, his, recs)` triple in lockstep: on entry `keys[i]` must equal
+// `key_of(&recs[i], dim, mode)` and `his[i]` must equal
+// `recs[i].mbb.hi[dim]` for the dimension being cracked, and the kernels
+// preserve that correspondence (every record swap swaps the matching
+// column entries).
+// ---------------------------------------------------------------------------
+
+/// Whether `min lo[dim]` must be folded from the records: in `Lower` mode
+/// the assignment key *is* `lo[dim]`, so the minimum key doubles as the
+/// minimum lower bound and untouched records are never read at all.
+#[inline(always)]
+fn folds_lo(mode: AssignBy) -> bool {
+    mode != AssignBy::Lower
+}
+
+/// Two-way keyed crack: reorders the `(keys, his, recs)` triple in lockstep
+/// so entries with `key < pivot` precede the rest; returns the split point
+/// (first index of the `>= pivot` part).
 ///
-/// Hoare-style two-pointer pass — the classic database-cracking kernel.
-pub fn crack_two<const D: usize>(
-    seg: &mut [Record<D>],
-    dim: usize,
-    mode: AssignBy,
+/// The scan compares only the 8-byte key column (a `Record<3>` is 56
+/// bytes); the wide records are touched only when a misplaced pair must
+/// swap. Produces bit-for-bit the same permutation and split point as
+/// [`reference::crack_two`].
+pub fn crack_two_keyed<const D: usize>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
     pivot: f64,
 ) -> usize {
+    debug_assert!(keys.len() == recs.len() && his.len() == recs.len());
     let mut i = 0usize;
-    let mut j = seg.len();
+    let mut j = keys.len();
     loop {
-        while i < j && key_of(&seg[i], dim, mode) < pivot {
+        while i < j && keys[i] < pivot {
             i += 1;
         }
-        while i < j && key_of(&seg[j - 1], dim, mode) >= pivot {
+        while i < j && keys[j - 1] >= pivot {
             j -= 1;
         }
         if i + 1 >= j {
             break;
         }
-        seg.swap(i, j - 1);
+        keys.swap(i, j - 1);
+        his.swap(i, j - 1);
+        recs.swap(i, j - 1);
         i += 1;
         j -= 1;
     }
     i
 }
 
-/// Fused two-way crack: same partition (and identical split point) as
-/// [`crack_two`], but additionally measures both output segments *during*
-/// the pass. Every record is folded into its final side's [`SegMeasure`]
-/// exactly once, at the moment the partition decides where it lands, so the
-/// kernel touches each record once instead of the two to three passes of
-/// the split partition-then-measure scheme.
-pub fn crack_two_measured<const D: usize>(
-    seg: &mut [Record<D>],
+/// Measuring two-way keyed crack: same partition (and identical split
+/// point) as [`crack_two_keyed`], additionally measuring both output
+/// segments' [`DimBounds`] during the pass — min key and max upper bound
+/// straight from the narrow columns (`FOLD_LO` additionally folds
+/// `lo[dim]` from the records, needed for `Center`/`Upper` assignment
+/// where the key is not the lower bound).
+fn crack_two_keyed_measured_impl<const D: usize, const FOLD_LO: bool>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
     dim: usize,
-    mode: AssignBy,
     pivot: f64,
-) -> (usize, SegMeasure<D>, SegMeasure<D>) {
-    let mut left = SegMeasure::empty();
-    let mut right = SegMeasure::empty();
+) -> (usize, DimBounds, DimBounds) {
+    let mut left = DimBounds::empty();
+    let mut right = DimBounds::empty();
     let mut i = 0usize;
-    let mut j = seg.len();
+    let mut j = keys.len();
     loop {
-        // `ki`/`kj` carry the key each scan stopped on, so the swap branch
-        // below does not recompute them.
-        let mut ki = f64::NAN;
-        while i < j {
-            let k = key_of(&seg[i], dim, mode);
+        // Scans run over zipped subslice iterators so the narrow-column
+        // loads carry no per-element bounds check.
+        for (&k, &h) in keys[i..j].iter().zip(his[i..j].iter()) {
             if k >= pivot {
-                ki = k;
                 break;
             }
-            left.add(&seg[i], k);
+            left.fold_key_hi(k, h);
+            if FOLD_LO {
+                left.fold_lo(recs[i].mbb.lo[dim]);
+            }
             i += 1;
         }
-        let mut kj = f64::NAN;
-        while i < j {
-            let k = key_of(&seg[j - 1], dim, mode);
+        for (&k, &h) in keys[i..j].iter().zip(his[i..j].iter()).rev() {
             if k < pivot {
-                kj = k;
                 break;
             }
-            right.add(&seg[j - 1], k);
+            right.fold_key_hi(k, h);
+            if FOLD_LO {
+                right.fold_lo(recs[j - 1].mbb.lo[dim]);
+            }
             j -= 1;
         }
         if i + 1 >= j {
             break;
         }
-        // Both scans stopped on a misplaced pair (i + 1 < j implies neither
-        // exhausted the range, so ki/kj are set): seg[i] belongs right,
-        // seg[j-1] belongs left. Measure both on their final side, swap.
-        debug_assert!(!ki.is_nan() && !kj.is_nan());
-        right.add(&seg[i], ki);
-        left.add(&seg[j - 1], kj);
-        seg.swap(i, j - 1);
+        // Misplaced pair: recs[i] ends right, recs[j-1] ends left — fold
+        // each into its final side, then swap the triple.
+        right.fold_key_hi(keys[i], his[i]);
+        left.fold_key_hi(keys[j - 1], his[j - 1]);
+        if FOLD_LO {
+            right.fold_lo(recs[i].mbb.lo[dim]);
+            left.fold_lo(recs[j - 1].mbb.lo[dim]);
+        }
+        keys.swap(i, j - 1);
+        his.swap(i, j - 1);
+        recs.swap(i, j - 1);
         i += 1;
         j -= 1;
+    }
+    if !FOLD_LO {
+        // Lower assignment: the key is the lower bound.
+        left.min_lo = left.min_key;
+        right.min_lo = right.min_key;
     }
     (i, left, right)
 }
 
-/// Three-way crack (Dutch national flag): partitions `seg` into
-/// `key < low` | `low <= key <= high` | `key > high`; returns the two split
-/// points `(p1, p2)` so the middle part is `p1..p2`.
-pub fn crack_three<const D: usize>(
-    seg: &mut [Record<D>],
+/// Measuring two-way keyed crack (see
+/// [`crack_two_keyed`] for the partition contract): returns the split point
+/// and both output segments' [`DimBounds`], measured from the narrow
+/// columns during the pass. Identical permutation and split point to
+/// [`reference::crack_two_measured`]; the measurements equal that kernel's
+/// [`SegMeasure::dim_bounds`] view.
+pub fn crack_two_keyed_measured<const D: usize>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
     dim: usize,
     mode: AssignBy,
+    pivot: f64,
+) -> (usize, DimBounds, DimBounds) {
+    debug_assert!(keys.len() == recs.len() && his.len() == recs.len());
+    if folds_lo(mode) {
+        crack_two_keyed_measured_impl::<D, true>(keys, his, recs, dim, pivot)
+    } else {
+        crack_two_keyed_measured_impl::<D, false>(keys, his, recs, dim, pivot)
+    }
+}
+
+/// Three-way keyed crack (Dutch national flag): partitions the
+/// `(keys, his, recs)` triple into `key < low` | `low <= key <= high` |
+/// `key > high`; returns the two split points `(p1, p2)` so the middle part
+/// is `p1..p2`. Identical permutation to [`reference::crack_three`].
+pub fn crack_three_keyed<const D: usize>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
     low: f64,
     high: f64,
 ) -> (usize, usize) {
+    debug_assert!(keys.len() == recs.len() && his.len() == recs.len());
     debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
     let mut lt = 0usize;
     let mut i = 0usize;
-    let mut gt = seg.len();
+    let mut gt = keys.len();
     while i < gt {
-        let v = key_of(&seg[i], dim, mode);
+        let v = keys[i];
         if v < low {
-            seg.swap(lt, i);
+            // Self-swaps (lt == i) are no-ops in the reference kernel too;
+            // skipping them saves record traffic on ordered prefixes
+            // without changing the permutation.
+            if lt != i {
+                keys.swap(lt, i);
+                his.swap(lt, i);
+                recs.swap(lt, i);
+            }
             lt += 1;
             i += 1;
         } else if v > high {
             gt -= 1;
-            seg.swap(i, gt);
+            keys.swap(i, gt);
+            his.swap(i, gt);
+            recs.swap(i, gt);
         } else {
             i += 1;
         }
@@ -232,67 +350,335 @@ pub fn crack_three<const D: usize>(
     (lt, gt)
 }
 
-/// Fused three-way crack: same partition (and identical split points) as
-/// [`crack_three`], measuring the three output segments during the pass.
-/// Each record is folded into its final segment's [`SegMeasure`] exactly
-/// once, at first examination — the Dutch-flag invariant guarantees every
-/// element is examined once, and the region it is classified into then is
-/// the region it ends in.
-pub fn crack_three_measured<const D: usize>(
-    seg: &mut [Record<D>],
+/// Measuring three-way keyed crack: same partition (and identical split
+/// points) as [`crack_three_keyed`], measuring the three output segments'
+/// [`DimBounds`] during the pass from the narrow columns.
+fn crack_three_keyed_measured_impl<const D: usize, const FOLD_LO: bool>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
     dim: usize,
-    mode: AssignBy,
     low: f64,
     high: f64,
-) -> (usize, usize, [SegMeasure<D>; 3]) {
-    debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
-    let mut m = [SegMeasure::empty(); 3];
+) -> (usize, usize, [DimBounds; 3]) {
+    // Three scalar accumulator sets with a fixed destination per branch arm
+    // (an index-selected `m[region]` fold would force the accumulators into
+    // memory instead of registers).
+    let mut m0 = DimBounds::empty();
+    let mut m1 = DimBounds::empty();
+    let mut m2 = DimBounds::empty();
     let mut lt = 0usize;
     let mut i = 0usize;
-    let mut gt = seg.len();
+    let mut gt = keys.len();
     while i < gt {
-        let v = key_of(&seg[i], dim, mode);
+        // Fast-forward over a run of middle-class elements (no swap, fixed
+        // fold destination) with zipped subslice iterators — no per-element
+        // bounds check, and the dominant class once a segment converges.
+        for (&k, &h) in keys[i..gt].iter().zip(his[i..gt].iter()) {
+            if k < low || k > high {
+                break;
+            }
+            m1.fold_key_hi(k, h);
+            if FOLD_LO {
+                m1.fold_lo(recs[i].mbb.lo[dim]);
+            }
+            i += 1;
+        }
+        if i >= gt {
+            break;
+        }
+        let v = keys[i];
         if v < low {
-            m[0].add(&seg[i], v);
-            seg.swap(lt, i);
+            m0.fold_key_hi(v, his[i]);
+            if FOLD_LO {
+                m0.fold_lo(recs[i].mbb.lo[dim]);
+            }
+            // Self-swaps (lt == i: no mid/high element seen yet) are no-ops
+            // in the reference kernel too; skipping them saves the record
+            // traffic on already-ordered prefixes without changing the
+            // permutation.
+            if lt != i {
+                keys.swap(lt, i);
+                his.swap(lt, i);
+                recs.swap(lt, i);
+            }
             lt += 1;
             i += 1;
-        } else if v > high {
-            m[2].add(&seg[i], v);
-            gt -= 1;
-            seg.swap(i, gt);
         } else {
-            m[1].add(&seg[i], v);
-            i += 1;
+            // The fast-forward loop stopped on a non-middle element, so
+            // here v > high.
+            debug_assert!(v > high);
+            m2.fold_key_hi(v, his[i]);
+            if FOLD_LO {
+                m2.fold_lo(recs[i].mbb.lo[dim]);
+            }
+            gt -= 1;
+            keys.swap(i, gt);
+            his.swap(i, gt);
+            recs.swap(i, gt);
+        }
+    }
+    let mut m = [m0, m1, m2];
+    if !FOLD_LO {
+        for b in &mut m {
+            b.min_lo = b.min_key;
         }
     }
     (lt, gt, m)
 }
 
-/// Rank-based fallback split used when midpoint (value) splits cannot
-/// separate a degenerate distribution: moves the median-by-key value into
-/// place and partitions around it. Returns the split point, which may be
-/// `0` or `seg.len()` when all keys are equal (caller must handle).
-pub fn crack_median<const D: usize>(seg: &mut [Record<D>], dim: usize, mode: AssignBy) -> usize {
-    if seg.len() < 2 {
-        return seg.len();
+/// Measuring three-way keyed crack (see [`crack_three_keyed`] for the
+/// partition contract): identical permutation and split points to
+/// [`reference::crack_three_measured`]; the measurements equal that
+/// kernel's [`SegMeasure::dim_bounds`] view.
+pub fn crack_three_keyed_measured<const D: usize>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+    low: f64,
+    high: f64,
+) -> (usize, usize, [DimBounds; 3]) {
+    debug_assert!(keys.len() == recs.len() && his.len() == recs.len());
+    debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
+    if folds_lo(mode) {
+        crack_three_keyed_measured_impl::<D, true>(keys, his, recs, dim, low, high)
+    } else {
+        crack_three_keyed_measured_impl::<D, false>(keys, his, recs, dim, low, high)
     }
-    let mid = seg.len() / 2;
-    seg.select_nth_unstable_by(mid, |a, b| {
+}
+
+/// Rank-based fallback split used when midpoint (value) splits cannot
+/// separate a degenerate distribution: moves the median-by-key record into
+/// place, rebuilds both columns for the permuted segment, and partitions
+/// around the median key. Returns the split point, which may be `0` or
+/// `recs.len()` when all keys are equal (caller must handle).
+///
+/// The record selection runs the exact comparator of
+/// [`reference::crack_median`], so the permutation (and therefore the whole
+/// engine state) stays bit-for-bit identical to the record-streaming
+/// oracle. This path is rare (degenerate value distributions only), so the
+/// extra re-keying scan does not matter.
+pub fn crack_median_keyed<const D: usize>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+) -> usize {
+    debug_assert!(keys.len() == recs.len() && his.len() == recs.len());
+    if recs.len() < 2 {
+        return recs.len();
+    }
+    let mid = recs.len() / 2;
+    recs.select_nth_unstable_by(mid, |a, b| {
         key_of(a, dim, mode)
             .partial_cmp(&key_of(b, dim, mode))
             .expect("coordinates are never NaN")
     });
-    let pivot = key_of(&seg[mid], dim, mode);
+    // The selection permuted the records without the columns: re-key.
+    crate::keys::rekey(keys, his, recs, dim, mode);
+    let pivot = keys[mid];
     // Partition strictly below the median value; if everything is equal to
     // the pivot this yields 0 and the caller treats the slice as
     // value-indivisible.
-    crack_two(seg, dim, mode, pivot)
+    crack_two_keyed(keys, his, recs, pivot)
+}
+
+/// The record-streaming kernel generations (pre-key-column), kept as the
+/// bit-for-bit oracle for the keyed kernels and as the baseline side of the
+/// `benches/kernels.rs` keyed-vs-record-streaming comparison. Not used on
+/// the engine's query path.
+pub mod reference {
+    use super::{key_of, SegMeasure};
+    use crate::config::AssignBy;
+    use quasii_common::geom::Record;
+
+    /// Two-way crack: reorders `seg` so records with `key < pivot` precede
+    /// the rest; returns the split point (first index of the `>= pivot`
+    /// part).
+    ///
+    /// Hoare-style two-pointer pass — the classic database-cracking kernel,
+    /// recomputing `key_of` on every probe.
+    pub fn crack_two<const D: usize>(
+        seg: &mut [Record<D>],
+        dim: usize,
+        mode: AssignBy,
+        pivot: f64,
+    ) -> usize {
+        let mut i = 0usize;
+        let mut j = seg.len();
+        loop {
+            while i < j && key_of(&seg[i], dim, mode) < pivot {
+                i += 1;
+            }
+            while i < j && key_of(&seg[j - 1], dim, mode) >= pivot {
+                j -= 1;
+            }
+            if i + 1 >= j {
+                break;
+            }
+            seg.swap(i, j - 1);
+            i += 1;
+            j -= 1;
+        }
+        i
+    }
+
+    /// Fused two-way crack: same partition (and identical split point) as
+    /// [`crack_two`], but additionally measures both output segments
+    /// *during* the pass. Every record is folded into its final side's
+    /// [`SegMeasure`] exactly once, at the moment the partition decides
+    /// where it lands.
+    pub fn crack_two_measured<const D: usize>(
+        seg: &mut [Record<D>],
+        dim: usize,
+        mode: AssignBy,
+        pivot: f64,
+    ) -> (usize, SegMeasure<D>, SegMeasure<D>) {
+        let mut left = SegMeasure::empty();
+        let mut right = SegMeasure::empty();
+        let mut i = 0usize;
+        let mut j = seg.len();
+        loop {
+            // `ki`/`kj` carry the key each scan stopped on, so the swap
+            // branch below does not recompute them.
+            let mut ki = f64::NAN;
+            while i < j {
+                let k = key_of(&seg[i], dim, mode);
+                if k >= pivot {
+                    ki = k;
+                    break;
+                }
+                left.add(&seg[i], k);
+                i += 1;
+            }
+            let mut kj = f64::NAN;
+            while i < j {
+                let k = key_of(&seg[j - 1], dim, mode);
+                if k < pivot {
+                    kj = k;
+                    break;
+                }
+                right.add(&seg[j - 1], k);
+                j -= 1;
+            }
+            if i + 1 >= j {
+                break;
+            }
+            // Both scans stopped on a misplaced pair (i + 1 < j implies
+            // neither exhausted the range, so ki/kj are set): seg[i] belongs
+            // right, seg[j-1] belongs left. Measure both on their final
+            // side, swap.
+            debug_assert!(!ki.is_nan() && !kj.is_nan());
+            right.add(&seg[i], ki);
+            left.add(&seg[j - 1], kj);
+            seg.swap(i, j - 1);
+            i += 1;
+            j -= 1;
+        }
+        (i, left, right)
+    }
+
+    /// Three-way crack (Dutch national flag): partitions `seg` into
+    /// `key < low` | `low <= key <= high` | `key > high`; returns the two
+    /// split points `(p1, p2)` so the middle part is `p1..p2`.
+    pub fn crack_three<const D: usize>(
+        seg: &mut [Record<D>],
+        dim: usize,
+        mode: AssignBy,
+        low: f64,
+        high: f64,
+    ) -> (usize, usize) {
+        debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
+        let mut lt = 0usize;
+        let mut i = 0usize;
+        let mut gt = seg.len();
+        while i < gt {
+            let v = key_of(&seg[i], dim, mode);
+            if v < low {
+                seg.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if v > high {
+                gt -= 1;
+                seg.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        (lt, gt)
+    }
+
+    /// Fused three-way crack: same partition (and identical split points)
+    /// as [`crack_three`], measuring the three output segments during the
+    /// pass.
+    pub fn crack_three_measured<const D: usize>(
+        seg: &mut [Record<D>],
+        dim: usize,
+        mode: AssignBy,
+        low: f64,
+        high: f64,
+    ) -> (usize, usize, [SegMeasure<D>; 3]) {
+        debug_assert!(low <= high, "crack_three bounds inverted: {low} > {high}");
+        let mut m = [SegMeasure::empty(); 3];
+        let mut lt = 0usize;
+        let mut i = 0usize;
+        let mut gt = seg.len();
+        while i < gt {
+            let v = key_of(&seg[i], dim, mode);
+            if v < low {
+                m[0].add(&seg[i], v);
+                seg.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if v > high {
+                m[2].add(&seg[i], v);
+                gt -= 1;
+                seg.swap(i, gt);
+            } else {
+                m[1].add(&seg[i], v);
+                i += 1;
+            }
+        }
+        (lt, gt, m)
+    }
+
+    /// Rank-based fallback split used when midpoint (value) splits cannot
+    /// separate a degenerate distribution: moves the median-by-key value
+    /// into place and partitions around it. Returns the split point, which
+    /// may be `0` or `seg.len()` when all keys are equal (caller must
+    /// handle).
+    pub fn crack_median<const D: usize>(
+        seg: &mut [Record<D>],
+        dim: usize,
+        mode: AssignBy,
+    ) -> usize {
+        if seg.len() < 2 {
+            return seg.len();
+        }
+        let mid = seg.len() / 2;
+        seg.select_nth_unstable_by(mid, |a, b| {
+            key_of(a, dim, mode)
+                .partial_cmp(&key_of(b, dim, mode))
+                .expect("coordinates are never NaN")
+        });
+        let pivot = key_of(&seg[mid], dim, mode);
+        // Partition strictly below the median value; if everything is equal
+        // to the pivot this yields 0 and the caller treats the slice as
+        // value-indivisible.
+        crack_two(seg, dim, mode, pivot)
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::{
+        crack_median, crack_three, crack_three_measured, crack_two, crack_two_measured,
+    };
     use super::*;
+    use crate::keys::rekey;
     use quasii_common::geom::Aabb;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -318,6 +704,18 @@ mod tests {
                 )
             })
             .collect()
+    }
+
+    /// Builds the column pair of a segment.
+    fn columns_of<const D: usize>(
+        seg: &[Record<D>],
+        dim: usize,
+        mode: AssignBy,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut k = vec![0.0; seg.len()];
+        let mut h = vec![0.0; seg.len()];
+        rekey(&mut k, &mut h, seg, dim, mode);
+        (k, h)
     }
 
     #[test]
@@ -558,5 +956,125 @@ mod tests {
         let p = crack_two(&mut seg, 1, LOWER, 25.0);
         assert!(seg[..p].iter().all(|r| r.mbb.lo[1] < 25.0));
         assert!(seg[p..].iter().all(|r| r.mbb.lo[1] >= 25.0));
+    }
+
+    // -- keyed kernels ≡ record-streaming oracle (spot checks; the deep
+    //    property suite lives in tests/keyed_kernels.rs) ------------------
+
+    /// Asserts the `(keys, his, recs)` triple is still in lockstep.
+    fn assert_columns_consistent<const D: usize>(
+        keys: &[f64],
+        his: &[f64],
+        recs: &[Record<D>],
+        dim: usize,
+        mode: AssignBy,
+    ) {
+        for ((k, h), r) in keys.iter().zip(his).zip(recs) {
+            assert_eq!(*k, key_of(r, dim, mode), "key column out of lockstep");
+            assert_eq!(*h, r.mbb.hi[dim], "upper-bound column out of lockstep");
+        }
+    }
+
+    #[test]
+    fn keyed_two_way_matches_reference() {
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            for (seed, pivot) in [(31, 50.0), (32, 0.0), (33, 200.0), (34, 97.5)] {
+                for dim in [0usize, 2] {
+                    let mut keyed = random_segment3(501, seed);
+                    let (mut ck, mut ch) = columns_of(&keyed, dim, mode);
+                    let mut plain = keyed.clone();
+                    let (p, l, r) =
+                        crack_two_keyed_measured(&mut ck, &mut ch, &mut keyed, dim, mode, pivot);
+                    let (p_ref, l_ref, r_ref) = crack_two_measured(&mut plain, dim, mode, pivot);
+                    assert_eq!(p, p_ref, "split (mode {mode:?}, dim {dim})");
+                    assert_eq!(keyed, plain, "permutation (mode {mode:?}, dim {dim})");
+                    assert_eq!(l, l_ref.dim_bounds(dim), "left bounds (mode {mode:?})");
+                    assert_eq!(r, r_ref.dim_bounds(dim), "right bounds (mode {mode:?})");
+                    assert_columns_consistent(&ck, &ch, &keyed, dim, mode);
+
+                    // Unmeasured variant: identical partition too.
+                    let mut keyed2 = plain.clone();
+                    let (mut ck2, mut ch2) = columns_of(&keyed2, dim, mode);
+                    // plain is already partitioned; re-run both on the
+                    // partitioned input to exercise the sorted edge case.
+                    let p2 = crack_two_keyed(&mut ck2, &mut ch2, &mut keyed2, pivot);
+                    let p2_ref = crack_two(&mut plain, dim, mode, pivot);
+                    assert_eq!(p2, p2_ref);
+                    assert_eq!(keyed2, plain);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_three_way_matches_reference() {
+        for mode in [AssignBy::Lower, AssignBy::Center, AssignBy::Upper] {
+            for (seed, lo, hi) in [(41, 25.0, 75.0), (42, 50.0, 50.0), (43, -5.0, -1.0)] {
+                let mut keyed = random_segment3(700, seed);
+                let (mut ck, mut ch) = columns_of(&keyed, 1, mode);
+                let mut plain = keyed.clone();
+                let (p1, p2, m) =
+                    crack_three_keyed_measured(&mut ck, &mut ch, &mut keyed, 1, mode, lo, hi);
+                let (r1, r2, m_ref) = crack_three_measured(&mut plain, 1, mode, lo, hi);
+                assert_eq!((p1, p2), (r1, r2));
+                assert_eq!(keyed, plain);
+                for (got, want) in m.iter().zip(&m_ref) {
+                    assert_eq!(*got, want.dim_bounds(1), "bounds (mode {mode:?})");
+                }
+                assert_columns_consistent(&ck, &ch, &keyed, 1, mode);
+
+                let mut keyed2 = plain.clone();
+                let (mut ck2, mut ch2) = columns_of(&keyed2, 1, mode);
+                let (q1, q2) = crack_three_keyed(&mut ck2, &mut ch2, &mut keyed2, lo, hi);
+                let (s1, s2) = crack_three(&mut plain, 1, mode, lo, hi);
+                assert_eq!((q1, q2), (s1, s2));
+                assert_eq!(keyed2, plain);
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_median_matches_reference() {
+        for mode in [AssignBy::Lower, AssignBy::Center] {
+            let mut keyed = random_segment3(101, 51);
+            let (mut ck, mut ch) = columns_of(&keyed, 0, mode);
+            let mut plain = keyed.clone();
+            let p = crack_median_keyed(&mut ck, &mut ch, &mut keyed, 0, mode);
+            let p_ref = crack_median(&mut plain, 0, mode);
+            assert_eq!(p, p_ref);
+            assert_eq!(keyed, plain);
+            assert_columns_consistent(&ck, &ch, &keyed, 0, mode);
+        }
+        // Degenerate: all equal → 0; tiny segments return their length.
+        let mut same: Vec<Record<3>> = (0..9)
+            .map(|i| Record::new(i, Aabb::new([3.0; 3], [4.0; 3])))
+            .collect();
+        let (mut ck, mut ch) = columns_of(&same, 0, LOWER);
+        assert_eq!(crack_median_keyed(&mut ck, &mut ch, &mut same, 0, LOWER), 0);
+        let mut one = vec![Record::new(0, Aabb::new([1.0; 3], [2.0; 3]))];
+        let (mut ck1, mut ch1) = columns_of(&one, 0, LOWER);
+        assert_eq!(
+            crack_median_keyed(&mut ck1, &mut ch1, &mut one, 0, LOWER),
+            1
+        );
+    }
+
+    #[test]
+    fn keyed_kernels_handle_empty_segments() {
+        let mut keys: Vec<f64> = vec![];
+        let mut his: Vec<f64> = vec![];
+        let mut recs: Vec<Record<3>> = vec![];
+        assert_eq!(crack_two_keyed(&mut keys, &mut his, &mut recs, 1.0), 0);
+        let (p, l, r) = crack_two_keyed_measured(&mut keys, &mut his, &mut recs, 0, LOWER, 1.0);
+        assert_eq!(p, 0);
+        assert_eq!((l, r), (DimBounds::empty(), DimBounds::empty()));
+        let (p1, p2, m) =
+            crack_three_keyed_measured(&mut keys, &mut his, &mut recs, 0, LOWER, 0.0, 1.0);
+        assert_eq!((p1, p2), (0, 0));
+        assert!(m.iter().all(|x| *x == DimBounds::empty()));
+        assert_eq!(
+            crack_median_keyed(&mut keys, &mut his, &mut recs, 0, LOWER),
+            0
+        );
     }
 }

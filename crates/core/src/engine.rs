@@ -3,11 +3,17 @@
 //! query extension (§5.2).
 //!
 //! Everything here operates on split borrows of the [`crate::Quasii`]
-//! fields: the data array is reorganized in place while the slice hierarchy
-//! is rebuilt around it.
+//! fields: the data array **and its narrow column pair** (assignment keys +
+//! upper bounds, see [`crate::keys`]) are reorganized in place, in
+//! lockstep, while the slice hierarchy is rebuilt around them. Every
+//! function taking `(data, keys, his)` expects three full, parallel arrays
+//! indexed by the same slice ranges.
 
 use crate::config::AssignBy;
-use crate::crack::{crack_median, crack_three_measured, crack_two_measured, SegMeasure};
+use crate::crack::{
+    crack_median_keyed, crack_three_keyed_measured, crack_two_keyed_measured, DimBounds,
+};
+use crate::keys::rekey;
 use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use quasii_common::geom::{Aabb, Record};
@@ -54,22 +60,27 @@ fn placeholder<const D: usize>() -> Slice<D> {
         cut_hi: 0.0,
         key_lo: 0.0,
         refined: true,
+        keys_fresh: true,
         children: Vec::new(),
     }
 }
 
 /// Builds a sub-slice over `begin..end` after a crack of `parent` on its
-/// dimension, from the measurements the fused crack kernel accumulated
-/// during the partition pass — no re-scan of the records (§5.1: the exact
-/// MBB when the slice reaches τ, open-ended dimension bounds otherwise).
+/// dimension, from the crack-dimension bounds the keyed kernel measured
+/// during the partition pass. A segment at or below τ becomes refined and
+/// gets its exact MBB measured here — the only record scan on this path,
+/// over a small, just-cracked (cache-resident) segment; larger segments
+/// keep the parent's open-ended box narrowed to the measured interval on
+/// the crack dimension (§5.1).
 #[allow(clippy::too_many_arguments)]
 fn make_sub<const D: usize>(
+    data: &[Record<D>],
     parent: &Slice<D>,
     begin: usize,
     end: usize,
     cut_lo: f64,
     cut_hi: f64,
-    m: &SegMeasure<D>,
+    db: &DimBounds,
     env: &Env<D>,
     rt: &mut Runtime<D>,
 ) -> Slice<D> {
@@ -81,16 +92,19 @@ fn make_sub<const D: usize>(
         bbox: parent.bbox,
         cut_lo,
         cut_hi,
-        key_lo: m.min_key,
+        key_lo: db.min_key,
         refined: false,
+        // Crack kernels permute the column pair in lockstep, so every crack
+        // output range still caches its own-level keys and upper bounds.
+        keys_fresh: true,
         children: Vec::new(),
     };
     if s.len() <= env.tau[dim] {
-        s.bbox = m.mbb;
+        s.measure_exact(data);
         s.refined = true;
     } else {
-        s.bbox.lo[dim] = m.mbb.lo[dim];
-        s.bbox.hi[dim] = m.mbb.hi[dim];
+        s.bbox.lo[dim] = db.min_lo;
+        s.bbox.hi[dim] = db.max_hi;
     }
     rt.note_slice(&s);
     s
@@ -110,13 +124,43 @@ fn force_refine<const D: usize>(
     s
 }
 
+/// Re-keys a slice's range for its own level unless the columns already
+/// cache it — the lazy per-level rebuild of the column pair (root slices
+/// and crack outputs are born fresh; only default children pay this).
+fn ensure_keys<const D: usize>(
+    data: &[Record<D>],
+    keys: &mut [f64],
+    his: &mut [f64],
+    s: &mut Slice<D>,
+    env: &Env<D>,
+    rt: &mut Runtime<D>,
+) {
+    if !s.keys_fresh {
+        rekey(
+            &mut keys[s.begin..s.end],
+            &mut his[s.begin..s.end],
+            &data[s.begin..s.end],
+            s.level,
+            env.mode,
+        );
+        s.keys_fresh = true;
+        rt.stats.rekeys += 1;
+        rt.stats.records_rekeyed += s.len() as u64;
+    }
+}
+
 /// Artificial refinement (§5.2): recursive midpoint two-way cracks until
 /// every *query-overlapping* piece satisfies τ; non-overlapping pieces stay
 /// coarse for later queries. Falls back to a rank (median) split, then to
 /// force-refinement, on degenerate value distributions.
+///
+/// `s` must have fresh keys (its callers guarantee it: `refine` re-keys
+/// before cracking and every `make_sub` output is born fresh).
 #[allow(clippy::too_many_arguments)]
 fn artificial<const D: usize>(
     data: &mut [Record<D>],
+    keys: &mut [f64],
+    his: &mut [f64],
     s: Slice<D>,
     qe: &Aabb<D>,
     env: &Env<D>,
@@ -136,6 +180,7 @@ fn artificial<const D: usize>(
         out.push(force_refine(data, s, rt));
         return;
     }
+    debug_assert!(s.keys_fresh, "artificial() requires fresh columns");
     // Midpoint of the actual value interval (intersection of the cut range
     // with the measured bounds keeps the midpoint meaningful even when the
     // cut range is much wider than the data).
@@ -143,43 +188,53 @@ fn artificial<const D: usize>(
     let hi = s.bbox.hi[dim].min(s.cut_hi);
     let mid = 0.5 * (lo + hi);
     let seg = &mut data[s.begin..s.end];
+    let kseg = &mut keys[s.begin..s.end];
+    let hseg = &mut his[s.begin..s.end];
     let seg_len = seg.len() as u64;
-    let (mut split, mut lm, mut rm) = crack_two_measured(seg, dim, env.mode, mid);
+    let (mut split, mut lm, mut rm) = crack_two_keyed_measured(kseg, hseg, seg, dim, env.mode, mid);
     let mut split_value = mid;
     if split == 0 || split == seg.len() {
         // Midpoint failed to separate — rank-based fallback (rare: only on
         // degenerate value distributions, so the extra measuring scans here
         // do not matter).
-        split = crack_median(seg, dim, env.mode);
+        split = crack_median_keyed(kseg, hseg, seg, dim, env.mode);
         if split == 0 || split == seg.len() {
             out.push(force_refine(data, s, rt));
             return;
         }
-        lm = SegMeasure::of(&seg[..split], dim, env.mode);
-        rm = SegMeasure::of(&seg[split..], dim, env.mode);
+        lm = DimBounds::of(&seg[..split], dim, env.mode);
+        rm = DimBounds::of(&seg[split..], dim, env.mode);
         split_value = rm.min_key;
     }
     rt.stats.cracks += 1;
     rt.stats.records_cracked += seg_len;
     let m = s.begin + split;
-    let left = make_sub(&s, s.begin, m, s.cut_lo, split_value, &lm, env, rt);
-    let right = make_sub(&s, m, s.end, split_value, s.cut_hi, &rm, env, rt);
-    artificial(data, left, qe, env, rt, out, depth + 1);
-    artificial(data, right, qe, env, rt, out, depth + 1);
+    let left = make_sub(data, &s, s.begin, m, s.cut_lo, split_value, &lm, env, rt);
+    let right = make_sub(data, &s, m, s.end, split_value, s.cut_hi, &rm, env, rt);
+    artificial(data, keys, his, left, qe, env, rt, out, depth + 1);
+    artificial(data, keys, his, right, qe, env, rt, out, depth + 1);
 }
 
 /// Algorithm 2: refines `s` on its own dimension against the (extended)
 /// query, returning the replacement slices sorted by data-array position.
+///
+/// Callers guarantee `s` is unrefined — `query_level` descends refined
+/// slices in place without ever calling `refine` (so the old
+/// refined-early-return `vec![s]` allocation is gone from this path).
 pub(crate) fn refine<const D: usize>(
     data: &mut [Record<D>],
-    s: Slice<D>,
+    keys: &mut [f64],
+    his: &mut [f64],
+    mut s: Slice<D>,
     qe: &Aabb<D>,
     env: &Env<D>,
     rt: &mut Runtime<D>,
 ) -> Vec<Slice<D>> {
-    if s.refined {
-        return vec![s];
-    }
+    debug_assert!(
+        !s.refined,
+        "refine() must not be called on refined slices (query_level guards)"
+    );
+    ensure_keys(data, keys, his, &mut s, env, rt);
     let dim = s.level;
     let (cl, ch) = (s.cut_lo, s.cut_hi);
     let (ql, qu) = (qe.lo[dim], qe.hi[dim]);
@@ -191,34 +246,55 @@ pub(crate) fn refine<const D: usize>(
     match (inside_l, inside_u) {
         (true, true) => {
             // Both query bounds inside the slice: three-way slicing.
-            let (p1, p2, m) =
-                crack_three_measured(&mut data[s.begin..s.end], dim, env.mode, ql, qu);
+            let (p1, p2, m) = crack_three_keyed_measured(
+                &mut keys[s.begin..s.end],
+                &mut his[s.begin..s.end],
+                &mut data[s.begin..s.end],
+                dim,
+                env.mode,
+                ql,
+                qu,
+            );
             rt.stats.cracks += 1;
             rt.stats.records_cracked += seg_len;
             let (b, m1, m2, e) = (s.begin, s.begin + p1, s.begin + p2, s.end);
-            primary.push(make_sub(&s, b, m1, cl, ql, &m[0], env, rt));
-            primary.push(make_sub(&s, m1, m2, ql, qu, &m[1], env, rt));
-            primary.push(make_sub(&s, m2, e, qu, ch, &m[2], env, rt));
+            primary.push(make_sub(data, &s, b, m1, cl, ql, &m[0], env, rt));
+            primary.push(make_sub(data, &s, m1, m2, ql, qu, &m[1], env, rt));
+            primary.push(make_sub(data, &s, m2, e, qu, ch, &m[2], env, rt));
         }
         (true, false) => {
             // Only the lower bound cuts the slice: two-way at ql.
-            let (p, lm, rm) = crack_two_measured(&mut data[s.begin..s.end], dim, env.mode, ql);
+            let (p, lm, rm) = crack_two_keyed_measured(
+                &mut keys[s.begin..s.end],
+                &mut his[s.begin..s.end],
+                &mut data[s.begin..s.end],
+                dim,
+                env.mode,
+                ql,
+            );
             rt.stats.cracks += 1;
             rt.stats.records_cracked += seg_len;
             let m = s.begin + p;
-            primary.push(make_sub(&s, s.begin, m, cl, ql, &lm, env, rt));
-            primary.push(make_sub(&s, m, s.end, ql, ch, &rm, env, rt));
+            primary.push(make_sub(data, &s, s.begin, m, cl, ql, &lm, env, rt));
+            primary.push(make_sub(data, &s, m, s.end, ql, ch, &rm, env, rt));
         }
         (false, true) => {
             // Only the upper bound cuts the slice: two-way keeping
             // `key <= qu` on the left (pivot just above qu).
             let pivot = qu.next_up();
-            let (p, lm, rm) = crack_two_measured(&mut data[s.begin..s.end], dim, env.mode, pivot);
+            let (p, lm, rm) = crack_two_keyed_measured(
+                &mut keys[s.begin..s.end],
+                &mut his[s.begin..s.end],
+                &mut data[s.begin..s.end],
+                dim,
+                env.mode,
+                pivot,
+            );
             rt.stats.cracks += 1;
             rt.stats.records_cracked += seg_len;
             let m = s.begin + p;
-            primary.push(make_sub(&s, s.begin, m, cl, qu, &lm, env, rt));
-            primary.push(make_sub(&s, m, s.end, qu, ch, &rm, env, rt));
+            primary.push(make_sub(data, &s, s.begin, m, cl, qu, &lm, env, rt));
+            primary.push(make_sub(data, &s, m, s.end, qu, ch, &rm, env, rt));
         }
         (false, false) => {
             // The query covers the slice on this dimension: only artificial
@@ -234,15 +310,18 @@ pub(crate) fn refine<const D: usize>(
         }
         // Paper Alg. 2 lines 8–13: pieces still above τ that overlap the
         // query get artificial refinement; others stay coarse.
-        artificial(data, p, qe, env, rt, &mut out, 0);
+        artificial(data, keys, his, p, qe, env, rt, &mut out, 0);
     }
     out
 }
 
 /// Visits one query-overlapping slice: scans it at the bottom level or
 /// recurses into its children (materializing the default child first).
+#[allow(clippy::too_many_arguments)]
 fn descend<const D: usize>(
     data: &mut [Record<D>],
+    keys: &mut [f64],
+    his: &mut [f64],
     s: &mut Slice<D>,
     q: &Aabb<D>,
     qe: &Aabb<D>,
@@ -252,12 +331,20 @@ fn descend<const D: usize>(
 ) {
     if s.level + 1 == D {
         // Bottom level: test the actual objects against the original query.
-        for r in &data[s.begin..s.end] {
-            rt.stats.objects_tested += 1;
-            if r.mbb.intersects(q) {
-                out.push(r.id);
-            }
+        // Predicated collect — every id is written, the write cursor
+        // advances by the (branch-free) intersection result, and the
+        // over-provisioned tail is truncated: the converged fast path pays
+        // no unpredictable branch per record and exactly one reservation.
+        let seg = &data[s.begin..s.end];
+        rt.stats.objects_tested += seg.len() as u64;
+        let start = out.len();
+        out.resize(start + seg.len(), 0);
+        let mut w = start;
+        for r in seg {
+            out[w] = r.id;
+            w += r.mbb.intersects_branchless(q) as usize;
         }
+        out.truncate(w);
         return;
     }
     if s.children.is_empty() {
@@ -266,7 +353,7 @@ fn descend<const D: usize>(
         rt.stats.default_children += 1;
         s.children.push(child);
     }
-    query_level(data, &mut s.children, q, qe, env, rt, out);
+    query_level(data, keys, his, &mut s.children, q, qe, env, rt, out);
 }
 
 /// Algorithm 1: processes one level's slice list depth-first, refining
@@ -277,8 +364,11 @@ fn descend<const D: usize>(
 /// filter); `qe` is the extension-adjusted query used for reorganization —
 /// every assignment key of a potentially qualifying object lies inside
 /// `[qe.lo, qe.hi]` on each dimension.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn query_level<const D: usize>(
     data: &mut [Record<D>],
+    keys: &mut [f64],
+    his: &mut [f64],
     slices: &mut Vec<Slice<D>>,
     q: &Aabb<D>,
     qe: &Aabb<D>,
@@ -314,14 +404,14 @@ pub(crate) fn query_level<const D: usize>(
         if slices[i].refined {
             // Fast path for the converged regime: descend in place, no
             // replacement bookkeeping, no allocation.
-            descend(data, &mut slices[i], q, qe, env, rt, out);
+            descend(data, keys, his, &mut slices[i], q, qe, env, rt, out);
             continue;
         }
         let s = std::mem::replace(&mut slices[i], placeholder());
-        let mut subs = refine(data, s, qe, env, rt);
+        let mut subs = refine(data, keys, his, s, qe, env, rt);
         for sub in subs.iter_mut() {
             if q.intersects(&sub.bbox) {
-                descend(data, sub, q, qe, env, rt, out);
+                descend(data, keys, his, sub, q, qe, env, rt, out);
             }
         }
         replacements.get_or_insert_with(Vec::new).push((i, subs));

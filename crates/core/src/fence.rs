@@ -65,6 +65,21 @@ impl KeyFences {
         Self::from_inner(inner)
     }
 
+    /// Plans `parts` equi-depth partitions straight from an (unsorted)
+    /// assignment-key column: deterministic stride subsample capped at
+    /// `sample_cap` keys (no RNG), sorted, then quantile fences via
+    /// [`equi_depth`](Self::equi_depth). This is how the shard router plans
+    /// boundaries from the key column its partition pass builds anyway.
+    pub fn equi_depth_sampled(keys: &[f64], parts: usize, sample_cap: usize) -> Self {
+        if parts <= 1 || keys.is_empty() {
+            return Self::single();
+        }
+        let stride = keys.len().div_ceil(sample_cap.max(2)).max(1);
+        let mut sample: Vec<f64> = keys.iter().copied().step_by(stride).collect();
+        sample.sort_unstable_by(f64::total_cmp);
+        Self::equi_depth(&sample, parts)
+    }
+
     /// Number of partitions.
     pub fn parts(&self) -> usize {
         self.bounds.len() - 1
@@ -182,6 +197,31 @@ mod tests {
         // Empty sample and single-part requests collapse to one partition.
         assert_eq!(KeyFences::equi_depth(&[], 5), KeyFences::single());
         assert_eq!(KeyFences::equi_depth(&keys, 1), KeyFences::single());
+    }
+
+    #[test]
+    fn equi_depth_sampled_matches_full_sort_when_uncapped() {
+        // Unsorted column, cap above the length: stride 1, so the plan is
+        // the plain equi-depth of the sorted column.
+        let keys: Vec<f64> = (0..100).rev().map(f64::from).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        assert_eq!(
+            KeyFences::equi_depth_sampled(&keys, 4, 1_000),
+            KeyFences::equi_depth(&sorted, 4)
+        );
+        // Capped: stride-subsampled deterministically, still 4 partitions.
+        let capped = KeyFences::equi_depth_sampled(&keys, 4, 10);
+        assert_eq!(capped.parts(), 4);
+        // Degenerate requests collapse to a single partition.
+        assert_eq!(
+            KeyFences::equi_depth_sampled(&[], 4, 10),
+            KeyFences::single()
+        );
+        assert_eq!(
+            KeyFences::equi_depth_sampled(&keys, 1, 10),
+            KeyFences::single()
+        );
     }
 
     #[test]

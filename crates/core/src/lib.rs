@@ -36,12 +36,14 @@ mod config;
 pub mod crack;
 mod engine;
 pub mod fence;
+pub mod keys;
 mod slice;
 mod stats;
 mod validate;
 
 pub use config::{tau_schedule, AssignBy, QuasiiConfig};
 pub use fence::KeyFences;
+pub use keys::KeyColumn;
 pub use stats::QuasiiStats;
 
 use engine::{Env, Runtime};
@@ -53,6 +55,10 @@ use slice::Slice;
 /// evaluates `D = 3`; its worked example is `D = 2`).
 pub struct Quasii<const D: usize> {
     data: Vec<Record<D>>,
+    /// Cache-resident assignment-key + upper-bound column pair, permuted in
+    /// lockstep with `data` by every crack kernel (see [`keys`] for the
+    /// invariant).
+    keys: KeyColumn,
     root: Vec<Slice<D>>,
     env: Env<D>,
     rt: Runtime<D>,
@@ -63,6 +69,10 @@ pub struct Quasii<const D: usize> {
     ext_high: [f64; D],
     data_bounds: Aabb<D>,
     initialized: bool,
+    /// Dimension-0 key column handed in by
+    /// [`with_precomputed_keys`](Self::with_precomputed_keys), adopted at
+    /// first-query initialization.
+    precomputed_keys: Option<Vec<f64>>,
 }
 
 impl<const D: usize> Quasii<D> {
@@ -73,6 +83,7 @@ impl<const D: usize> Quasii<D> {
         let tau = config::tau_schedule::<D>(data.len(), cfg.tau);
         Self {
             data,
+            keys: KeyColumn::new(),
             root: Vec::new(),
             env: Env {
                 tau,
@@ -85,6 +96,7 @@ impl<const D: usize> Quasii<D> {
             ext_high: [0.0; D],
             data_bounds: Aabb::empty(),
             initialized: false,
+            precomputed_keys: None,
         }
     }
 
@@ -93,9 +105,30 @@ impl<const D: usize> Quasii<D> {
         Self::new(data, QuasiiConfig::default())
     }
 
+    /// Same as [`Quasii::new`], adopting a precomputed **dimension-0
+    /// assignment-key column** instead of rebuilding it at first-query
+    /// initialization (the companion upper-bound column is still built
+    /// then, during the mandatory extent scan). The caller guarantees
+    /// `keys[i] == crack::key_of(&data[i], 0, cfg.assign_by)` for every `i`
+    /// — the sharded router builds the column as a byproduct of its
+    /// partition pass and hands each shard its sub-column this way.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at first-query initialization) when
+    /// `keys.len() != data.len()`; debug builds additionally verify every
+    /// cached key.
+    pub fn with_precomputed_keys(data: Vec<Record<D>>, keys: Vec<f64>, cfg: QuasiiConfig) -> Self {
+        let mut idx = Self::new(data, cfg);
+        idx.precomputed_keys = Some(keys);
+        idx
+    }
+
     /// First-query initialization: one pass computing the dataset MBB and
     /// the per-dimension maximum object extent (needed for query extension),
-    /// then the initial whole-dataset slice `s0`.
+    /// the dimension-0 assignment-key column (unless adopted precomputed
+    /// via [`with_precomputed_keys`](Self::with_precomputed_keys)), then
+    /// the initial whole-dataset slice `s0`.
     fn ensure_init(&mut self) {
         if self.initialized {
             // An initialized index over a non-empty dataset always has a
@@ -126,6 +159,11 @@ impl<const D: usize> Quasii<D> {
             }
         }
         self.data_bounds = bounds;
+        // The root slice starts at level 0 with fresh columns: cache every
+        // record's dimension-0 assignment key and upper bound now (adopting
+        // a precomputed key column when one was handed in at construction).
+        self.keys
+            .build_level0(&self.data, self.cfg.assign_by, self.precomputed_keys.take());
         // Extension direction follows the assignment coordinate: a
         // qualifying object's key can precede the query start by at most the
         // part of the object lying *after* the key, and follow the query end
@@ -248,8 +286,17 @@ impl<const D: usize> Quasii<D> {
         qe
     }
 
-    pub(crate) fn raw_parts(&self) -> (&[Record<D>], &[Slice<D>], &[usize; D], AssignBy) {
-        (&self.data, &self.root, &self.env.tau, self.cfg.assign_by)
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> (&[Record<D>], &KeyColumn, &[Slice<D>], &[usize; D], AssignBy) {
+        (
+            &self.data,
+            &self.keys,
+            &self.root,
+            &self.env.tau,
+            self.cfg.assign_by,
+        )
     }
 }
 
@@ -262,8 +309,11 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
         self.ensure_init();
         self.rt.stats.queries += 1;
         let qe = self.extend_query(query);
+        let (keys, his) = self.keys.as_mut_slices();
         engine::query_level(
             &mut self.data,
+            keys,
+            his,
             &mut self.root,
             query,
             &qe,
@@ -284,6 +334,7 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
     fn index_bytes(&self) -> usize {
         self.root.capacity() * std::mem::size_of::<Slice<D>>()
             + self.root.iter().map(Slice::heap_bytes).sum::<usize>()
+            + self.keys.heap_bytes()
     }
 }
 

@@ -34,6 +34,17 @@ pub struct Slice<const D: usize> {
     /// Whether the slice reached its level's τ (or was force-finalized on a
     /// value-indivisible distribution) and `bbox` is its exact MBB.
     pub refined: bool,
+    /// Whether the owning index's assignment-key column currently caches
+    /// this slice's **own-level** keys over `begin..end`
+    /// (`keys[i] == key_of(&data[i], level, mode)` — see [`crate::keys`]).
+    /// Slices created by a crack are born fresh (the kernels keep the column
+    /// in lockstep); default children span a range last keyed for their
+    /// parent's level and are re-keyed lazily before their first crack.
+    ///
+    /// Only meaningful while the slice is unrefined (the only state
+    /// `refine` cracks from): once refined, descendants re-key sub-ranges
+    /// for deeper dimensions and this flag is never consulted again.
+    pub keys_fresh: bool,
     /// Sub-slices at `level + 1`, sorted by `begin`, partitioning
     /// `begin..end`. Only ever non-empty on refined slices.
     pub children: Vec<Slice<D>>,
@@ -65,6 +76,9 @@ impl<const D: usize> Slice<D> {
             cut_hi: data_bounds.hi[0],
             key_lo: f64::NEG_INFINITY,
             refined: n <= tau0,
+            // First-query initialization builds the dimension-0 column in
+            // the same pass that measures `data_bounds`.
+            keys_fresh: true,
             children: Vec::new(),
         }
     }
@@ -85,6 +99,9 @@ impl<const D: usize> Slice<D> {
             cut_hi: self.bbox.hi[l],
             key_lo: f64::NEG_INFINITY,
             refined: self.len() <= tau_child,
+            // The range was last keyed for the parent's level; the child's
+            // first crack re-keys it for level `l` (lazy per-level rebuild).
+            keys_fresh: false,
             children: Vec::new(),
         }
     }
@@ -120,6 +137,7 @@ mod tests {
         let s = Slice::<2>::root(100, b, 60);
         assert_eq!(s.len(), 100);
         assert!(!s.refined);
+        assert!(s.keys_fresh, "init builds the dim-0 column with the root");
         assert_eq!((s.cut_lo, s.cut_hi), (0.0, 10.0));
         let tiny = Slice::<2>::root(10, b, 60);
         assert!(tiny.refined);
@@ -136,6 +154,7 @@ mod tests {
         assert_eq!(child.bbox, b);
         assert_eq!((child.cut_lo, child.cut_hi), (5.0, 25.0));
         assert!(!child.refined, "50 > τ_child = 10");
+        assert!(!child.keys_fresh, "range was keyed for the parent's level");
         let small_child = parent.default_child(60);
         assert!(small_child.refined);
     }

@@ -22,6 +22,12 @@ pub struct QuasiiStats {
     pub forced_refinements: u64,
     /// Objects tested for intersection at the bottom level.
     pub objects_tested: u64,
+    /// Lazy per-level rebuilds of the assignment-key column (one per
+    /// default child that gets cracked; root slices and crack outputs are
+    /// born with fresh keys — see `crate::keys`).
+    pub rekeys: u64,
+    /// Total records re-keyed by those rebuilds.
+    pub records_rekeyed: u64,
 }
 
 impl QuasiiStats {
@@ -43,6 +49,8 @@ impl QuasiiStats {
         self.default_children += other.default_children;
         self.forced_refinements += other.forced_refinements;
         self.objects_tested += other.objects_tested;
+        self.rekeys += other.rekeys;
+        self.records_rekeyed += other.records_rekeyed;
     }
 }
 
@@ -68,6 +76,8 @@ mod tests {
             default_children: 6,
             forced_refinements: 7,
             objects_tested: 8,
+            rekeys: 9,
+            records_rekeyed: 10,
         };
         let b = a;
         a.merge(&b);
@@ -82,6 +92,8 @@ mod tests {
                 default_children: 12,
                 forced_refinements: 14,
                 objects_tested: 16,
+                rekeys: 18,
+                records_rekeyed: 20,
             }
         );
     }

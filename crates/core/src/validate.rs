@@ -13,26 +13,39 @@
 //! 4. each slice's bounding box covers all its objects' MBBs;
 //! 5. refined slices carry their *exact* MBB; unrefined slices exceed τ;
 //! 6. only refined slices have children;
-//! 7. no slice is empty.
+//! 7. no slice is empty;
+//! 8. the column pair is in lockstep with the data: wherever an unrefined
+//!    slice claims fresh columns (`keys_fresh`), `keys[i]` equals the
+//!    record's own-level assignment key and `his[i]` its own-level upper
+//!    coordinate over the slice's whole range (see `crate::keys`).
 
 use crate::config::AssignBy;
 use crate::crack::key_of;
+use crate::keys::KeyColumn;
 use crate::slice::Slice;
 use crate::Quasii;
 use quasii_common::geom::{Aabb, Record};
 
 /// Runs all checks; `Err` describes the first violation.
 pub(crate) fn validate<const D: usize>(index: &Quasii<D>) -> Result<(), String> {
-    let (data, roots, tau, mode) = index.raw_parts();
+    let (data, cols, roots, tau, mode) = index.raw_parts();
     if roots.is_empty() {
         return Ok(()); // pre-initialization or empty dataset
     }
-    check_level(data, roots, 0, 0, data.len(), tau, mode)
+    if !cols.is_built(data.len()) {
+        return Err(format!(
+            "column pair holds {} entries for {} records",
+            cols.len(),
+            data.len()
+        ));
+    }
+    check_level(data, cols, roots, 0, 0, data.len(), tau, mode)
 }
 
 #[allow(clippy::too_many_arguments)]
 fn check_level<const D: usize>(
     data: &[Record<D>],
+    cols: &KeyColumn,
     slices: &[Slice<D>],
     level: usize,
     begin: usize,
@@ -128,11 +141,41 @@ fn check_level<const D: usize>(
             ));
         }
 
+        // Column lockstep (invariant 8): an *unrefined* fresh slice's range
+        // caches exactly its own-level assignment keys and upper bounds.
+        // (The flag is meaningless on refined slices: descendants re-key
+        // sub-ranges for deeper dimensions, and the engine never consults
+        // it there — `refine` only ever runs on unrefined slices.)
+        if s.keys_fresh && !s.refined {
+            let keys = &cols.keys()[s.begin..s.end];
+            let his = &cols.his()[s.begin..s.end];
+            for (idx, ((k, h), r)) in keys.iter().zip(his).zip(seg).enumerate() {
+                let want_k = key_of(r, level, mode);
+                let want_h = r.mbb.hi[level];
+                if *k != want_k || *h != want_h {
+                    return Err(format!(
+                        "column pair out of lockstep at level {level}, slice {i}, \
+                         position {}: cached ({k}, {h}), expected ({want_k}, {want_h})",
+                        s.begin + idx
+                    ));
+                }
+            }
+        }
+
         if !s.children.is_empty() {
             if !s.refined {
                 return Err(format!("unrefined slice {i} at level {level} has children"));
             }
-            check_level(data, &s.children, level + 1, s.begin, s.end, tau, mode)?;
+            check_level(
+                data,
+                cols,
+                &s.children,
+                level + 1,
+                s.begin,
+                s.end,
+                tau,
+                mode,
+            )?;
         }
     }
     // Root list must cover the full dataset; inner lists their parent.

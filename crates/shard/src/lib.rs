@@ -183,36 +183,21 @@ struct Task<'a, const D: usize> {
     hits: Vec<Vec<u64>>,
 }
 
-/// Equi-depth boundary planning: deterministic stride sample of the
-/// dimension-0 assignment keys, sorted, then quantile fences.
-fn plan_fences<const D: usize>(
-    data: &[Record<D>],
-    shards: usize,
-    mode: AssignBy,
-    sample_cap: usize,
-) -> KeyFences {
-    if shards <= 1 || data.is_empty() {
-        return KeyFences::single();
-    }
-    let stride = data.len().div_ceil(sample_cap.max(2)).max(1);
-    let mut keys: Vec<f64> = data
-        .iter()
-        .step_by(stride)
-        .map(|r| key_of(r, 0, mode))
-        .collect();
-    keys.sort_unstable_by(f64::total_cmp);
-    KeyFences::equi_depth(&keys, shards)
-}
-
 impl<const D: usize> ShardedQuasii<D> {
     /// Plans shard boundaries and splits `data` into `cfg.shards` owned
     /// partitions, each backed by its own [`Quasii`] engine.
     ///
-    /// Unlike [`Quasii::new`] this is **O(n)**: the planner samples and
-    /// sorts keys, measures the global dimension-0 extent (needed before
-    /// the first query can be routed) and physically partitions the
-    /// records. Records keep their relative order within each shard, so a
-    /// single-shard deployment is byte-identical to the plain engine.
+    /// Unlike [`Quasii::new`] this is **O(n)**: the planner builds the
+    /// dimension-0 **assignment-key column** (one `key_of` per record —
+    /// needed anyway to route records to shards), plans equi-depth fences
+    /// from a deterministic stride sample of that column
+    /// ([`KeyFences::equi_depth_sampled`]), measures the global dimension-0
+    /// extent (needed before the first query can be routed) and physically
+    /// partitions records *and keys* in lockstep. Each shard engine adopts
+    /// its sub-column via [`Quasii::with_precomputed_keys`], so no shard
+    /// ever recomputes a key the router already paid for. Records keep
+    /// their relative order within each shard, so a single-shard deployment
+    /// is byte-identical to the plain engine.
     pub fn new(data: Vec<Record<D>>, cfg: ShardConfig) -> Self {
         let mode = cfg.inner.assign_by;
         let mut ext0 = 0.0f64;
@@ -224,15 +209,27 @@ impl<const D: usize> ShardedQuasii<D> {
             AssignBy::Center => (ext0 * 0.5, ext0 * 0.5),
             AssignBy::Upper => (0.0, ext0),
         };
-        let fences = plan_fences(&data, cfg.shards, mode, cfg.sample_cap);
+        // The whole dataset's dimension-0 key column: routing consumes it
+        // here, and each shard inherits its slice of it below.
+        let all_keys: Vec<f64> = data.iter().map(|r| key_of(r, 0, mode)).collect();
+        let fences = if cfg.shards <= 1 {
+            KeyFences::single()
+        } else {
+            KeyFences::equi_depth_sampled(&all_keys, cfg.shards, cfg.sample_cap)
+        };
         let mut parts: Vec<Vec<Record<D>>> = Vec::with_capacity(fences.parts());
         parts.resize_with(fences.parts(), Vec::new);
-        for r in data {
-            parts[fences.owner_of(key_of(&r, 0, mode))].push(r);
+        let mut part_keys: Vec<Vec<f64>> = Vec::with_capacity(fences.parts());
+        part_keys.resize_with(fences.parts(), Vec::new);
+        for (r, k) in data.into_iter().zip(all_keys) {
+            let owner = fences.owner_of(k);
+            parts[owner].push(r);
+            part_keys[owner].push(k);
         }
         let shards = parts
             .into_iter()
-            .map(|p| Quasii::new(p, cfg.inner.clone()))
+            .zip(part_keys)
+            .map(|(p, k)| Quasii::with_precomputed_keys(p, k, cfg.inner.clone()))
             .collect();
         Self {
             shards,
