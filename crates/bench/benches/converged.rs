@@ -1,0 +1,54 @@
+//! Criterion group for the converged regime: steady-state batch execution
+//! at 1M records, sealed read path vs the adaptive (`seal = false`)
+//! machinery over the *identical* converged structure. Complements the
+//! `repro converged` experiment with an isolated, repeatable microbenchmark
+//! (the engines are built and finalized once; every iteration re-runs the
+//! same pure-read batch).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::dataset::uniform_boxes_in;
+use quasii_common::geom::mbb_of;
+use quasii_common::workload;
+use std::hint::black_box;
+
+const N: usize = 1_000_000;
+const QUERIES: usize = 256;
+
+/// A fully converged engine over the shared 1M dataset.
+fn converged_engine(seal: bool) -> (Quasii<3>, Vec<quasii_common::geom::Aabb<3>>) {
+    let data = uniform_boxes_in::<3>(N, 10_000.0, 7);
+    let universe = mbb_of(&data);
+    let queries = workload::uniform(&universe, QUERIES, 1e-3, 8).queries;
+    let mut idx = Quasii::new(
+        data,
+        QuasiiConfig::default().with_threads(1).with_seal(seal),
+    );
+    idx.finalize();
+    idx.seal();
+    (idx, queries)
+}
+
+fn bench_converged(c: &mut Criterion) {
+    let (mut sealed, queries) = converged_engine(true);
+    let (mut unsealed, _) = converged_engine(false);
+    assert_eq!(sealed.sealed_fraction(), 1.0);
+    assert_eq!(unsealed.sealed_fraction(), 0.0);
+
+    let mut g = c.benchmark_group("converged_1m");
+    g.sample_size(10);
+    g.bench_function("steady_batch_unsealed", |b| {
+        b.iter(|| black_box(unsealed.execute_batch(black_box(&queries))))
+    });
+    g.bench_function("steady_batch_sealed", |b| {
+        b.iter(|| black_box(sealed.execute_batch(black_box(&queries))))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = converged;
+    config = Criterion::default().sample_size(10);
+    targets = bench_converged
+}
+criterion_main!(converged);

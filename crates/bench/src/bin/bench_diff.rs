@@ -1,0 +1,180 @@
+//! `bench_diff` — perf-trajectory guard over two committed `repro --json`
+//! reports (`BENCH_0.json`, `BENCH_1.json`, …).
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--max-regression FRAC] [--min-secs S]
+//! ```
+//!
+//! Compares the per-experiment wall-time rows (`series == "(wall)"`) shared
+//! by both reports and **fails (exit 1)** when any shared experiment got
+//! slower than `old × (1 + FRAC)` (default 0.25) — unless both sides are
+//! under `--min-secs` (default 0.05 s), where container timing noise
+//! dominates. Experiments present in only one report are listed as
+//! added/removed but never fail the run (new experiments are the point of
+//! the trajectory). The headline configuration (scale, threads, shards,
+//! assignment) must match, otherwise the reports are not comparable and the
+//! tool fails.
+//!
+//! The parser is deliberately minimal: it reads exactly the format
+//! `Harness::json_report` emits (one record object per line) — this is a
+//! repo-internal guard over self-emitted files, not a general JSON tool.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Extracts the value of `"key": …` from a line: a quoted string or a bare
+/// number, whichever follows the colon.
+fn field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let rest = &line[line.find(&pat)? + pat.len()..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        Some(stripped[..stripped.find('"')?].to_string())
+    } else {
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .unwrap_or(rest.len());
+        Some(rest[..end].to_string())
+    }
+}
+
+/// One parsed report: headline config fields + wall seconds per experiment.
+struct Report {
+    config: BTreeMap<&'static str, String>,
+    walls: BTreeMap<String, f64>,
+}
+
+fn parse_report(text: &str, path: &str) -> Result<Report, String> {
+    let mut config = BTreeMap::new();
+    for key in ["scale", "threads", "shards", "assign_by"] {
+        // The config block spans a few lines; search the whole prefix
+        // before the records array.
+        let head = &text[..text.find("\"records\"").unwrap_or(text.len())];
+        let line = head
+            .lines()
+            .find(|l| l.contains(&format!("\"{key}\":")))
+            .ok_or_else(|| format!("{path}: config key '{key}' missing"))?;
+        config.insert(key, field(line, key).unwrap_or_default());
+    }
+    let mut walls = BTreeMap::new();
+    for line in text.lines() {
+        if !line.contains("\"experiment\":") {
+            continue;
+        }
+        let (Some(exp), Some(series), Some(total)) = (
+            field(line, "experiment"),
+            field(line, "series"),
+            field(line, "total_secs"),
+        ) else {
+            return Err(format!("{path}: malformed record line: {line}"));
+        };
+        if series == "(wall)" {
+            let secs: f64 = total
+                .parse()
+                .map_err(|e| format!("{path}: bad total_secs '{total}': {e}"))?;
+            walls.insert(exp, secs);
+        }
+    }
+    if walls.is_empty() {
+        return Err(format!("{path}: no (wall) records found"));
+    }
+    Ok(Report { config, walls })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut min_secs = 0.05f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--max-regression" => {
+                i += 1;
+                max_regression = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-regression needs a fraction");
+                    std::process::exit(2);
+                });
+            }
+            "--min-secs" => {
+                i += 1;
+                min_secs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--min-secs needs seconds");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_diff OLD.json NEW.json [--max-regression FRAC] [--min-secs S]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("usage: bench_diff OLD.json NEW.json [--max-regression FRAC] [--min-secs S]");
+        return ExitCode::from(2);
+    }
+    let load = |p: &str| -> Report {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("cannot read '{p}': {e}");
+            std::process::exit(2);
+        });
+        parse_report(&text, p).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+    let old = load(&paths[0]);
+    let new = load(&paths[1]);
+
+    if old.config != new.config {
+        eprintln!(
+            "reports are not comparable: config {:?} vs {:?}",
+            old.config, new.config
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "{:<12} {:>12} {:>12} {:>9}  verdict",
+        "experiment", "old (s)", "new (s)", "ratio"
+    );
+    let mut failures = 0usize;
+    for (exp, &old_secs) in &old.walls {
+        let Some(&new_secs) = new.walls.get(exp) else {
+            println!("{exp:<12} {old_secs:>12.4} {:>12} {:>9}  removed", "-", "-");
+            continue;
+        };
+        let ratio = new_secs / old_secs.max(1e-12);
+        let noise_floor = old_secs < min_secs && new_secs < min_secs;
+        let regressed = ratio > 1.0 + max_regression && !noise_floor;
+        let verdict = if regressed {
+            failures += 1;
+            "REGRESSED"
+        } else if noise_floor {
+            "ok (sub-floor)"
+        } else {
+            "ok"
+        };
+        println!("{exp:<12} {old_secs:>12.4} {new_secs:>12.4} {ratio:>8.2}x  {verdict}");
+    }
+    for exp in new.walls.keys() {
+        if !old.walls.contains_key(exp) {
+            println!("{exp:<12} {:>12} {:>12} {:>9}  added", "-", "-", "-");
+        }
+    }
+    if failures > 0 {
+        eprintln!(
+            "{failures} experiment(s) regressed by more than {:.0}%",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "no shared experiment regressed by more than {:.0}%",
+        max_regression * 100.0
+    );
+    ExitCode::SUCCESS
+}

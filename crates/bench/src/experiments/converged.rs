@@ -1,0 +1,148 @@
+//! `converged` — steady-state batch query throughput in the **converged
+//! regime**, sealed read path vs the adaptive (`--seal false`) machinery.
+//! Not a paper figure: the paper measures convergence *cost* (Figs. 7–12);
+//! this experiment measures the payoff phase the paper motivates — after
+//! warm-up, queries are pure reads, and the sealed arena path (SoA slice
+//! metadata + columnar bottom-level scan + shared-read thread pool, see
+//! `quasii::Quasii::seal`) should beat the `&mut` slice-tree walk.
+//!
+//! Protocol: warm up with a batch of uniform queries (reporting the sealed
+//! fraction organic convergence reaches), complete convergence with
+//! `finalize()` — the state an admin reaches by running the warm-up longer
+//! — then measure steady-state batches, best-of-`REPS` per combination
+//! (converged engines are idempotent, so repetitions re-run identical pure
+//! reads). Every sealed run is checked **byte-for-byte** against the
+//! unsealed engine's results.
+
+use super::{Harness, JsonRecord};
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::geom::mbb_of;
+use quasii_common::index::SpatialIndex;
+use quasii_common::measure::run_query_batches;
+use quasii_common::workload;
+
+/// Seed of the warm-up workload (recorded in the `repro --json` config).
+pub const WARMUP_SEED: u64 = 93;
+/// Seed of the steady-state measurement workload.
+pub const WORKLOAD_SEED: u64 = 94;
+
+/// Best-of-N repetitions per (variant, threads, batch) combination.
+const REPS: usize = 3;
+
+/// Runs the sealed-vs-unsealed steady-state sweep.
+pub fn run_exp(h: &mut Harness) {
+    println!("\n=== Converged regime: steady-state QPS, sealed vs unsealed read path ===");
+    let assign_by = h.assign_by;
+    let data = h.uniform_data();
+    let universe = mbb_of(&data);
+    let n_queries = h.scale.uniform_queries;
+    let warm = workload::uniform(&universe, n_queries, 1e-3, WARMUP_SEED).queries;
+    let steady = workload::uniform(&universe, n_queries, 1e-3, WORKLOAD_SEED).queries;
+
+    // Build + converge one engine per variant. Identical warm-up → both
+    // engines hold the identical converged structure; only the read path
+    // differs.
+    let mk = |seal: bool, threads: usize| {
+        let cfg = QuasiiConfig::default()
+            .with_assign_by(assign_by)
+            .with_threads(threads)
+            .with_seal(seal);
+        let mut idx = Quasii::new(data.clone(), cfg);
+        let _ = idx.execute_batch(&warm);
+        let organic = idx.sealed_fraction();
+        idx.finalize();
+        idx.seal();
+        (idx, organic)
+    };
+
+    let mut thread_counts = vec![1usize];
+    if h.threads > 1 {
+        thread_counts.push(h.threads);
+    }
+    let mut batch_sizes: Vec<usize> = [64usize, 256]
+        .into_iter()
+        .filter(|&b| b <= n_queries)
+        .collect();
+    if batch_sizes.is_empty() {
+        batch_sizes.push(n_queries.max(1));
+    }
+
+    println!(
+        "{} objects, {} warm-up + {} steady queries",
+        data.len(),
+        warm.len(),
+        steady.len()
+    );
+    // The byte-identity reference: the unsealed engine after the identical
+    // warm-up, queried one at a time (collected lazily from the first
+    // unsealed measurement engine — converged engines are idempotent, so
+    // the reference pass doubles as its warm-up).
+    let mut reference: Vec<Vec<u64>> = Vec::new();
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "variant", "threads", "batch", "total (s)", "q/s", "speedup"
+    );
+    let mut csv = String::from("variant,threads,batch_size,total_secs,qps,speedup_vs_unsealed\n");
+    for &threads in &thread_counts {
+        let (mut unsealed, _) = mk(false, threads);
+        let (mut sealed, organic) = mk(true, threads);
+        if reference.is_empty() {
+            reference = steady.iter().map(|q| unsealed.query_collect(q)).collect();
+        }
+        if threads == thread_counts[0] {
+            println!(
+                "sealed fraction: {:.3} after warm-up, {:.3} after finalize \
+                 ({} regions, {:.1} MiB arena)",
+                organic,
+                sealed.sealed_fraction(),
+                sealed.sealed_regions(),
+                sealed.seal_bytes() as f64 / (1024.0 * 1024.0)
+            );
+            assert_eq!(sealed.sealed_fraction(), 1.0, "finalize must converge");
+        }
+        for &batch in &batch_sizes {
+            let mut base = f64::NAN;
+            for (name, idx, is_sealed) in [
+                ("unsealed", &mut unsealed, false),
+                ("sealed", &mut sealed, true),
+            ] {
+                let mut total = f64::INFINITY;
+                let mut result_total = 0u64;
+                let mut results = Vec::new();
+                for _ in 0..REPS {
+                    let (series, r) = run_query_batches(idx, &steady, batch);
+                    total = total.min(series.total_secs());
+                    result_total = series.result_counts.iter().map(|&c| c as u64).sum();
+                    results = r;
+                }
+                // Byte-identity gate: both variants must reproduce the
+                // sequential unsealed engine's vectors exactly.
+                assert_eq!(
+                    results, reference,
+                    "{name} results diverged (threads={threads}, batch={batch})"
+                );
+                if !is_sealed {
+                    base = total;
+                }
+                let qps = steady.len() as f64 / total.max(1e-12);
+                let speedup = base / total.max(1e-12);
+                println!(
+                    "{name:>10} {threads:>8} {batch:>8} {total:>12.4} {qps:>10.0} {speedup:>9.2}x"
+                );
+                csv.push_str(&format!(
+                    "{name},{threads},{batch},{total:.6},{qps:.3},{speedup:.4}\n"
+                ));
+                h.record(JsonRecord {
+                    experiment: "converged".into(),
+                    series: format!("QUASII-{name}-t{threads}-b{batch}"),
+                    build_secs: 0.0,
+                    total_secs: total,
+                    tail_mean_secs: total / steady.len().max(1) as f64,
+                    results: result_total,
+                });
+            }
+        }
+    }
+    println!("[check] sealed runs byte-identical to the unsealed engine");
+    let _ = h.out.write_csv("converged_steady.csv", &csv);
+}

@@ -3,6 +3,7 @@
 //! from different angles, exactly like the paper).
 
 pub mod ablation;
+pub mod converged;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -23,8 +24,19 @@ use quasii_common::workload;
 
 /// Experiment identifiers accepted by the `repro` binary.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig6a", "fig6b", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablation", "scaling",
-    "sharding", "summary",
+    "fig6a",
+    "fig6b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "ablation",
+    "scaling",
+    "sharding",
+    "converged",
+    "summary",
 ];
 
 /// Seed of the neuroscience-like dataset generator.
@@ -147,7 +159,8 @@ impl Harness {
              \"uniform_queries\": {},\n    \"threads\": {},\n    \"shards\": {},\n    \
              \"assign_by\": \"{}\",\n    \
              \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \
-             \"scaling_workload\": {}, \"sharding_workload\": {}}}\n  }},\n  \"records\": [",
+             \"scaling_workload\": {}, \"sharding_workload\": {}, \
+             \"converged_warmup\": {}, \"converged_workload\": {}}}\n  }},\n  \"records\": [",
             esc(self.scale.name),
             self.scale.neuro_n,
             self.scale.uniform_n,
@@ -162,6 +175,8 @@ impl Harness {
             NEURO_WORKLOAD_SEED,
             scaling::WORKLOAD_SEED,
             sharding::WORKLOAD_SEED,
+            converged::WARMUP_SEED,
+            converged::WORKLOAD_SEED,
         );
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
@@ -255,6 +270,7 @@ impl Harness {
             "ablation" => ablation::run_exp(self),
             "scaling" => scaling::run_exp(self),
             "sharding" => sharding::run_exp(self),
+            "converged" => converged::run_exp(self),
             "summary" => summary::run(self),
             other => return Err(format!("unknown experiment '{other}'")),
         }

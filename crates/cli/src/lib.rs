@@ -65,6 +65,9 @@ pub enum Command {
         shards: usize,
         /// Assignment coordinate for QUASII: lower|center|upper.
         assign_by: String,
+        /// Whether QUASII compacts converged regions into sealed arenas
+        /// ("true"/"false"; default true).
+        seal: String,
     },
     /// Show usage.
     Help,
@@ -130,6 +133,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 .parse()
                 .map_err(|e| format!("--shards: {e}"))?,
             assign_by: get("assign-by", Some("lower"))?,
+            seal: get("seal", Some("true"))?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -147,7 +151,7 @@ USAGE:
                   [--queries N] [--volume FRAC]
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--batch N] [--threads N] [--shards K]
-                  [--assign-by lower|center|upper]
+                  [--assign-by lower|center|upper] [--seal true|false]
 
 Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
 --batch N executes the workload in batches of N queries through the index's
@@ -160,7 +164,10 @@ and results come back in canonical id-sorted order.
 most queries on one region (the shard-imbalance stress). Results are
 identical to one-by-one execution. --assign-by picks QUASII's slice
 assignment coordinate (paper footnote 1; lower is the paper's default —
-center/upper exercise the engine's cached-key modes).";
+center/upper exercise the engine's cached-key modes). --seal false keeps
+the adaptive machinery on every query (the sealed read path's reference
+configuration); results are identical either way, and the run prints the
+sealed fraction reached.";
 
 fn load(path: &str) -> Result<Vec<Record<3>>, String> {
     let res = if path.ends_with(".csv") {
@@ -224,6 +231,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             threads,
             shards,
             assign_by,
+            seal,
         } => {
             if shards > 0 && index != "quasii" {
                 return Err("--shards requires --index quasii".to_string());
@@ -232,6 +240,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown --assign-by '{assign_by}' (lower|center|upper)"))?;
             if assign_by != quasii::AssignBy::default() && index != "quasii" {
                 return Err("--assign-by requires --index quasii".to_string());
+            }
+            let seal = match seal.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("unknown --seal '{other}' (true|false)")),
+            };
+            if !seal && index != "quasii" {
+                return Err("--seal requires --index quasii".to_string());
             }
             let records = load(&data)?;
             let universe = mbb_of(&records);
@@ -244,13 +260,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
 
             /// Runs the workload one query at a time (`batch == 0`) or in
             /// batches through the index's batch path, printing one summary
-            /// line either way.
+            /// line either way; returns the index so callers can report
+            /// post-run state (sealed fraction).
             fn report<I: SpatialIndex<3>>(
                 mut index: I,
                 build_secs: f64,
                 queries: &[quasii_common::geom::Aabb<3>],
                 batch: usize,
-            ) {
+            ) -> I {
                 if batch == 0 {
                     let series = run_queries(&mut index, build_secs, queries);
                     let total_results: usize = series.result_counts.iter().sum();
@@ -278,6 +295,13 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                         total_results
                     );
                 }
+                index
+            }
+
+            /// One summary line for the sealed read path's end state (the
+            /// quasii variants call it after [`report`]).
+            fn report_sealed<I: SpatialIndex<3>>(index: &I) {
+                println!("sealed fraction after run: {:.3}", index.sealed_fraction());
             }
 
             match index.as_str() {
@@ -314,20 +338,24 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                         .with_inner(
                             QuasiiConfig::default()
                                 .with_threads(threads)
-                                .with_assign_by(assign_by),
+                                .with_assign_by(assign_by)
+                                .with_seal(seal),
                         );
                     let (b, i) = timed(|| ShardedQuasii::new(records, cfg));
                     let snaps = i.snapshots();
                     let per_shard: Vec<usize> = snaps.iter().map(|s| s.records).collect();
                     println!("shards: {shards} engines, records per shard {per_shard:?}");
-                    report(i, b, &w.queries, batch);
+                    let i = report(i, b, &w.queries, batch);
+                    report_sealed(&i);
                 }
                 "quasii" => {
                     let cfg = QuasiiConfig::default()
                         .with_threads(threads)
-                        .with_assign_by(assign_by);
+                        .with_assign_by(assign_by)
+                        .with_seal(seal);
                     let (b, i) = timed(|| Quasii::new(records, cfg));
-                    report(i, b, &w.queries, batch);
+                    let i = report(i, b, &w.queries, batch);
+                    report_sealed(&i);
                 }
                 other => return Err(format!("unknown index '{other}'")),
             }
@@ -414,11 +442,19 @@ mod tests {
             Command::Bench { assign_by, .. } => assert_eq!(assign_by, "center"),
             other => panic!("wrong parse: {other:?}"),
         }
+        match parse(&args("bench --data d.qsd --seal false")).unwrap() {
+            Command::Bench { seal, .. } => assert_eq!(seal, "false"),
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&args("bench --data d.qsd")).unwrap() {
+            Command::Bench { seal, .. } => assert_eq!(seal, "true", "sealing defaults on"),
+            other => panic!("wrong parse: {other:?}"),
+        }
     }
 
     #[test]
-    fn assign_by_is_validated_and_quasii_only() {
-        let bench = |index: &str, assign_by: &str| Command::Bench {
+    fn assign_by_and_seal_are_validated_and_quasii_only() {
+        let bench = |index: &str, assign_by: &str, seal: &str| Command::Bench {
             data: "/nonexistent.qsd".into(),
             index: index.into(),
             queries: 1,
@@ -429,12 +465,17 @@ mod tests {
             threads: 0,
             shards: 0,
             assign_by: assign_by.into(),
+            seal: seal.into(),
         };
-        // Both rejections fire before the dataset is even loaded.
-        let err = execute(bench("quasii", "sideways")).unwrap_err();
+        // Every rejection fires before the dataset is even loaded.
+        let err = execute(bench("quasii", "sideways", "true")).unwrap_err();
         assert!(err.contains("--assign-by"), "{err}");
-        let err = execute(bench("rtree", "center")).unwrap_err();
+        let err = execute(bench("rtree", "center", "true")).unwrap_err();
         assert!(err.contains("--assign-by requires"), "{err}");
+        let err = execute(bench("quasii", "lower", "sideways")).unwrap_err();
+        assert!(err.contains("--seal"), "{err}");
+        let err = execute(bench("rtree", "lower", "false")).unwrap_err();
+        assert!(err.contains("--seal requires"), "{err}");
     }
 
     #[test]
@@ -472,6 +513,7 @@ mod tests {
                 threads: 0,
                 shards: 0,
                 assign_by: "lower".into(),
+                seal: "true".into(),
             })
             .unwrap();
         }
@@ -487,6 +529,22 @@ mod tests {
             threads: 2,
             shards: 0,
             assign_by: "center".into(),
+            seal: "true".into(),
+        })
+        .unwrap();
+        // Sealing disabled: the reference (pure adaptive) configuration.
+        execute(Command::Bench {
+            data: out.clone(),
+            index: "quasii".into(),
+            queries: 20,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 2,
+            batch: 0,
+            threads: 0,
+            shards: 0,
+            assign_by: "lower".into(),
+            seal: "false".into(),
         })
         .unwrap();
         // Sharded two-level path on the skewed (hot-region) workload.
@@ -501,6 +559,7 @@ mod tests {
             threads: 2,
             shards: 3,
             assign_by: "lower".into(),
+            seal: "true".into(),
         })
         .unwrap();
         // --shards is a router over QUASII engines only.
@@ -515,6 +574,7 @@ mod tests {
             threads: 0,
             shards: 2,
             assign_by: "lower".into(),
+            seal: "true".into(),
         })
         .is_err());
         assert!(execute(Command::Bench {
@@ -528,6 +588,7 @@ mod tests {
             threads: 0,
             shards: 0,
             assign_by: "lower".into(),
+            seal: "true".into(),
         })
         .is_err());
         std::fs::remove_file(&path).ok();

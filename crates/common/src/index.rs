@@ -41,6 +41,20 @@ pub trait SpatialIndex<const D: usize> {
         0
     }
 
+    /// Compacts any converged portions of the index into a sealed,
+    /// shared-read representation, so subsequent queries over them are pure
+    /// reads (see `quasii::Quasii::seal`). The default is a no-op: static
+    /// indexes are "sealed" from construction and incremental indexes
+    /// without a sealed read path simply keep adapting.
+    fn seal(&mut self) {}
+
+    /// Fraction of records currently answered through a sealed read path —
+    /// the convergence signal a service layer's rebalancer reads. Indexes
+    /// without an incremental→sealed lifecycle report `0.0`.
+    fn sealed_fraction(&self) -> f64 {
+        0.0
+    }
+
     /// Convenience wrapper allocating a fresh result vector.
     fn query_collect(&mut self, query: &Aabb<D>) -> Vec<u64> {
         let mut out = Vec::new();

@@ -1,9 +1,21 @@
 //! Batch-parallel query execution.
 //!
+//! [`Quasii::execute_batch`] runs every batch in **two phases**:
+//!
+//! 1. **Shared-read phase** — queries whose whole §5.2 candidate window is
+//!    covered by sealed arenas (see [`crate::seal`]) are pure reads: they
+//!    run on a `&self` thread pool with *no* disjoint-partition constraint
+//!    and no work-queue Mutex (an atomic cursor hands out queries). In the
+//!    converged regime this phase is the entire batch.
+//! 2. **Crack phase** — everything else falls back to the adaptive `&mut`
+//!    machinery below, lazily invalidating just the seals the fallback
+//!    queries span.
+//!
+//! The crack phase exploits exactly the structure the paper builds:
 //! QUASII's top-level slice list contiguously partitions the data array, and
 //! every crack a query triggers stays inside the top-level slice it refines
-//! (`refine` only touches `data[s.begin..s.end]`). [`Quasii::execute_batch`]
-//! exploits exactly the structure the paper builds: it splits the data array
+//! (`refine` only touches `data[s.begin..s.end]`). `execute_batch`
+//! splits the data array
 //! along top-level slice boundaries into disjoint `&mut [Record]` windows
 //! (a `split_at_mut` chain — safe because sibling slices never share array
 //! ranges), hands each worker the matching disjoint window of the
@@ -11,6 +23,11 @@
 //! lockstep), assigns each query of the batch to the partitions the sequential
 //! engine would visit for it, and runs the partitions on scoped worker
 //! threads pulling from a chunked work queue.
+//!
+//! Splitting a batch into the two phases is result- and state-transparent:
+//! sealed regions are immutable (a converged subtree never reorganizes), so
+//! the reads commute with the cracks, and the sealed traversal reproduces
+//! the engine's own visit order operation for operation.
 //!
 //! # Determinism
 //!
@@ -42,7 +59,7 @@ use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use crate::Quasii;
 use quasii_common::geom::{Aabb, Record};
-use quasii_common::index::SpatialIndex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Work-queue chunking: partitions per worker thread, so stragglers (a
@@ -142,22 +159,151 @@ impl<const D: usize> Quasii<D> {
     /// ```
     pub fn execute_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
         self.ensure_init();
+        self.try_seal();
         let mut results: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
         results.resize_with(queries.len(), Vec::new);
+        if queries.is_empty() {
+            return results;
+        }
         let threads = self.effective_threads();
-        // Sequential prefix: the whole batch with one worker; otherwise only
-        // until the top level has cracked open far enough to split (a fresh
-        // index starts as a single whole-dataset slice).
+        let extended: Vec<Aabb<D>> = queries.iter().map(|q| self.extend_query(q)).collect();
+
+        // Sealing disabled: skip classification outright (there is nothing
+        // to classify against) and run the crack machinery directly — the
+        // `--seal false` reference configuration must not pay any sealed-
+        // path bookkeeping.
+        if !self.cfg.seal {
+            let mut next = 0;
+            while next < queries.len() && (threads <= 1 || self.root.len() < 2) {
+                let (q, qe) = (&queries[next], &extended[next]);
+                self.query_unsealed(q, qe, &mut results[next]);
+                next += 1;
+            }
+            if next < queries.len() {
+                self.run_partitioned(&queries[next..], &mut results[next..], threads);
+            }
+            return results;
+        }
+
+        // Classify each query by the root slices its §5.2 candidate window
+        // covers: entirely sealed → the shared-read phase; anything else →
+        // the crack phase. Classification is stable across the whole batch
+        // because the sealed phase mutates nothing and the crack phase runs
+        // after it (cracks only ever split *unsealed* slices, so a sealed
+        // query's window can never gain an unsealed candidate mid-batch).
+        let mut sealed_jobs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut crack_jobs: Vec<usize> = Vec::new();
+        let mut crack_windows: Vec<std::ops::Range<usize>> = Vec::new();
+        for j in 0..queries.len() {
+            let cand = self.root_candidates(&extended[j]);
+            if !self.root.is_empty() && self.all_sealed(cand.clone()) {
+                sealed_jobs.push((j, cand));
+            } else {
+                crack_jobs.push(j);
+                crack_windows.push(cand);
+            }
+        }
+
+        // Phase 1 — shared-read execution over the sealed arenas: arbitrary
+        // queries on a `&self` thread pool, no disjoint-partition
+        // constraint, no work-queue Mutex (an atomic cursor hands out
+        // jobs). Reads commute with the crack phase below: sealed regions
+        // are immutable and crack queries never read them.
+        if !sealed_jobs.is_empty() {
+            self.run_sealed_batch(queries, &extended, &sealed_jobs, &mut results, threads);
+        }
+
+        // Phase 2 — the adaptive `&mut` path for everything else, after
+        // lazily invalidating just the seals the fallback queries span
+        // (root indices are still those of classification time: phase 1
+        // did not touch the tree).
+        for cand in crack_windows {
+            self.invalidate_candidates(cand);
+        }
+        if crack_jobs.is_empty() {
+            return results;
+        }
+        // Sequential prefix: the whole remainder with one worker; otherwise
+        // only until the top level has cracked open far enough to split (a
+        // fresh index starts as a single whole-dataset slice).
         let mut next = 0;
-        while next < queries.len() && (threads <= 1 || self.root.len() < 2) {
-            let q = &queries[next];
-            SpatialIndex::query(self, q, &mut results[next]);
+        while next < crack_jobs.len() && (threads <= 1 || self.root.len() < 2) {
+            let j = crack_jobs[next];
+            let (q, qe) = (&queries[j], &extended[j]);
+            self.query_unsealed(q, qe, &mut results[j]);
             next += 1;
         }
-        if next < queries.len() {
-            self.run_partitioned(&queries[next..], &mut results[next..], threads);
+        if next < crack_jobs.len() {
+            let rest = &crack_jobs[next..];
+            let sub_queries: Vec<Aabb<D>> = rest.iter().map(|&j| queries[j]).collect();
+            let mut sub_results: Vec<Vec<u64>> = Vec::with_capacity(rest.len());
+            sub_results.resize_with(rest.len(), Vec::new);
+            self.run_partitioned(&sub_queries, &mut sub_results, threads);
+            for (&j, hits) in rest.iter().zip(sub_results) {
+                results[j] = hits;
+            }
         }
         results
+    }
+
+    /// Phase-1 executor: answers `jobs` (indices into the batch) entirely
+    /// through the sealed arenas. Workers share `&self` and pull jobs off an
+    /// atomic cursor; each query's result vector is computed independently
+    /// of scheduling, so results are byte-identical for every thread count.
+    fn run_sealed_batch(
+        &mut self,
+        queries: &[Aabb<D>],
+        extended: &[Aabb<D>],
+        jobs: &[(usize, std::ops::Range<usize>)],
+        results: &mut [Vec<u64>],
+        threads: usize,
+    ) {
+        let mut tested_total = 0u64;
+        if threads <= 1 || jobs.len() < 2 {
+            for (j, cand) in jobs {
+                tested_total += self.run_sealed_query(
+                    &queries[*j],
+                    &extended[*j],
+                    cand.clone(),
+                    &mut results[*j],
+                );
+            }
+        } else {
+            let workers = threads.min(jobs.len());
+            let cursor = AtomicUsize::new(0);
+            let collected: Mutex<Vec<(usize, Vec<u64>, u64)>> =
+                Mutex::new(Vec::with_capacity(jobs.len()));
+            let this: &Quasii<D> = self;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Vec<u64>, u64)> = Vec::new();
+                        loop {
+                            let t = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some((j, cand)) = jobs.get(t) else { break };
+                            let mut out = Vec::new();
+                            let tested = this.run_sealed_query(
+                                &queries[*j],
+                                &extended[*j],
+                                cand.clone(),
+                                &mut out,
+                            );
+                            local.push((*j, out, tested));
+                        }
+                        // One lock per worker, at drain time — the hot loop
+                        // itself is contention-free.
+                        collected.lock().expect("collector poisoned").extend(local);
+                    });
+                }
+            });
+            for (j, out, tested) in collected.into_inner().expect("collector poisoned") {
+                results[j] = out;
+                tested_total += tested;
+            }
+        }
+        self.rt.stats.queries += jobs.len() as u64;
+        self.rt.stats.objects_tested += tested_total;
+        self.seal_stats.sealed_queries += jobs.len() as u64;
     }
 
     /// Parallel remainder of a batch: requires `root.len() >= 2` and

@@ -65,6 +65,12 @@ pub struct QuasiiConfig {
     /// top-level partitions on `n` scoped workers. Results are bit-for-bit
     /// identical for every value.
     pub threads: usize,
+    /// Whether converged top-level slices are compacted into **sealed**
+    /// arenas answered through the shared-read path (default: `true`; see
+    /// `crate::seal`). Disabling it keeps the adaptive `&mut` machinery on
+    /// every query — the configuration the sealed path is benchmarked and
+    /// property-tested against (results are identical either way).
+    pub seal: bool,
 }
 
 impl Default for QuasiiConfig {
@@ -74,6 +80,7 @@ impl Default for QuasiiConfig {
             assign_by: AssignBy::Lower,
             max_artificial_depth: 64,
             threads: 0,
+            seal: true,
         }
     }
 }
@@ -107,6 +114,14 @@ impl QuasiiConfig {
     /// constructor).
     pub fn with_assign_by(mut self, assign_by: AssignBy) -> Self {
         self.assign_by = assign_by;
+        self
+    }
+
+    /// Returns `self` with the sealed read path enabled or disabled
+    /// (chainable). `with_seal(false)` is the reference configuration the
+    /// sealed path is verified against.
+    pub fn with_seal(mut self, seal: bool) -> Self {
+        self.seal = seal;
         self
     }
 }
@@ -176,6 +191,8 @@ mod tests {
         let c = QuasiiConfig::default();
         assert_eq!(c.tau, 60);
         assert_eq!(c.threads, 0, "0 = auto (available parallelism)");
+        assert!(c.seal, "sealed read path is on by default");
+        assert!(!QuasiiConfig::default().with_seal(false).seal);
         assert_eq!(QuasiiConfig::with_tau(8).with_threads(4).threads, 4);
         assert_eq!(
             QuasiiConfig::default()

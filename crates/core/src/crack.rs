@@ -486,6 +486,38 @@ pub fn crack_median_keyed<const D: usize>(
     crack_two_keyed(keys, his, recs, pivot)
 }
 
+/// Measuring rank-based fallback split: same permutation and split point as
+/// [`crack_median_keyed`], additionally measuring both output segments'
+/// [`DimBounds`] during the final partition pass — so the engine's
+/// artificial-refinement fallback no longer re-scans both halves with
+/// [`DimBounds::of`] after the kernel already walked the columns.
+///
+/// The measurements are only meaningful when `0 < split < recs.len()`; on a
+/// degenerate (value-indivisible or sub-2-element) segment the caller
+/// force-refines and never reads them.
+pub fn crack_median_keyed_measured<const D: usize>(
+    keys: &mut [f64],
+    his: &mut [f64],
+    recs: &mut [Record<D>],
+    dim: usize,
+    mode: AssignBy,
+) -> (usize, DimBounds, DimBounds) {
+    debug_assert!(keys.len() == recs.len() && his.len() == recs.len());
+    if recs.len() < 2 {
+        return (recs.len(), DimBounds::empty(), DimBounds::empty());
+    }
+    let mid = recs.len() / 2;
+    recs.select_nth_unstable_by(mid, |a, b| {
+        key_of(a, dim, mode)
+            .partial_cmp(&key_of(b, dim, mode))
+            .expect("coordinates are never NaN")
+    });
+    // The selection permuted the records without the columns: re-key.
+    crate::keys::rekey(keys, his, recs, dim, mode);
+    let pivot = keys[mid];
+    crack_two_keyed_measured(keys, his, recs, dim, mode, pivot)
+}
+
 /// The record-streaming kernel generations (pre-key-column), kept as the
 /// bit-for-bit oracle for the keyed kernels and as the baseline side of the
 /// `benches/kernels.rs` keyed-vs-record-streaming comparison. Not used on
@@ -1057,6 +1089,53 @@ mod tests {
             crack_median_keyed(&mut ck1, &mut ch1, &mut one, 0, LOWER),
             1
         );
+    }
+
+    #[test]
+    fn measured_median_matches_unmeasured_and_rescan_oracle() {
+        // Same permutation and split point as the unmeasured kernel, and
+        // the in-pass measurements value-equal a `DimBounds::of` re-scan of
+        // each half — exactly what the engine's rank fallback consumed
+        // before the kernel returned them.
+        for (mode, dim, seed) in [
+            (AssignBy::Lower, 0, 61),
+            (AssignBy::Center, 1, 62),
+            (AssignBy::Upper, 2, 63),
+        ] {
+            let mut measured = random_segment3(137, seed);
+            let (mut mk, mut mh) = columns_of(&measured, dim, mode);
+            let mut plain = measured.clone();
+            let (mut pk, mut ph) = columns_of(&plain, dim, mode);
+
+            let (p, lm, rm) =
+                crack_median_keyed_measured(&mut mk, &mut mh, &mut measured, dim, mode);
+            let p_ref = crack_median_keyed(&mut pk, &mut ph, &mut plain, dim, mode);
+            assert_eq!(p, p_ref, "{mode:?}");
+            assert_eq!(measured, plain, "{mode:?}: permutation diverged");
+            assert_columns_consistent(&mk, &mh, &measured, dim, mode);
+            assert!(
+                0 < p && p < measured.len(),
+                "non-degenerate by construction"
+            );
+            assert_eq!(lm, DimBounds::of(&measured[..p], dim, mode), "{mode:?}");
+            assert_eq!(rm, DimBounds::of(&measured[p..], dim, mode), "{mode:?}");
+        }
+        // Degenerate inputs report their split like the unmeasured kernel
+        // (measurements are unspecified there and unread by the caller).
+        let mut same: Vec<Record<3>> = (0..9)
+            .map(|i| Record::new(i, Aabb::new([3.0; 3], [4.0; 3])))
+            .collect();
+        let (mut ck, mut ch) = columns_of(&same, 0, LOWER);
+        let (p, _, _) = crack_median_keyed_measured(&mut ck, &mut ch, &mut same, 0, LOWER);
+        assert_eq!(p, 0);
+        let mut one = vec![Record::new(0, Aabb::new([1.0; 3], [2.0; 3]))];
+        let (mut ck1, mut ch1) = columns_of(&one, 0, LOWER);
+        let (p, _, _) = crack_median_keyed_measured(&mut ck1, &mut ch1, &mut one, 0, LOWER);
+        assert_eq!(p, 1);
+        let mut empty: Vec<Record<3>> = vec![];
+        let (mut ck0, mut ch0) = columns_of(&empty, 0, LOWER);
+        let (p, l, r) = crack_median_keyed_measured(&mut ck0, &mut ch0, &mut empty, 0, LOWER);
+        assert_eq!((p, l, r), (0, DimBounds::empty(), DimBounds::empty()));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use crate::config::AssignBy;
 use crate::crack::{
-    crack_median_keyed, crack_three_keyed_measured, crack_two_keyed_measured, DimBounds,
+    crack_median_keyed_measured, crack_three_keyed_measured, crack_two_keyed_measured, DimBounds,
 };
 use crate::keys::rekey;
 use crate::slice::Slice;
@@ -195,15 +195,15 @@ fn artificial<const D: usize>(
     let mut split_value = mid;
     if split == 0 || split == seg.len() {
         // Midpoint failed to separate — rank-based fallback (rare: only on
-        // degenerate value distributions, so the extra measuring scans here
-        // do not matter).
-        split = crack_median_keyed(kseg, hseg, seg, dim, env.mode);
-        if split == 0 || split == seg.len() {
+        // degenerate value distributions). The measuring kernel returns
+        // both halves' bounds from its final partition pass, so no
+        // re-scan of the halves is needed here either.
+        let (msplit, mlm, mrm) = crack_median_keyed_measured(kseg, hseg, seg, dim, env.mode);
+        if msplit == 0 || msplit == seg.len() {
             out.push(force_refine(data, s, rt));
             return;
         }
-        lm = DimBounds::of(&seg[..split], dim, env.mode);
-        rm = DimBounds::of(&seg[split..], dim, env.mode);
+        (split, lm, rm) = (msplit, mlm, mrm);
         split_value = rm.min_key;
     }
     rt.stats.cracks += 1;
@@ -417,12 +417,32 @@ pub(crate) fn query_level<const D: usize>(
         replacements.get_or_insert_with(Vec::new).push((i, subs));
     }
 
-    // Splice replacements back, right to left so indices stay valid; slice
-    // lists remain sorted because every replacement covers exactly its
-    // predecessor's range.
+    // Put replacements back. A lone replacement splices in place; with more
+    // than one, repeated `splice(i..=i, …)` would shift the tail once per
+    // refined slice — O(replacements × list length), which a single query
+    // can hit on every level it refines — so the list is instead rebuilt in
+    // one left-to-right merge pass. Sortedness is preserved either way:
+    // every replacement run covers exactly its predecessor's range.
     if let Some(replacements) = replacements {
-        for (i, subs) in replacements.into_iter().rev() {
+        if replacements.len() == 1 {
+            let (i, subs) = replacements.into_iter().next().expect("len checked");
             slices.splice(i..=i, subs);
+        } else {
+            let added: usize = replacements.iter().map(|(_, subs)| subs.len()).sum();
+            let mut merged: Vec<Slice<D>> =
+                Vec::with_capacity(slices.len() - replacements.len() + added);
+            let mut reps = replacements.into_iter().peekable();
+            for (i, s) in slices.drain(..).enumerate() {
+                match reps.peek() {
+                    // `s` is the placeholder left at a refined index: drop
+                    // it and merge the replacement run in.
+                    Some((ri, _)) if *ri == i => {
+                        merged.extend(reps.next().expect("peeked").1);
+                    }
+                    _ => merged.push(s),
+                }
+            }
+            *slices = merged;
         }
     }
 }

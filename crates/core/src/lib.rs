@@ -37,6 +37,7 @@ pub mod crack;
 mod engine;
 pub mod fence;
 pub mod keys;
+mod seal;
 mod slice;
 mod stats;
 mod validate;
@@ -44,12 +45,14 @@ mod validate;
 pub use config::{tau_schedule, AssignBy, QuasiiConfig};
 pub use fence::KeyFences;
 pub use keys::KeyColumn;
-pub use stats::QuasiiStats;
+pub use stats::{QuasiiStats, SealStats};
 
 use engine::{Env, Runtime};
 use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
+use seal::SealedRegion;
 use slice::Slice;
+use std::ops::Range;
 
 /// The QUASII index. Generic over the dimensionality `D` (the paper
 /// evaluates `D = 3`; its worked example is `D = 2`).
@@ -73,6 +76,35 @@ pub struct Quasii<const D: usize> {
     /// [`with_precomputed_keys`](Self::with_precomputed_keys), adopted at
     /// first-query initialization.
     precomputed_keys: Option<Vec<f64>>,
+    /// Sealed arenas over converged top-level slices, sorted by `begin`,
+    /// disjoint, each covering exactly one root slice's range (see
+    /// [`seal`]).
+    seals: Vec<SealedRegion<D>>,
+    /// Structure fingerprint (`slices_created + slices_refined`) at the
+    /// last seal sweep; [`u64::MAX`] forces the next sweep (initial state,
+    /// or a seal was invalidated).
+    seal_stamp: u64,
+    seal_stats: SealStats,
+    /// Cached sum of sealed region lengths (kept in sync by `try_seal` and
+    /// `invalidate_candidates`): the fully-sealed steady state is detected
+    /// with one integer compare per query.
+    sealed_record_count: usize,
+    /// Data-space spans whose slices may have newly converged since the
+    /// last sweep — every fallback (crack-path) query records its candidate
+    /// window here, and [`try_seal`](Self::try_seal) rechecks only root
+    /// slices overlapping a recorded span: structural change is confined to
+    /// the windows of the queries that caused it, so the sweep never
+    /// re-walks untouched subtrees. Capped; overflow collapses into one
+    /// covering span.
+    seal_dirty: Vec<(usize, usize)>,
+    /// Forces the next sweep to recheck every root slice (initial state).
+    seal_dirty_all: bool,
+    /// Invalidated arenas, parked for revival: a fallback query spanning a
+    /// sealed region unseals it (conservative lifecycle), but a converged
+    /// subtree can never reorganize, so the arena itself stays valid — the
+    /// next sweep revives it by range match instead of rebuilding, making
+    /// an invalidate → re-seal cycle O(1) instead of O(region).
+    parked: Vec<SealedRegion<D>>,
 }
 
 impl<const D: usize> Quasii<D> {
@@ -97,6 +129,13 @@ impl<const D: usize> Quasii<D> {
             data_bounds: Aabb::empty(),
             initialized: false,
             precomputed_keys: None,
+            seals: Vec::new(),
+            seal_stamp: u64::MAX,
+            seal_stats: SealStats::default(),
+            sealed_record_count: 0,
+            seal_dirty: Vec::new(),
+            seal_dirty_all: true,
+            parked: Vec::new(),
         }
     }
 
@@ -273,6 +312,260 @@ impl<const D: usize> Quasii<D> {
         validate::validate(self)
     }
 
+    // -----------------------------------------------------------------
+    // Sealed read path (see the `seal` module for the representation).
+    // -----------------------------------------------------------------
+
+    /// Compacts every converged top-level slice into a sealed arena (a
+    /// no-op for slices already sealed or not yet converged, and with
+    /// [`QuasiiConfig::seal`] disabled). Runs automatically at the start of
+    /// every query and batch; calling it explicitly after a warm-up (or
+    /// [`finalize`](Self::finalize)) moves the sealing cost out of the next
+    /// query's latency. Initializes a fresh index first.
+    pub fn seal(&mut self) {
+        self.ensure_init();
+        self.try_seal();
+    }
+
+    /// Seal lifecycle counters (regions sealed / invalidated, queries
+    /// served fully sealed). Unlike [`stats`](Self::stats) these depend on
+    /// batching shape — see [`SealStats`].
+    pub fn seal_stats(&self) -> SealStats {
+        self.seal_stats
+    }
+
+    /// Number of currently sealed regions (converged top-level slices with
+    /// a live arena).
+    pub fn sealed_regions(&self) -> usize {
+        self.seals.len()
+    }
+
+    /// Records currently covered by sealed regions.
+    pub fn sealed_records(&self) -> usize {
+        self.sealed_record_count
+    }
+
+    /// Fraction of the dataset answered through the sealed read path
+    /// (`0.0` for an empty dataset).
+    pub fn sealed_fraction(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sealed_records() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Heap bytes held by the sealed arenas (live and parked — an
+    /// invalidated arena stays allocated for O(1) revival).
+    pub fn seal_bytes(&self) -> usize {
+        (self.seals.capacity() + self.parked.capacity()) * std::mem::size_of::<SealedRegion<D>>()
+            + self
+                .seals
+                .iter()
+                .chain(&self.parked)
+                .map(SealedRegion::heap_bytes)
+                .sum::<usize>()
+    }
+
+    /// Sweeps the root list and seals newly converged top-level slices.
+    /// Skipped outright when the structure fingerprint is unchanged since
+    /// the last sweep, so the converged steady state pays one integer
+    /// compare per call.
+    pub(crate) fn try_seal(&mut self) {
+        if !self.cfg.seal || self.data.is_empty() {
+            return;
+        }
+        let stamp = self.rt.stats.slices_created + self.rt.stats.slices_refined;
+        if self.seal_stamp == stamp {
+            return;
+        }
+        self.seal_stamp = stamp;
+        let mut kept = std::mem::take(&mut self.seals).into_iter().peekable();
+        let mut parked = std::mem::take(&mut self.parked).into_iter().peekable();
+        let mut out: Vec<SealedRegion<D>> = Vec::new();
+        for s in &self.root {
+            // Sealed root slices are immutable, so an existing seal is
+            // reused whenever its range still matches a root slice, and an
+            // invalidated one is revived from the parked list (counted as a
+            // fresh seal — the observable lifecycle event) instead of
+            // rebuilt. Entries whose range matches no root slice are
+            // dropped by the cursor advance.
+            while kept.peek().is_some_and(|r| r.begin < s.begin) {
+                kept.next();
+            }
+            while parked.peek().is_some_and(|r| r.begin < s.begin) {
+                parked.next();
+            }
+            if kept
+                .peek()
+                .is_some_and(|r| r.begin == s.begin && r.end == s.end)
+            {
+                out.push(kept.next().expect("peeked"));
+                continue;
+            }
+            if parked
+                .peek()
+                .is_some_and(|r| r.begin == s.begin && r.end == s.end)
+            {
+                self.seal_stats.seals += 1;
+                out.push(parked.next().expect("peeked"));
+                continue;
+            }
+            // Only slices inside a dirty span can have changed convergence
+            // state since the last sweep; everything else stays skipped
+            // without walking its subtree.
+            let dirty = self.seal_dirty_all
+                || self
+                    .seal_dirty
+                    .iter()
+                    .any(|&(lo, hi)| s.begin < hi && s.end > lo);
+            if !dirty {
+                continue;
+            }
+            if let Some(region) = SealedRegion::build(s, &self.data) {
+                self.seal_stats.seals += 1;
+                out.push(region);
+            }
+        }
+        self.seal_dirty.clear();
+        self.seal_dirty_all = false;
+        self.sealed_record_count = out.iter().map(SealedRegion::records).sum();
+        self.seals = out;
+    }
+
+    /// Records a data-space span whose convergence state a fallback query
+    /// may have changed (see the `seal_dirty` field).
+    fn mark_seal_dirty(&mut self, lo: usize, hi: usize) {
+        const CAP: usize = 8;
+        if self.seal_dirty_all {
+            return;
+        }
+        if self.seal_dirty.len() >= CAP {
+            let cover = self
+                .seal_dirty
+                .drain(..)
+                .fold((lo, hi), |(alo, ahi), (blo, bhi)| {
+                    (alo.min(blo), ahi.max(bhi))
+                });
+            self.seal_dirty.push(cover);
+        } else {
+            self.seal_dirty.push((lo, hi));
+        }
+    }
+
+    /// The root-slice candidate window `query_level` would iterate for an
+    /// extended query: the §5.2 partition-point probe with the "step one
+    /// back" rule, up to the first slice whose minimum key exceeds the
+    /// extended upper bound.
+    pub(crate) fn root_candidates(&self, qe: &Aabb<D>) -> Range<usize> {
+        let start = self
+            .root
+            .partition_point(|s| s.key_lo < qe.lo[0])
+            .saturating_sub(1);
+        let end = start + self.root[start..].partition_point(|s| s.key_lo <= qe.hi[0]);
+        start..end
+    }
+
+    /// The seal covering the root slice starting at data index `begin`.
+    pub(crate) fn seal_of(&self, begin: usize, end: usize) -> Option<&SealedRegion<D>> {
+        let i = self.seals.partition_point(|r| r.begin < begin);
+        self.seals
+            .get(i)
+            .filter(|r| r.begin == begin && r.end == end)
+    }
+
+    /// Whether every candidate root slice is sealed — the condition for
+    /// answering a query entirely through the shared-read path. In the
+    /// fully converged steady state (every record sealed) this is one
+    /// integer compare.
+    pub(crate) fn all_sealed(&self, cand: Range<usize>) -> bool {
+        if !self.cfg.seal {
+            return false;
+        }
+        if self.sealed_records() == self.data.len() {
+            return true;
+        }
+        cand.clone()
+            .all(|i| self.seal_of(self.root[i].begin, self.root[i].end).is_some())
+    }
+
+    /// Invalidates the seals overlapping a fallback query's candidate
+    /// window: the query runs through the `&mut` crack path, and the seal
+    /// lifecycle stays conservative — a region is only ever *read* sealed
+    /// while no fallback execution spans it. (The arena itself could not
+    /// have gone stale — converged subtrees never reorganize — so this
+    /// costs a rebuild at the next sweep, never correctness.)
+    pub(crate) fn invalidate_candidates(&mut self, cand: Range<usize>) {
+        if cand.is_empty() {
+            return;
+        }
+        let lo = self.root[cand.start].begin;
+        let hi = self.root[cand.end - 1].end;
+        // The fallback query about to run can only reorganize (and so
+        // newly converge) slices inside its candidate window.
+        self.mark_seal_dirty(lo, hi);
+        if self.seals.is_empty() {
+            return;
+        }
+        let (dropped, kept): (Vec<_>, Vec<_>) = std::mem::take(&mut self.seals)
+            .into_iter()
+            .partition(|r| r.begin < hi && r.end > lo);
+        self.seals = kept;
+        if !dropped.is_empty() {
+            self.seal_stats.unseals += dropped.len() as u64;
+            self.seal_stamp = u64::MAX; // converged-but-unsealed: re-sweep
+            self.sealed_record_count = self.seals.iter().map(SealedRegion::records).sum();
+            // Park the arenas for O(1) revival (both lists are sorted and
+            // disjoint: a region leaves `parked` only by revival, so no
+            // range appears twice).
+            self.parked.extend(dropped);
+            self.parked.sort_unstable_by_key(|r| r.begin);
+        }
+    }
+
+    /// Answers a query known to fall entirely within sealed regions,
+    /// reproducing `query_level`'s root-level loop (bounding-box skip
+    /// included) and descending through the arenas. Returns the number of
+    /// objects tested at the bottom level.
+    pub(crate) fn run_sealed_query(
+        &self,
+        q: &Aabb<D>,
+        qe: &Aabb<D>,
+        cand: Range<usize>,
+        out: &mut Vec<u64>,
+    ) -> u64 {
+        let mut tested = 0;
+        debug_assert_eq!(cand, self.root_candidates(qe));
+        if cand.is_empty() {
+            return 0;
+        }
+        // Seals are sorted by range like the root list, so one binary
+        // search positions a cursor that then advances in lockstep with
+        // the ascending candidates — no per-candidate search.
+        let first_begin = self.root[cand.start].begin;
+        let mut cursor = self.seals.partition_point(|r| r.begin < first_begin);
+        for i in cand {
+            let s = &self.root[i];
+            while self.seals[cursor].begin < s.begin {
+                cursor += 1;
+            }
+            let region = &self.seals[cursor];
+            debug_assert_eq!((region.begin, region.end), (s.begin, s.end));
+            if !q.intersects(&s.bbox) {
+                continue;
+            }
+            if q.contains(&s.bbox) {
+                // The whole region qualifies: one contiguous id copy (see
+                // `SealedRegion::walk` for why this equals the full
+                // descent's output and tested count).
+                tested += region.emit_all(out);
+            } else {
+                tested += region.run(q, qe, out);
+            }
+        }
+        tested
+    }
+
     /// Query extension (§5.2): reorganization must consider the query grown
     /// by the maximum object extent in the direction opposite the
     /// assignment coordinate, so that every qualifying object's key falls
@@ -284,6 +577,25 @@ impl<const D: usize> Quasii<D> {
             qe.hi[k] += self.ext_high[k];
         }
         qe
+    }
+
+    /// The adaptive `&mut` path: Algorithm 1 over the slice tree, cracking
+    /// as it goes. The caller has already handled seal classification and
+    /// invalidation (or there are no seals to consider).
+    pub(crate) fn query_unsealed(&mut self, query: &Aabb<D>, qe: &Aabb<D>, out: &mut Vec<u64>) {
+        self.rt.stats.queries += 1;
+        let (keys, his) = self.keys.as_mut_slices();
+        engine::query_level(
+            &mut self.data,
+            keys,
+            his,
+            &mut self.root,
+            query,
+            qe,
+            &self.env,
+            &mut self.rt,
+            out,
+        );
     }
 
     #[allow(clippy::type_complexity)]
@@ -298,6 +610,11 @@ impl<const D: usize> Quasii<D> {
             self.cfg.assign_by,
         )
     }
+
+    /// Read access to the sealed regions (validation and tests).
+    pub(crate) fn seal_regions(&self) -> &[SealedRegion<D>] {
+        &self.seals
+    }
 }
 
 impl<const D: usize> SpatialIndex<D> for Quasii<D> {
@@ -307,20 +624,22 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
 
     fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>) {
         self.ensure_init();
-        self.rt.stats.queries += 1;
+        self.try_seal();
         let qe = self.extend_query(query);
-        let (keys, his) = self.keys.as_mut_slices();
-        engine::query_level(
-            &mut self.data,
-            keys,
-            his,
-            &mut self.root,
-            query,
-            &qe,
-            &self.env,
-            &mut self.rt,
-            out,
-        );
+        if self.cfg.seal && !self.root.is_empty() {
+            let cand = self.root_candidates(&qe);
+            if self.all_sealed(cand.clone()) {
+                // Pure read over the arenas: no `&mut` state is touched
+                // beyond the counters.
+                self.rt.stats.queries += 1;
+                self.seal_stats.sealed_queries += 1;
+                let tested = self.run_sealed_query(query, &qe, cand, out);
+                self.rt.stats.objects_tested += tested;
+                return;
+            }
+            self.invalidate_candidates(cand);
+        }
+        self.query_unsealed(query, &qe, out);
     }
 
     fn query_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
@@ -335,6 +654,15 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
         self.root.capacity() * std::mem::size_of::<Slice<D>>()
             + self.root.iter().map(Slice::heap_bytes).sum::<usize>()
             + self.keys.heap_bytes()
+            + self.seal_bytes()
+    }
+
+    fn seal(&mut self) {
+        Quasii::seal(self);
+    }
+
+    fn sealed_fraction(&self) -> f64 {
+        Quasii::sealed_fraction(self)
     }
 }
 

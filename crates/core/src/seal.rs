@@ -1,0 +1,574 @@
+//! The **sealed read path**: arena-compacted SoA snapshots of converged
+//! slice subtrees.
+//!
+//! QUASII's premise (paper §5) is that the index *converges*: after a
+//! warm-up of cracking queries every slice reaches its level's τ and queries
+//! become pure reads. The adaptive machinery is pure overhead from then on —
+//! heap-scattered [`Slice`] nodes behind `children: Vec<Slice>` (a `Slice<3>`
+//! is well over a cache line), `&mut` access that forces batch parallelism
+//! onto disjoint partitions, and a bottom-level scan striding 56-byte
+//! records for a test that only consumes `2 × D` coordinates.
+//!
+//! A [`SealedRegion`] compacts one **converged top-level slice**'s subtree
+//! into a flat arena:
+//!
+//! * per level, sibling metadata split for its two access patterns — a
+//!   `key_lo[]` column for the extended binary search of §5.2 (an 8-byte
+//!   probe stride instead of a >100-byte `Slice` stride) and a packed
+//!   one-cache-line [`NodeMeta`] blob (record range, child range, bounding
+//!   box) for everything the candidate loop reads after a probe hits;
+//! * the bottom level's record MBBs split into per-dimension `lo[d][]` /
+//!   negated `hi[d][]` columns plus a narrowed `u32` id column, so the
+//!   final intersection filter streams one or two narrow lanes (cf. Pirk
+//!   et al., "Database Cracking: Fancy Scan, Not Poor Man's Sort!", DaMoN
+//!   2014) instead of striding 56-byte records — and the leaf's exact
+//!   bounding box decides most lane tests wholesale (see
+//!   [`SealedRegion::walk`]).
+//!
+//! The arena is a **self-contained copy** — it borrows nothing from the
+//! data array or the slice tree, so sealed regions can be read through
+//! `&self` from any number of threads while unrelated parts of the index
+//! crack on. The slice tree stays in place as the source of truth (cracking
+//! a region is impossible once converged, but the tree still serves
+//! `validate`, `level_profile`, introspection and the fallback `&mut`
+//! path); invalidating a seal parks the arena for O(1) revival at the next
+//! sweep — a converged subtree can never go stale.
+//!
+//! [`SealedRegion::run`] reproduces, operation for operation, the traversal
+//! the engine's `query_level`/`descend` would perform over the same
+//! converged subtree — same partition-point probe, same "step one back"
+//! rule, same break/skip conditions, same bottom-level scan order — so its
+//! output is **byte-identical** to the unsealed engine's (`tests/sealed.rs`
+//! proves it property-based, with the sealing-disabled engine as oracle).
+
+use crate::slice::Slice;
+use quasii_common::geom::{Aabb, Record};
+
+/// Per-node payload of one arena level: everything the candidate loop
+/// touches *after* the binary search hits — record range, child range and
+/// bounding box — packed into one contiguous blob (a single cache line at
+/// `D = 3`), so classifying a candidate costs one line instead of one per
+/// column. Only the minimum-key column stays split out ([`LevelSoa::key_lo`]):
+/// it is the probe target of the extended binary search, where the 8-byte
+/// stride matters.
+#[derive(Clone, Debug)]
+pub(crate) struct NodeMeta<const D: usize> {
+    /// First record (region-relative).
+    pub begin: u32,
+    /// Past-the-end record (region-relative).
+    pub end: u32,
+    /// Children occupy `child_start..child_end` in the next level's arrays
+    /// (both `0` on the bottom level).
+    pub child_start: u32,
+    /// Past-the-end child index.
+    pub child_end: u32,
+    /// Bounding-box lower corner.
+    pub bb_lo: [f64; D],
+    /// Bounding-box upper corner.
+    pub bb_hi: [f64; D],
+}
+
+/// One arena level: the minimum-key search column plus the packed per-node
+/// metadata, in left-to-right (data-array) order, each parent's children
+/// contiguous.
+#[derive(Clone, Debug)]
+pub(crate) struct LevelSoa<const D: usize> {
+    /// Minimum assignment key per slice (the §5.2 binary-search column).
+    pub key_lo: Vec<f64>,
+    /// Packed node payloads, aligned with [`key_lo`](Self::key_lo).
+    pub meta: Vec<NodeMeta<D>>,
+}
+
+impl<const D: usize> LevelSoa<D> {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            key_lo: Vec::with_capacity(n),
+            meta: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of slices at this level.
+    pub fn len(&self) -> usize {
+        self.key_lo.len()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.key_lo.capacity() * std::mem::size_of::<f64>()
+            + self.meta.capacity() * std::mem::size_of::<NodeMeta<D>>()
+    }
+}
+
+/// Chunk size of the masked fallback scan (only reached at `D > 4`): each
+/// lane's compare pass runs at most this many contiguous elements before
+/// the mask is consumed — small enough to stay in L1, large enough to
+/// vectorize.
+const SCAN_CHUNK: usize = 64;
+
+/// One converged top-level slice, compacted into a flat arena (see the
+/// module docs for the layout and the byte-identity contract).
+#[derive(Clone, Debug)]
+pub(crate) struct SealedRegion<const D: usize> {
+    /// First data-array index covered (the sealed root slice's `begin`).
+    pub begin: usize,
+    /// Past-the-end data-array index covered.
+    pub end: usize,
+    /// Slice metadata for absolute levels `1..D` (`levels[l - 1]` holds
+    /// level `l`). Empty when `D == 1` — the region root is then itself the
+    /// bottom level.
+    pub levels: Vec<LevelSoa<D>>,
+    /// Record ids over `begin..end`, region-relative order, narrowed to
+    /// `u32` (ids are positions in the original dataset, so they fit for
+    /// any dataset under 2³² records; a region holding a larger id is
+    /// simply never sealed). Half the id-stream bytes of the `u64` source —
+    /// the id column is read by every bottom-level scan and wholesale emit.
+    pub ids: Vec<u32>,
+    /// Record MBB lower corners, one column per dimension.
+    pub rec_lo: [Vec<f64>; D],
+    /// Record MBB upper corners, one column per dimension, **negated**
+    /// (`rec_nhi[d][p] == -hi[d]` of record `p`). Negation normalizes both
+    /// intersection half-tests to one shape — `rec_lo <= q.hi` and
+    /// `rec_hi >= q.lo ⇔ -rec_hi <= -q.lo` — so every bottom-level lane
+    /// pass is the same `lane[p] <= bound` loop (negation is exact for
+    /// every non-NaN float, so the truth table is unchanged).
+    pub rec_nhi: [Vec<f64>; D],
+}
+
+impl<const D: usize> SealedRegion<D> {
+    /// Compacts `root`'s subtree, or returns `None` when the subtree has
+    /// not converged (some slice unrefined, or a refined non-bottom slice
+    /// without materialized children — its first visit would still mutate
+    /// the tree) or is too large for the `u32` arena offsets.
+    pub fn build(root: &Slice<D>, data: &[Record<D>]) -> Option<Self> {
+        if !root.subtree_converged() || root.len() > u32::MAX as usize {
+            return None;
+        }
+        if data[root.begin..root.end]
+            .iter()
+            .any(|r| r.id > u32::MAX as u64)
+        {
+            return None; // id column would not narrow — leave unsealed
+        }
+        let (begin, end) = (root.begin, root.end);
+        let mut levels: Vec<LevelSoa<D>> = Vec::with_capacity(D.saturating_sub(1));
+        let mut frontier: Vec<&Slice<D>> = root.children.iter().collect();
+        while !frontier.is_empty() {
+            let bottom = frontier[0].level + 1 == D;
+            let mut lv = LevelSoa::with_capacity(frontier.len());
+            let mut next: Vec<&Slice<D>> = Vec::new();
+            for s in &frontier {
+                lv.key_lo.push(s.key_lo);
+                let child_start = next.len() as u32;
+                if !bottom {
+                    next.extend(s.children.iter());
+                }
+                lv.meta.push(NodeMeta {
+                    begin: (s.begin - begin) as u32,
+                    end: (s.end - begin) as u32,
+                    child_start,
+                    child_end: next.len() as u32,
+                    bb_lo: s.bbox.lo,
+                    bb_hi: s.bbox.hi,
+                });
+            }
+            levels.push(lv);
+            frontier = next;
+        }
+        let seg = &data[begin..end];
+        Some(Self {
+            begin,
+            end,
+            levels,
+            ids: seg.iter().map(|r| r.id as u32).collect(),
+            rec_lo: std::array::from_fn(|d| seg.iter().map(|r| r.mbb.lo[d]).collect()),
+            rec_nhi: std::array::from_fn(|d| seg.iter().map(|r| -r.mbb.hi[d]).collect()),
+        })
+    }
+
+    /// Number of records covered.
+    pub fn records(&self) -> usize {
+        self.end - self.begin
+    }
+
+    /// Heap bytes held by the arena (metadata + record columns).
+    pub fn heap_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let mut total = self.levels.iter().map(LevelSoa::heap_bytes).sum::<usize>()
+            + self.levels.capacity() * std::mem::size_of::<LevelSoa<D>>()
+            + self.ids.capacity() * std::mem::size_of::<u32>();
+        for d in 0..D {
+            total += self.rec_lo[d].capacity() * f + self.rec_nhi[d].capacity() * f;
+        }
+        total
+    }
+
+    /// Emits every id in the region (the caller proved `q` contains the
+    /// region root's bounding box, so the whole subtree qualifies — one
+    /// contiguous copy instead of a per-leaf walk). Returns the objects
+    /// "tested" (all of them — the bbox proof decided each record's test).
+    pub fn emit_all(&self, out: &mut Vec<u64>) -> u64 {
+        out.extend(self.ids.iter().map(|&id| id as u64));
+        self.ids.len() as u64
+    }
+
+    /// Answers `q` over the region, appending matching ids to `out` in
+    /// data-array order; returns the number of objects tested at the bottom
+    /// level (the engine's `objects_tested` contribution). The caller has
+    /// already applied the root-level checks (`key_lo` window and bounding
+    /// box) to the region's root slice, exactly as `query_level` does
+    /// before descending a refined top-level slice (and takes
+    /// [`emit_all`](Self::emit_all) when `q` contains the root box).
+    pub fn run(&self, q: &Aabb<D>, qe: &Aabb<D>, out: &mut Vec<u64>) -> u64 {
+        match self.levels.first() {
+            // D == 1: the region root is the bottom level.
+            None => self.scan_range(0, self.ids.len(), q, [true; D], [true; D], out),
+            Some(top) => self.walk(0, 0, top.len(), q, qe, out),
+        }
+    }
+
+    /// Visits one sibling window `lo..hi` of `levels[idx]` (absolute level
+    /// `idx + 1`), reproducing `query_level`'s candidate selection — the
+    /// partition-point probe on the minimum-key column with the "step one
+    /// back" rule, the sorted-key break, and the bounding-box skip — with
+    /// one shortcut the arena's exact boxes make sound: a node whose
+    /// bounding box is *contained* in `q` emits its whole record range as a
+    /// contiguous id copy (every descendant's box is inside the node's box,
+    /// and a record inside `q`'s interval on a dimension passes that
+    /// dimension's intersection test by construction), which is exactly the
+    /// id sequence, order, and tested count the full descent would produce.
+    fn walk(
+        &self,
+        idx: usize,
+        lo: usize,
+        hi: usize,
+        q: &Aabb<D>,
+        qe: &Aabb<D>,
+        out: &mut Vec<u64>,
+    ) -> u64 {
+        let lv = &self.levels[idx];
+        let dim = idx + 1;
+        let bottom = dim + 1 == D;
+        let keys = &lv.key_lo[lo..hi];
+        let start = lo + keys.partition_point(|&k| k < qe.lo[dim]).saturating_sub(1);
+        let mut tested = 0u64;
+        // Bottom-level run fusion: consecutive leaves that are contiguous in
+        // record space and need the *same* lane tests collapse into one scan
+        // call (one resize, one lane-loop setup) — per-leaf emission order
+        // and per-record results are unchanged, a skipped leaf in between
+        // breaks contiguity and flushes.
+        let mut run: Option<(usize, usize, [bool; D], [bool; D])> = None;
+        for i in start..hi {
+            if lv.key_lo[i] > qe.hi[dim] {
+                break;
+            }
+            // One fused pass over the node's packed bbox classifies it:
+            // disjoint from `q` (skip), contained in `q` (wholesale emit),
+            // or boundary (descend / scan only the undecided lanes).
+            let node = &lv.meta[i];
+            let mut intersects = true;
+            let mut test_lo = [false; D];
+            let mut test_hi = [false; D];
+            for d in 0..D {
+                let (blo, bhi) = (node.bb_lo[d], node.bb_hi[d]);
+                intersects &= blo <= q.hi[d];
+                intersects &= bhi >= q.lo[d];
+                // A record fails `rec_lo <= q.hi` only if its lower corner
+                // exceeds q.hi — impossible when the node's upper bound
+                // already fits under it; dually for the other side.
+                test_lo[d] = bhi > q.hi[d];
+                test_hi[d] = blo < q.lo[d];
+            }
+            if !intersects {
+                continue;
+            }
+            let undecided = (0..D).any(|d| test_lo[d] || test_hi[d]);
+            let (rb, re) = (node.begin as usize, node.end as usize);
+            if bottom {
+                if !undecided {
+                    // Contained leaf: lane-test-free (scan_range's k == 0
+                    // wholesale-copy path once the run flushes).
+                    (test_lo, test_hi) = ([false; D], [false; D]);
+                }
+                match &mut run {
+                    Some((_, pe, plo, phi)) if *pe == rb && *plo == test_lo && *phi == test_hi => {
+                        *pe = re;
+                    }
+                    _ => {
+                        if let Some((pb, pe, plo, phi)) = run.take() {
+                            tested += self.scan_range(pb, pe, q, plo, phi, out);
+                        }
+                        run = Some((rb, re, test_lo, test_hi));
+                    }
+                }
+            } else if !undecided {
+                out.extend(self.ids[rb..re].iter().map(|&id| id as u64));
+                tested += (re - rb) as u64;
+            } else {
+                let (clo, chi) = (node.child_start as usize, node.child_end as usize);
+                tested += self.walk(idx + 1, clo, chi, q, qe, out);
+            }
+        }
+        if let Some((pb, pe, plo, phi)) = run {
+            tested += self.scan_range(pb, pe, q, plo, phi, out);
+        }
+        tested
+    }
+
+    /// Bottom-level scan of records `b..e` (region-relative), testing only
+    /// the **undecided** lanes — the caller's bbox classification proves the
+    /// skipped lanes pass for every record, and the negated upper-bound
+    /// column makes every remaining test the uniform `lane[p] <= bound`.
+    /// Truth table and output order are identical to the engine's
+    /// per-record [`Aabb::intersects_branchless`] collect — this is its
+    /// "fancy scan" form: a boundary leaf usually crosses the query on one
+    /// or two dimensions, so the scan streams one or two narrow `f64`
+    /// lanes plus the id column instead of striding 56-byte records.
+    fn scan_range(
+        &self,
+        b: usize,
+        e: usize,
+        q: &Aabb<D>,
+        test_lo: [bool; D],
+        test_hi: [bool; D],
+        out: &mut Vec<u64>,
+    ) -> u64 {
+        let m = e - b;
+        // Gather the active lane tests in normalized `v <= bound` form.
+        // `2 × D` tests fit `MAX_LANES` for every practical dimensionality;
+        // beyond that the masked chunk loop below takes over.
+        const MAX_LANES: usize = 8;
+        let empty: &[f64] = &[];
+        let mut lanes: [&[f64]; MAX_LANES] = [empty; MAX_LANES];
+        let mut bounds = [0.0f64; MAX_LANES];
+        let mut k = 0usize;
+        let mut overflow = false;
+        for d in 0..D {
+            if test_lo[d] {
+                if k < MAX_LANES {
+                    lanes[k] = &self.rec_lo[d][b..e];
+                    bounds[k] = q.hi[d];
+                    k += 1;
+                } else {
+                    overflow = true;
+                }
+            }
+            if test_hi[d] {
+                if k < MAX_LANES {
+                    lanes[k] = &self.rec_nhi[d][b..e];
+                    bounds[k] = -q.lo[d];
+                    k += 1;
+                } else {
+                    overflow = true;
+                }
+            }
+        }
+        if k == 0 {
+            out.extend(self.ids[b..e].iter().map(|&id| id as u64));
+            return m as u64;
+        }
+        let start = out.len();
+        out.resize(start + m, 0);
+        let ids = &self.ids[b..e];
+        let mut w = start;
+        if overflow {
+            // More than MAX_LANES active tests (D > 4): masked chunk pass
+            // over every active lane.
+            let mut mask = [true; SCAN_CHUNK];
+            let mut base = 0usize;
+            while base < m {
+                let c = SCAN_CHUNK.min(m - base);
+                mask[..c].fill(true);
+                for d in 0..D {
+                    if test_lo[d] {
+                        let qhi = q.hi[d];
+                        let lane = &self.rec_lo[d][b + base..b + base + c];
+                        for (mk, &v) in mask[..c].iter_mut().zip(lane) {
+                            *mk &= v <= qhi;
+                        }
+                    }
+                    if test_hi[d] {
+                        let nqlo = -q.lo[d];
+                        let lane = &self.rec_nhi[d][b + base..b + base + c];
+                        for (mk, &v) in mask[..c].iter_mut().zip(lane) {
+                            *mk &= v <= nqlo;
+                        }
+                    }
+                }
+                for (j, &mk) in mask[..c].iter().enumerate() {
+                    out[w] = ids[base + j] as u64;
+                    w += mk as usize;
+                }
+                base += c;
+            }
+        } else {
+            // Fused predicated loops for the common lane counts: every id
+            // is written, the cursor advances by the branch-free conjunction
+            // of the active lane tests.
+            match k {
+                1 => {
+                    let (l0, b0) = (lanes[0], bounds[0]);
+                    for (&id, &v0) in ids.iter().zip(l0) {
+                        out[w] = id as u64;
+                        w += (v0 <= b0) as usize;
+                    }
+                }
+                2 => {
+                    let (l0, b0) = (lanes[0], bounds[0]);
+                    let (l1, b1) = (lanes[1], bounds[1]);
+                    for ((&id, &v0), &v1) in ids.iter().zip(l0).zip(l1) {
+                        out[w] = id as u64;
+                        w += ((v0 <= b0) & (v1 <= b1)) as usize;
+                    }
+                }
+                3 => {
+                    let (l0, b0) = (lanes[0], bounds[0]);
+                    let (l1, b1) = (lanes[1], bounds[1]);
+                    let (l2, b2) = (lanes[2], bounds[2]);
+                    for (((&id, &v0), &v1), &v2) in ids.iter().zip(l0).zip(l1).zip(l2) {
+                        out[w] = id as u64;
+                        w += ((v0 <= b0) & (v1 <= b1) & (v2 <= b2)) as usize;
+                    }
+                }
+                _ => {
+                    for (p, &id) in ids.iter().enumerate() {
+                        let mut ok = true;
+                        for t in 0..k {
+                            ok &= lanes[t][p] <= bounds[t];
+                        }
+                        out[w] = id as u64;
+                        w += ok as usize;
+                    }
+                }
+            }
+        }
+        out.truncate(w);
+        m as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Quasii, QuasiiConfig};
+    use quasii_common::dataset::uniform_boxes_in;
+    use quasii_common::index::SpatialIndex;
+
+    /// Finalizes a small index and seals by hand, comparing the arena
+    /// traversal against the engine's own answers.
+    #[test]
+    fn build_and_run_match_engine() {
+        let data = uniform_boxes_in::<3>(2_000, 100.0, 5);
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(8).with_seal(false));
+        idx.finalize();
+        let (arr, _, roots, _, _) = idx.raw_parts();
+        let regions: Vec<SealedRegion<3>> = roots
+            .iter()
+            .map(|s| SealedRegion::build(s, arr).expect("finalized trees seal"))
+            .collect();
+        assert_eq!(
+            regions.iter().map(SealedRegion::records).sum::<usize>(),
+            data.len()
+        );
+        for r in &regions {
+            assert!(r.heap_bytes() > 0);
+        }
+
+        let queries = [
+            Aabb::new([0.0; 3], [100.0; 3]),
+            Aabb::new([10.0; 3], [35.0; 3]),
+            Aabb::new([90.0; 3], [99.0; 3]),
+            Aabb::point([50.0; 3]),
+            Aabb::new([200.0; 3], [300.0; 3]),
+        ];
+        for q in &queries {
+            let expect = idx.query_collect(q);
+            let qe = idx.extend_query(q);
+            let mut got = Vec::new();
+            let (arr2, _, roots, _, _) = idx.raw_parts();
+            for (s, r) in roots.iter().zip(&regions) {
+                assert_eq!((s.begin, s.end), (r.begin, r.end));
+                if s.key_lo > qe.hi[0] {
+                    break;
+                }
+                if q.intersects(&s.bbox) {
+                    r.run(q, &qe, &mut got);
+                }
+            }
+            let _ = arr2;
+            assert_eq!(got, expect, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn unconverged_subtrees_refuse_to_seal() {
+        let data = uniform_boxes_in::<3>(2_000, 100.0, 6);
+        let mut idx = Quasii::new(data, QuasiiConfig::with_tau(8).with_seal(false));
+        // One tiny corner query leaves most of the tree unrefined.
+        idx.query_collect(&Aabb::new([0.0; 3], [5.0; 3]));
+        let (arr, _, roots, _, _) = idx.raw_parts();
+        assert!(
+            roots.iter().any(|s| SealedRegion::build(s, arr).is_none()),
+            "a single corner query must not converge every top-level slice"
+        );
+    }
+    #[test]
+    #[ignore]
+    fn profile_sealed_vs_unsealed() {
+        use quasii_common::geom::mbb_of;
+        use std::time::Instant;
+        let n = 1_000_000;
+        let data = uniform_boxes_in::<3>(n, 10_000.0, 7);
+        let universe = mbb_of(&data);
+        let mut queries = Vec::new();
+        {
+            let side = (universe.extent(0) * universe.extent(1) * universe.extent(2) * 1e-3).cbrt();
+            let mut x = 123456789u64;
+            let mut rnd = || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            };
+            for _ in 0..2000 {
+                let lo = [
+                    rnd() * (10_000.0 - side),
+                    rnd() * (10_000.0 - side),
+                    rnd() * (10_000.0 - side),
+                ];
+                queries.push(Aabb::new(lo, [lo[0] + side, lo[1] + side, lo[2] + side]));
+            }
+        }
+        let mut sealed = Quasii::new(data.clone(), QuasiiConfig::default().with_threads(1));
+        sealed.finalize();
+        sealed.seal();
+        let mut unsealed = Quasii::new(
+            data.clone(),
+            QuasiiConfig::default().with_threads(1).with_seal(false),
+        );
+        unsealed.finalize();
+        for q in queries.iter().take(400) {
+            let _ = sealed.query_collect(q);
+            let _ = unsealed.query_collect(q);
+        }
+        let mut tu_all = Vec::new();
+        let mut ts_all = Vec::new();
+        for _ in 0..9 {
+            let t = Instant::now();
+            let mut h = 0usize;
+            for q in &queries {
+                h += unsealed.query_collect(q).len();
+            }
+            tu_all.push(t.elapsed().as_secs_f64());
+            let t = Instant::now();
+            let mut h2 = 0usize;
+            for q in &queries {
+                h2 += sealed.query_collect(q).len();
+            }
+            ts_all.push(t.elapsed().as_secs_f64());
+            assert_eq!(h, h2);
+        }
+        tu_all.sort_by(f64::total_cmp);
+        ts_all.sort_by(f64::total_cmp);
+        println!("rep unsealed med {:.1}ms min {:.1}ms | sealed med {:.1}ms min {:.1}ms | ratio(med) {:.2} ratio(min) {:.2}",
+        tu_all[4]*1e3, tu_all[0]*1e3, ts_all[4]*1e3, ts_all[0]*1e3, tu_all[4]/ts_all[4], tu_all[0]/ts_all[0]);
+    }
+}

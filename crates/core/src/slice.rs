@@ -120,6 +120,25 @@ impl<const D: usize> Slice<D> {
         1 + self.children.iter().map(Slice::count).sum::<usize>()
     }
 
+    /// Whether this subtree has fully **converged**: every slice is refined
+    /// down to the bottom level and every refined non-bottom slice has
+    /// materialized children. A query through a converged subtree performs
+    /// no reorganization and materializes nothing — it is a pure read,
+    /// which is exactly the condition under which the subtree can be
+    /// compacted into a sealed arena (see `crate::seal`). A refined
+    /// non-bottom slice *without* children is not converged: its first
+    /// visit still creates the default child (and may crack it, e.g. after
+    /// a force-refinement above τ).
+    pub fn subtree_converged(&self) -> bool {
+        if !self.refined {
+            return false;
+        }
+        if self.level + 1 == D {
+            return true;
+        }
+        !self.children.is_empty() && self.children.iter().all(Self::subtree_converged)
+    }
+
     /// Approximate heap bytes of this subtree's structure.
     pub fn heap_bytes(&self) -> usize {
         self.children.capacity() * std::mem::size_of::<Slice<D>>()

@@ -54,6 +54,27 @@ impl QuasiiStats {
     }
 }
 
+/// Counters of the sealed read path's lifecycle (see `crate::seal`).
+///
+/// Kept **separate** from [`QuasiiStats`] on purpose: the deterministic
+/// work counters are bit-for-bit identical across thread counts, batch
+/// sizes and shard layouts, while seal lifecycle events depend on *when*
+/// sweeps run — one big batch seals once where three chained batches may
+/// seal, invalidate and re-seal. Comparing `QuasiiStats` across execution
+/// shapes stays meaningful; seal counters are observability, not part of
+/// the determinism contract.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SealStats {
+    /// Regions compacted into sealed arenas (re-seals count again).
+    pub seals: u64,
+    /// Seals invalidated because a query fell back to the crack path over
+    /// a range overlapping them.
+    pub unseals: u64,
+    /// Queries answered entirely through sealed regions (no `&mut` state
+    /// touched beyond counters).
+    pub sealed_queries: u64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +126,11 @@ mod tests {
             ..Default::default()
         };
         assert!(s.did_work());
+    }
+
+    #[test]
+    fn seal_stats_default_is_idle() {
+        let s = SealStats::default();
+        assert_eq!((s.seals, s.unseals, s.sealed_queries), (0, 0, 0));
     }
 }

@@ -17,7 +17,10 @@
 //! 8. the column pair is in lockstep with the data: wherever an unrefined
 //!    slice claims fresh columns (`keys_fresh`), `keys[i]` equals the
 //!    record's own-level assignment key and `his[i]` its own-level upper
-//!    coordinate over the slice's whole range (see `crate::keys`).
+//!    coordinate over the slice's whole range (see `crate::keys`);
+//! 9. every sealed region (see `crate::seal`) mirrors a converged top-level
+//!    slice exactly: matching data range, level-by-level SoA metadata equal
+//!    to the slice subtree, and record columns equal to the data array.
 
 use crate::config::AssignBy;
 use crate::crack::key_of;
@@ -39,7 +42,109 @@ pub(crate) fn validate<const D: usize>(index: &Quasii<D>) -> Result<(), String> 
             data.len()
         ));
     }
-    check_level(data, cols, roots, 0, 0, data.len(), tau, mode)
+    check_level(data, cols, roots, 0, 0, data.len(), tau, mode)?;
+    check_seals(index)
+}
+
+/// Invariant 9: every sealed arena is an exact compaction of a converged
+/// top-level slice.
+fn check_seals<const D: usize>(index: &Quasii<D>) -> Result<(), String> {
+    let (data, _, roots, _, _) = index.raw_parts();
+    let mut prev_end = 0usize;
+    for (k, region) in index.seal_regions().iter().enumerate() {
+        if region.begin < prev_end {
+            return Err(format!(
+                "seal {k} starts at {} inside the previous region (ends {prev_end})",
+                region.begin
+            ));
+        }
+        prev_end = region.end;
+        let Some(root) = roots
+            .iter()
+            .find(|s| s.begin == region.begin && s.end == region.end)
+        else {
+            return Err(format!(
+                "seal {k} covers {}..{} which matches no top-level slice",
+                region.begin, region.end
+            ));
+        };
+        if !root.subtree_converged() {
+            return Err(format!(
+                "seal {k} covers an unconverged top-level slice {}..{}",
+                region.begin, region.end
+            ));
+        }
+        // Record columns mirror the data array.
+        let seg = &data[region.begin..region.end];
+        if region.ids.len() != seg.len() {
+            return Err(format!("seal {k}: id column length mismatch"));
+        }
+        for (p, r) in seg.iter().enumerate() {
+            if region.ids[p] as u64 != r.id {
+                return Err(format!(
+                    "seal {k}: id column diverges at position {p} ({} vs {})",
+                    region.ids[p], r.id
+                ));
+            }
+            for d in 0..D {
+                if region.rec_lo[d][p] != r.mbb.lo[d] || region.rec_nhi[d][p] != -r.mbb.hi[d] {
+                    return Err(format!(
+                        "seal {k}: MBB columns diverge at position {p}, dim {d}"
+                    ));
+                }
+            }
+        }
+        // Level arrays mirror the subtree, breadth-first.
+        let mut frontier: Vec<&Slice<D>> = root.children.iter().collect();
+        for (li, lv) in region.levels.iter().enumerate() {
+            if lv.len() != frontier.len() {
+                return Err(format!(
+                    "seal {k}, level {li}: {} arena nodes vs {} slices",
+                    lv.len(),
+                    frontier.len()
+                ));
+            }
+            let mut next: Vec<&Slice<D>> = Vec::new();
+            let bottom = li + 2 == D;
+            for (i, s) in frontier.iter().enumerate() {
+                let node = &lv.meta[i];
+                let (b, e) = (node.begin as usize, node.end as usize);
+                if lv.key_lo[i] != s.key_lo
+                    || b != s.begin - region.begin
+                    || e != s.end - region.begin
+                {
+                    return Err(format!(
+                        "seal {k}, level {li}, node {i}: metadata diverges from slice"
+                    ));
+                }
+                if node.bb_lo != s.bbox.lo || node.bb_hi != s.bbox.hi {
+                    return Err(format!(
+                        "seal {k}, level {li}, node {i}: bbox diverges from slice"
+                    ));
+                }
+                if !bottom {
+                    let child_start = next.len() as u32;
+                    next.extend(s.children.iter());
+                    if node.child_start != child_start || node.child_end != next.len() as u32 {
+                        return Err(format!(
+                            "seal {k}, level {li}, node {i}: child range diverges"
+                        ));
+                    }
+                } else if node.child_start != 0 || node.child_end != 0 {
+                    return Err(format!(
+                        "seal {k}, level {li}, node {i}: bottom node claims children"
+                    ));
+                }
+            }
+            frontier = next;
+        }
+        if !frontier.is_empty() {
+            return Err(format!(
+                "seal {k}: slice tree has more levels than the arena"
+            ));
+        }
+    }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]

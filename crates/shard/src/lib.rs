@@ -148,6 +148,14 @@ pub struct ShardSnapshot<const D: usize> {
     pub stats: QuasiiStats,
     /// Approximate heap bytes of the shard's index structure.
     pub index_bytes: usize,
+    /// Fraction of the shard's records covered by sealed read-path arenas
+    /// (see `quasii::Quasii::sealed_fraction`) — the convergence signal a
+    /// rebalancer reads: a shard stuck near `0.0` while its siblings sit at
+    /// `1.0` is still paying crack costs and a candidate for splitting.
+    pub sealed_fraction: f64,
+    /// Heap bytes of the shard's sealed arenas (included in
+    /// [`index_bytes`](Self::index_bytes)).
+    pub seal_bytes: usize,
 }
 
 /// Router-level counters (the engines keep their own [`QuasiiStats`]).
@@ -296,6 +304,8 @@ impl<const D: usize> ShardedQuasii<D> {
                     level_profile: s.level_profile(),
                     stats: s.stats(),
                     index_bytes: s.index_bytes(),
+                    sealed_fraction: s.sealed_fraction(),
+                    seal_bytes: s.seal_bytes(),
                 }
             })
             .collect()
@@ -319,6 +329,28 @@ impl<const D: usize> ShardedQuasii<D> {
         for s in &mut self.shards {
             s.finalize();
         }
+    }
+
+    /// Seals every shard's converged top-level slices (see
+    /// [`Quasii::seal`]): after a warm-up — or [`finalize`](Self::finalize)
+    /// — this moves every shard onto the shared-read path up front instead
+    /// of at its next query.
+    pub fn seal(&mut self) {
+        for s in &mut self.shards {
+            s.seal();
+        }
+    }
+
+    /// Record-weighted fraction of the whole deployment answered through
+    /// sealed read paths (`0.0` when empty) — the aggregate convergence
+    /// signal; [`snapshots`](Self::snapshots) has the per-shard breakdown.
+    pub fn sealed_fraction(&self) -> f64 {
+        let total: usize = self.shards.iter().map(|s| s.data().len()).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let sealed: usize = self.shards.iter().map(Quasii::sealed_records).sum();
+        sealed as f64 / total as f64
     }
 
     /// Checks every shard's structural invariants plus the router's
@@ -455,6 +487,14 @@ impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
 
     fn index_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.index_bytes()).sum()
+    }
+
+    fn seal(&mut self) {
+        ShardedQuasii::seal(self);
+    }
+
+    fn sealed_fraction(&self) -> f64 {
+        ShardedQuasii::sealed_fraction(self)
     }
 }
 
@@ -661,6 +701,38 @@ mod tests {
             cracks,
             "no reorganization after finalize"
         );
+    }
+
+    #[test]
+    fn sealing_reports_convergence_per_shard() {
+        let data = uniform_boxes_in::<3>(2_000, 500.0, 112);
+        let mut idx = ShardedQuasii::new(
+            data.clone(),
+            ShardConfig::default()
+                .with_shards(3)
+                .with_inner(QuasiiConfig::with_tau(16)),
+        );
+        assert_eq!(idx.sealed_fraction(), 0.0, "nothing sealed before queries");
+        idx.finalize();
+        idx.seal();
+        assert_eq!(idx.sealed_fraction(), 1.0, "finalized shards seal fully");
+        let snaps = idx.snapshots();
+        assert!(snaps
+            .iter()
+            .all(|s| s.records == 0 || s.sealed_fraction == 1.0));
+        assert!(snaps.iter().any(|s| s.seal_bytes > 0));
+        assert!(snaps
+            .iter()
+            .all(|s| s.seal_bytes == 0 || s.index_bytes > s.seal_bytes));
+        // Steady-state queries run through the sealed read path and stay
+        // byte-identical to brute force.
+        let cracks = idx.stats().cracks;
+        let u = Aabb::new([0.0; 3], [500.0; 3]);
+        for q in &workload::uniform(&u, 10, 1e-3, 113).queries {
+            assert_matches_brute_force(&data, q, &idx.query_collect(q));
+        }
+        assert_eq!(idx.stats().cracks, cracks, "pure reads after sealing");
+        idx.validate().unwrap();
     }
 
     #[test]

@@ -1,0 +1,319 @@
+//! Property-based coverage for the **sealed read path**: for arbitrary
+//! datasets and query mixes, the sealing engine must be byte-identical to
+//! the sealing-disabled engine (the adaptive machinery as the oracle) —
+//! same ids in the same order, same deterministic work counters, same data
+//! permutation — across single queries, batches, thread counts and the
+//! trait-object path, while the seal lifecycle (seal → invalidate →
+//! re-crack → re-seal) is exercised and validated after every step.
+
+use proptest::prelude::*;
+use quasii::{QuasiiConfig, SealStats};
+use quasii_common::dataset::degenerate;
+use quasii_common::index::{assert_matches_brute_force, brute_force};
+use quasii_suite::prelude::*;
+
+fn arb_box3() -> impl Strategy<Value = Aabb<3>> {
+    (
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..12.0f64,
+        0.0..12.0f64,
+        0.0..12.0f64,
+    )
+        .prop_map(|(x, y, z, a, b, c)| Aabb::new([x, y, z], [x + a, y + b, z + c]))
+}
+
+fn dataset3(max: usize) -> impl Strategy<Value = Vec<Record<3>>> {
+    prop::collection::vec(arb_box3(), 1..max).prop_map(|boxes| {
+        boxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Record::new(i as u64, b))
+            .collect()
+    })
+}
+
+/// Query mix stressing the seal lifecycle: some tiny (leave regions
+/// unconverged), some huge (converge and later re-visit sealed regions).
+fn queries3(max: usize) -> impl Strategy<Value = Vec<Aabb<3>>> {
+    let q = (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.5..80.0f64)
+        .prop_map(|(x, y, z, side)| Aabb::new([x, y, z], [x + side, y + side, z + side]));
+    prop::collection::vec(q, 1..max)
+}
+
+/// The oracle: sealing disabled, sequential, one query at a time.
+fn oracle(data: &[Record<3>], queries: &[Aabb<3>], tau: usize) -> (Vec<Vec<u64>>, Quasii<3>) {
+    let cfg = QuasiiConfig::with_tau(tau).with_threads(1).with_seal(false);
+    let mut idx = Quasii::new(data.to_vec(), cfg);
+    let results = queries.iter().map(|q| idx.query_collect(q)).collect();
+    (results, idx)
+}
+
+fn ids(data: &[Record<3>]) -> Vec<u64> {
+    data.iter().map(|r| r.id).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single-query histories: the sealing engine must be indistinguishable
+    /// from the oracle at every step, while seals come and go underneath.
+    #[test]
+    fn sealed_equals_unsealed_query_by_query(
+        data in dataset3(900),
+        queries in queries3(24),
+        tau in 2usize..24,
+    ) {
+        let (expect, orc) = oracle(&data, &queries, tau);
+        let mut idx = Quasii::new(
+            data.clone(),
+            QuasiiConfig::with_tau(tau).with_threads(1),
+        );
+        for (q, want) in queries.iter().zip(&expect) {
+            let got = idx.query_collect(q);
+            prop_assert_eq!(&got, want, "ids diverged at query {:?}", q);
+            idx.validate().map_err(|e| {
+                TestCaseError::fail(format!("invariants: {e}"))
+            })?;
+        }
+        prop_assert_eq!(idx.stats(), orc.stats(), "work counters diverged");
+        prop_assert_eq!(ids(idx.data()), ids(orc.data()), "permutation diverged");
+    }
+
+    /// Batched histories across thread counts: phase-split execution
+    /// (shared-read pool + crack fallback) must reproduce the oracle
+    /// byte-for-byte for every thread count and batch size.
+    #[test]
+    fn sealed_batches_equal_unsealed_across_threads(
+        data in dataset3(700),
+        queries in queries3(20),
+        tau in 2usize..20,
+        chunk in 1usize..8,
+    ) {
+        let (expect, orc) = oracle(&data, &queries, tau);
+        for threads in [1usize, 2, 4] {
+            let mut idx = Quasii::new(
+                data.clone(),
+                QuasiiConfig::with_tau(tau).with_threads(threads),
+            );
+            let mut got: Vec<Vec<u64>> = Vec::new();
+            for batch in queries.chunks(chunk) {
+                got.extend(idx.execute_batch(batch));
+                idx.validate().map_err(|e| {
+                    TestCaseError::fail(format!("invariants: {e}"))
+                })?;
+            }
+            prop_assert_eq!(&got, &expect, "ids diverged at threads={}", threads);
+            prop_assert_eq!(idx.stats(), orc.stats(), "stats at threads={}", threads);
+            prop_assert_eq!(
+                ids(idx.data()),
+                ids(orc.data()),
+                "permutation at threads={}", threads
+            );
+        }
+    }
+
+    /// Once fully converged and sealed, every query is a pure read: no
+    /// cracks, no new slices, sealed fraction 1, brute-force agreement.
+    #[test]
+    fn finalized_index_seals_fully_and_reads_only(
+        data in dataset3(600),
+        queries in queries3(12),
+        tau in 2usize..16,
+    ) {
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(tau));
+        idx.finalize();
+        idx.seal();
+        prop_assert!((idx.sealed_fraction() - 1.0).abs() < 1e-12);
+        prop_assert!(idx.seal_stats().seals as usize >= idx.sealed_regions());
+        let stats = idx.stats();
+        for q in &queries {
+            assert_matches_brute_force(&data, q, &idx.query_collect(q));
+        }
+        let after = idx.stats();
+        prop_assert_eq!(after.cracks, stats.cracks, "no cracking after seal");
+        prop_assert_eq!(after.slices_created, stats.slices_created);
+        prop_assert_eq!(
+            idx.seal_stats().sealed_queries,
+            queries.len() as u64,
+            "every steady-state query runs sealed"
+        );
+        idx.validate().map_err(|e| {
+            TestCaseError::fail(format!("invariants: {e}"))
+        })?;
+    }
+}
+
+/// Deterministic seal → invalidate → re-crack → re-seal roundtrip: converge
+/// the low-key slab of the key space, seal it, then span sealed + unsealed
+/// ranges with one query (invalidating the touched seals), and converge the
+/// rest. (A top-level slice only converges when its *whole* subtree is
+/// refined, so the warm-up covers the full extent of dimensions 1–2 and
+/// narrows only dimension 0 — tiny corner queries leave deep-dimension
+/// tails coarse forever, by design.)
+#[test]
+fn seal_invalidate_recrack_reseal_roundtrip() {
+    let data = dataset::uniform_boxes_in::<3>(6_000, 1_000.0, 211);
+    let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(8));
+
+    // Converge the low-key slab with repeated dimension-0 range queries.
+    let corner = Aabb::new([0.0; 3], [250.0, 1_001.0, 1_001.0]);
+    for _ in 0..4 {
+        assert_matches_brute_force(&data, &corner, &idx.query_collect(&corner));
+    }
+    // An explicit sweep seals whatever converged.
+    idx.seal();
+    let after_warmup: SealStats = idx.seal_stats();
+    assert!(after_warmup.seals > 0, "warm-up must seal converged slices");
+    assert!(idx.sealed_fraction() > 0.0);
+    assert!(idx.sealed_regions() > 0);
+    idx.validate().unwrap();
+
+    // A query spanning sealed and unsealed key ranges falls back to the
+    // crack path and invalidates the seals it spans.
+    let spanning = Aabb::new([0.0; 3], [900.0, 400.0, 400.0]);
+    assert_matches_brute_force(&data, &spanning, &idx.query_collect(&spanning));
+    let after_span = idx.seal_stats();
+    assert!(
+        after_span.unseals > after_warmup.unseals,
+        "spanning query must invalidate the seals it overlaps: {after_span:?}"
+    );
+    idx.validate().unwrap();
+
+    // Convergence completes; the next sweep re-seals (counting fresh
+    // seals), and steady-state queries are pure sealed reads again.
+    idx.finalize();
+    idx.seal();
+    let resealed = idx.seal_stats();
+    assert!(resealed.seals > after_span.seals, "re-seal after re-crack");
+    assert_eq!(idx.sealed_fraction(), 1.0);
+    let sealed_before = idx.seal_stats().sealed_queries;
+    assert_matches_brute_force(&data, &corner, &idx.query_collect(&corner));
+    assert_eq!(idx.seal_stats().sealed_queries, sealed_before + 1);
+    idx.validate().unwrap();
+}
+
+/// Degenerate: a dataset at or below τ₀ refines at the root immediately;
+/// the first query materializes the default-child chain, after which the
+/// whole index seals as a single region.
+#[test]
+fn all_refined_at_root_seals_after_first_query() {
+    let data = dataset::uniform_boxes_in::<3>(40, 100.0, 212);
+    let mut idx = Quasii::new(data.clone(), QuasiiConfig::default());
+    let q = Aabb::new([0.0; 3], [100.0; 3]);
+    assert_matches_brute_force(&data, &q, &idx.query_collect(&q));
+    idx.seal();
+    assert_eq!(idx.sealed_regions(), 1, "one root slice, one region");
+    assert_eq!(idx.sealed_fraction(), 1.0);
+    // Steady state: sealed reads, still correct.
+    let probe = Aabb::new([10.0; 3], [60.0; 3]);
+    assert_matches_brute_force(&data, &probe, &idx.query_collect(&probe));
+    assert!(idx.seal_stats().sealed_queries >= 1);
+    idx.validate().unwrap();
+}
+
+/// Degenerate: value-indivisible keys can never be cracked to τ — slices
+/// are force-refined *above* τ. The structure still converges (forced
+/// refinement is terminal), so it must seal, with results and stats equal
+/// to the unsealed oracle.
+#[test]
+fn forced_refine_datasets_seal_above_tau() {
+    let data = degenerate::identical::<3>(1_200);
+    let queries = [
+        Aabb::new([5.0; 3], [6.0; 3]),
+        Aabb::new([0.0; 3], [700.0; 3]),
+        Aabb::new([5.5; 3], [5.6; 3]),
+    ];
+    let mut cfg = QuasiiConfig::with_tau(10);
+    cfg.max_artificial_depth = 16;
+
+    let mut orc = Quasii::new(data.clone(), cfg.clone().with_seal(false));
+    let expect: Vec<Vec<u64>> = queries.iter().map(|q| orc.query_collect(q)).collect();
+
+    let mut idx = Quasii::new(data.clone(), cfg);
+    let got: Vec<Vec<u64>> = queries.iter().map(|q| idx.query_collect(q)).collect();
+    assert_eq!(got, expect);
+    assert_eq!(idx.stats(), orc.stats());
+    assert!(idx.stats().forced_refinements > 0, "guard must have fired");
+
+    idx.seal();
+    assert_eq!(idx.sealed_fraction(), 1.0, "forced refinement still seals");
+    assert_matches_brute_force(&data, &queries[1], &idx.query_collect(&queries[1]));
+    idx.validate().unwrap();
+}
+
+/// The sealed lifecycle is reachable through the `SpatialIndex` trait
+/// object, and the default no-op implementations hold for static indexes.
+#[test]
+fn trait_object_path_exposes_sealing() {
+    let data = dataset::uniform_boxes_in::<3>(2_000, 500.0, 213);
+    let queries = [
+        Aabb::new([0.0; 3], [500.0; 3]),
+        Aabb::new([100.0; 3], [180.0; 3]),
+    ];
+
+    let mut boxed: Box<dyn SpatialIndex<3>> =
+        Box::new(Quasii::new(data.clone(), QuasiiConfig::with_tau(12)));
+    assert_eq!(boxed.sealed_fraction(), 0.0);
+    let first = boxed.query_collect(&queries[0]);
+    assert_matches_brute_force(&data, &queries[0], &first);
+    boxed.seal();
+    assert_eq!(boxed.sealed_fraction(), 1.0, "universe query converges all");
+    for q in &queries {
+        assert_matches_brute_force(&data, q, &boxed.query_collect(q));
+    }
+    let batched = boxed.query_batch(&queries);
+    for (q, hits) in queries.iter().zip(&batched) {
+        assert_matches_brute_force(&data, q, hits);
+    }
+
+    // Sharded deployments expose the same seam.
+    let mut sharded: Box<dyn SpatialIndex<3>> = Box::new(ShardedQuasii::new(
+        data.clone(),
+        ShardConfig::default().with_shards(3),
+    ));
+    sharded.seal();
+    assert_eq!(sharded.sealed_fraction(), 0.0, "nothing converged yet");
+    let got = sharded.query_collect(&queries[0]);
+    assert_eq!(got, brute_force(&data, &queries[0]));
+
+    // Static indexes keep the no-op defaults.
+    let mut rt: Box<dyn SpatialIndex<3>> = Box::new(RTree::bulk_load_default(data.clone()));
+    rt.seal();
+    assert_eq!(rt.sealed_fraction(), 0.0);
+    assert_matches_brute_force(&data, &queries[1], &rt.query_collect(&queries[1]));
+}
+
+/// Sealing must be invisible to the sharded router: sealed and unsealed
+/// deployments produce byte-identical canonical results and stats for the
+/// same history.
+#[test]
+fn sharded_sealed_equals_sharded_unsealed() {
+    let data = dataset::uniform_boxes_in::<3>(4_000, 800.0, 214);
+    let universe = Aabb::new([0.0; 3], [800.0; 3]);
+    let queries = workload::uniform(&universe, 60, 1e-3, 215).queries;
+    let mk = |seal: bool| {
+        ShardConfig::default()
+            .with_shards(3)
+            .with_shard_threads(2)
+            .with_inner(QuasiiConfig::with_tau(12).with_threads(2).with_seal(seal))
+    };
+    let mut sealed = ShardedQuasii::new(data.clone(), mk(true));
+    let mut plain = ShardedQuasii::new(data.clone(), mk(false));
+    for batch in queries.chunks(16) {
+        assert_eq!(sealed.execute_batch(batch), plain.execute_batch(batch));
+    }
+    assert_eq!(sealed.stats(), plain.stats());
+
+    // Converged regime: every shard fully seals, batches keep matching.
+    sealed.finalize();
+    plain.finalize();
+    sealed.seal();
+    assert_eq!(sealed.sealed_fraction(), 1.0);
+    for batch in queries.chunks(16) {
+        assert_eq!(sealed.execute_batch(batch), plain.execute_batch(batch));
+    }
+    assert_eq!(sealed.stats(), plain.stats());
+    sealed.validate().unwrap();
+}
