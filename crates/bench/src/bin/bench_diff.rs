@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! bench_diff OLD.json NEW.json [--max-regression FRAC] [--min-secs S]
+//!                              [--allow-missing]
 //! ```
 //!
 //! Compares the per-experiment wall-time rows (`series == "(wall)"`) shared
 //! by both reports and **fails (exit 1)** when any shared experiment got
 //! slower than `old × (1 + FRAC)` (default 0.25) — unless both sides are
 //! under `--min-secs` (default 0.05 s), where container timing noise
-//! dominates. Experiments present in only one report are listed as
-//! added/removed but never fail the run (new experiments are the point of
-//! the trajectory). The headline configuration (scale, threads, shards,
+//! dominates. One-sided experiments are printed, never silently skipped:
+//! rows only in the new report are listed as `new` (harmless — new
+//! experiments are the point of the trajectory), while rows that
+//! **disappeared** are listed as `missing` and fail the run (a guarded
+//! experiment vanishing is exactly the kind of silent coverage loss this
+//! tool exists to catch) unless `--allow-missing` is given for an
+//! intentional removal. The headline configuration (scale, threads, shards,
 //! assignment) must match, otherwise the reports are not comparable and the
 //! tool fails.
 //!
@@ -85,9 +90,11 @@ fn main() -> ExitCode {
     let mut paths: Vec<String> = Vec::new();
     let mut max_regression = 0.25f64;
     let mut min_secs = 0.05f64;
+    let mut allow_missing = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--allow-missing" => allow_missing = true,
             "--max-regression" => {
                 i += 1;
                 max_regression = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -104,7 +111,7 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: bench_diff OLD.json NEW.json [--max-regression FRAC] [--min-secs S]"
+                    "usage: bench_diff OLD.json NEW.json [--max-regression FRAC] [--min-secs S] [--allow-missing]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -142,9 +149,19 @@ fn main() -> ExitCode {
         "experiment", "old (s)", "new (s)", "ratio"
     );
     let mut failures = 0usize;
+    let mut missing = 0usize;
     for (exp, &old_secs) in &old.walls {
         let Some(&new_secs) = new.walls.get(exp) else {
-            println!("{exp:<12} {old_secs:>12.4} {:>12} {:>9}  removed", "-", "-");
+            let verdict = if allow_missing {
+                "missing (allowed)"
+            } else {
+                missing += 1;
+                "MISSING"
+            };
+            println!(
+                "{exp:<12} {old_secs:>12.4} {:>12} {:>9}  {verdict}",
+                "-", "-"
+            );
             continue;
         };
         let ratio = new_secs / old_secs.max(1e-12);
@@ -162,13 +179,20 @@ fn main() -> ExitCode {
     }
     for exp in new.walls.keys() {
         if !old.walls.contains_key(exp) {
-            println!("{exp:<12} {:>12} {:>12} {:>9}  added", "-", "-", "-");
+            println!("{exp:<12} {:>12} {:>12} {:>9}  new", "-", "-", "-");
         }
     }
     if failures > 0 {
         eprintln!(
             "{failures} experiment(s) regressed by more than {:.0}%",
             max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    if missing > 0 {
+        eprintln!(
+            "{missing} guarded experiment(s) disappeared from the new report \
+             (pass --allow-missing if the removal is intentional)"
         );
         return ExitCode::FAILURE;
     }

@@ -12,6 +12,7 @@ pub mod fig7_9;
 pub mod scaling;
 pub mod sharding;
 pub mod summary;
+pub mod warm_start;
 
 use crate::runner::Approach;
 use crate::scale::Scale;
@@ -36,6 +37,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "scaling",
     "sharding",
     "converged",
+    "warm_start",
     "summary",
 ];
 
@@ -160,7 +162,8 @@ impl Harness {
              \"assign_by\": \"{}\",\n    \
              \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \
              \"scaling_workload\": {}, \"sharding_workload\": {}, \
-             \"converged_warmup\": {}, \"converged_workload\": {}}}\n  }},\n  \"records\": [",
+             \"converged_warmup\": {}, \"converged_workload\": {}, \
+             \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}\n  }},\n  \"records\": [",
             esc(self.scale.name),
             self.scale.neuro_n,
             self.scale.uniform_n,
@@ -177,6 +180,8 @@ impl Harness {
             sharding::WORKLOAD_SEED,
             converged::WARMUP_SEED,
             converged::WORKLOAD_SEED,
+            warm_start::WARMUP_SEED,
+            warm_start::WORKLOAD_SEED,
         );
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
@@ -271,6 +276,7 @@ impl Harness {
             "scaling" => scaling::run_exp(self),
             "sharding" => sharding::run_exp(self),
             "converged" => converged::run_exp(self),
+            "warm_start" => warm_start::run_exp(self),
             "summary" => summary::run(self),
             other => return Err(format!("unknown experiment '{other}'")),
         }

@@ -7,7 +7,11 @@
 //!   to a `.qsd` or `.csv` file;
 //! * `info` — dataset statistics (count, bounds, extents);
 //! * `bench` — run a query workload against one of the paper's indexes and
-//!   print the timing summary (an ad-hoc, single-index `repro`).
+//!   print the timing summary (an ad-hoc, single-index `repro`); with
+//!   `--warm-start FILE` the QUASII index is revived from a snapshot
+//!   instead of cracked from scratch;
+//! * `snapshot` — warm a QUASII index (plain or sharded) on a workload and
+//!   persist it as a single snapshot file for later `--warm-start` runs.
 
 #![warn(missing_docs)]
 
@@ -22,7 +26,7 @@ use quasii_grid::{Assignment, UniformGrid};
 use quasii_mosaic::Mosaic;
 use quasii_rtree::RTree;
 use quasii_sfc::{SfCracker, SfcIndex};
-use quasii_shard::{ShardConfig, ShardedQuasii};
+use quasii_shard::{ShardConfig, ShardedQuasii, MANIFEST_MAGIC};
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,7 +49,7 @@ pub enum Command {
     },
     /// Run a workload against one index.
     Bench {
-        /// Dataset path.
+        /// Dataset path (empty when `--warm-start` supplies the index).
         data: String,
         /// Index name: scan|rtree|grid|sfc|sfcracker|mosaic|quasii.
         index: String,
@@ -68,9 +72,48 @@ pub enum Command {
         /// Whether QUASII compacts converged regions into sealed arenas
         /// ("true"/"false"; default true).
         seal: String,
+        /// Snapshot file to revive the index from instead of `--data`
+        /// (quasii only; empty = cold start from the dataset).
+        warm_start: String,
+    },
+    /// Warm a QUASII index on a workload and persist it as one snapshot
+    /// file (plain engine or, with `--shards K`, a sharded deployment).
+    Snapshot {
+        /// Dataset path.
+        data: String,
+        /// Output snapshot path.
+        out: String,
+        /// Warm-up queries before the snapshot is taken.
+        queries: usize,
+        /// Query volume fraction.
+        volume: f64,
+        /// "uniform", "clustered" or "skewed".
+        pattern: String,
+        /// Workload seed.
+        seed: u64,
+        /// Worker threads (0 = auto).
+        threads: usize,
+        /// Shard count; 0 = unsharded single engine.
+        shards: usize,
+        /// Assignment coordinate: lower|center|upper.
+        assign_by: String,
+        /// "true" finalizes (fully cracks) the index instead of warming it
+        /// with queries.
+        finalize: String,
     },
     /// Show usage.
     Help,
+}
+
+/// Parses a numeric flag value, naming the flag and the offending value in
+/// the error (`--n: cannot parse 'ten': …`).
+fn num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    value
+        .parse()
+        .map_err(|e| format!("--{flag}: cannot parse '{value}': {e}"))
 }
 
 /// Parses raw arguments (without the binary name).
@@ -99,41 +142,41 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     match cmd {
         "generate" => Ok(Command::Generate {
             family: get("family", Some("uniform"))?,
-            n: get("n", Some("100000"))?
-                .parse()
-                .map_err(|e| format!("--n: {e}"))?,
-            seed: get("seed", Some("42"))?
-                .parse()
-                .map_err(|e| format!("--seed: {e}"))?,
+            n: num("n", &get("n", Some("100000"))?)?,
+            seed: num("seed", &get("seed", Some("42"))?)?,
             out: get("out", None)?,
         }),
         "info" => Ok(Command::Info {
             data: get("data", None)?,
         }),
         "bench" => Ok(Command::Bench {
-            data: get("data", None)?,
+            // `--data` is normally required; a `--warm-start` snapshot
+            // carries the records itself, so either one satisfies it
+            // (exactly-one is enforced at execution).
+            data: get("data", Some(""))?,
             index: get("index", Some("quasii"))?,
-            queries: get("queries", Some("200"))?
-                .parse()
-                .map_err(|e| format!("--queries: {e}"))?,
-            volume: get("volume", Some("1e-4"))?
-                .parse()
-                .map_err(|e| format!("--volume: {e}"))?,
+            queries: num("queries", &get("queries", Some("200"))?)?,
+            volume: num("volume", &get("volume", Some("1e-4"))?)?,
             pattern: get("pattern", Some("clustered"))?,
-            seed: get("seed", Some("7"))?
-                .parse()
-                .map_err(|e| format!("--seed: {e}"))?,
-            batch: get("batch", Some("0"))?
-                .parse()
-                .map_err(|e| format!("--batch: {e}"))?,
-            threads: get("threads", Some("0"))?
-                .parse()
-                .map_err(|e| format!("--threads: {e}"))?,
-            shards: get("shards", Some("0"))?
-                .parse()
-                .map_err(|e| format!("--shards: {e}"))?,
+            seed: num("seed", &get("seed", Some("7"))?)?,
+            batch: num("batch", &get("batch", Some("0"))?)?,
+            threads: num("threads", &get("threads", Some("0"))?)?,
+            shards: num("shards", &get("shards", Some("0"))?)?,
             assign_by: get("assign-by", Some("lower"))?,
             seal: get("seal", Some("true"))?,
+            warm_start: get("warm-start", Some(""))?,
+        }),
+        "snapshot" => Ok(Command::Snapshot {
+            data: get("data", None)?,
+            out: get("out", None)?,
+            queries: num("queries", &get("queries", Some("200"))?)?,
+            volume: num("volume", &get("volume", Some("1e-4"))?)?,
+            pattern: get("pattern", Some("clustered"))?,
+            seed: num("seed", &get("seed", Some("7"))?)?,
+            threads: num("threads", &get("threads", Some("0"))?)?,
+            shards: num("shards", &get("shards", Some("0"))?)?,
+            assign_by: get("assign-by", Some("lower"))?,
+            finalize: get("finalize", Some("false"))?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -147,11 +190,16 @@ quasii — spatial incremental index workbench (QUASII, EDBT 2018 reproduction)
 USAGE:
   quasii generate --out FILE [--family uniform|neuro] [--n N] [--seed S]
   quasii info     --data FILE
-  quasii bench    --data FILE [--index scan|rtree|grid|sfc|sfcracker|mosaic|quasii]
+  quasii bench    (--data FILE | --warm-start SNAP)
+                  [--index scan|rtree|grid|sfc|sfcracker|mosaic|quasii]
                   [--queries N] [--volume FRAC]
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--batch N] [--threads N] [--shards K]
                   [--assign-by lower|center|upper] [--seal true|false]
+  quasii snapshot --data FILE --out SNAP [--queries N] [--volume FRAC]
+                  [--pattern uniform|clustered|skewed] [--seed S]
+                  [--threads N] [--shards K]
+                  [--assign-by lower|center|upper] [--finalize true|false]
 
 Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
 --batch N executes the workload in batches of N queries through the index's
@@ -167,7 +215,32 @@ assignment coordinate (paper footnote 1; lower is the paper's default —
 center/upper exercise the engine's cached-key modes). --seal false keeps
 the adaptive machinery on every query (the sealed read path's reference
 configuration); results are identical either way, and the run prints the
-sealed fraction reached.";
+sealed fraction reached.
+`snapshot` warms a QUASII index on the workload (or fully cracks it with
+--finalize true), then persists it — sealed arenas, record permutation
+and slice tree — as one checksummed snapshot file. `bench --warm-start
+SNAP` revives that index (sharded snapshots carry their own layout, so
+--shards/--threads/--assign-by/--seal are read from the file) and answers
+queries byte-identically to the index that wrote it, skipping the cold
+cracking phase entirely.";
+
+/// Builds the benchmark workload for a universe (shared by `bench` and
+/// `snapshot` so a warm-started run replays exactly the pattern the
+/// snapshot was warmed on, given the same seed).
+fn build_workload(
+    universe: &quasii_common::geom::Aabb<3>,
+    pattern: &str,
+    queries: usize,
+    volume: f64,
+    seed: u64,
+) -> Result<workload::QueryWorkload<3>, String> {
+    Ok(match pattern {
+        "uniform" => workload::uniform(universe, queries, volume, seed),
+        "clustered" => workload::clustered(universe, 5, queries.div_ceil(5), volume, seed),
+        "skewed" => workload::skewed(universe, 8, queries, volume, 1.1, seed),
+        other => return Err(format!("unknown pattern '{other}'")),
+    })
+}
 
 fn load(path: &str) -> Result<Vec<Record<3>>, String> {
     let res = if path.ends_with(".csv") {
@@ -232,7 +305,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             shards,
             assign_by,
             seal,
+            warm_start,
         } => {
+            if warm_start.is_empty() == data.is_empty() {
+                return Err("bench needs exactly one of --data or --warm-start".to_string());
+            }
+            if !warm_start.is_empty() && index != "quasii" {
+                return Err("--warm-start requires --index quasii".to_string());
+            }
             if shards > 0 && index != "quasii" {
                 return Err("--shards requires --index quasii".to_string());
             }
@@ -249,15 +329,6 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             if !seal && index != "quasii" {
                 return Err("--seal requires --index quasii".to_string());
             }
-            let records = load(&data)?;
-            let universe = mbb_of(&records);
-            let w = match pattern.as_str() {
-                "uniform" => workload::uniform(&universe, queries, volume, seed),
-                "clustered" => workload::clustered(&universe, 5, queries.div_ceil(5), volume, seed),
-                "skewed" => workload::skewed(&universe, 8, queries, volume, 1.1, seed),
-                other => return Err(format!("unknown pattern '{other}'")),
-            };
-
             /// Runs the workload one query at a time (`batch == 0`) or in
             /// batches through the index's batch path, printing one summary
             /// line either way; returns the index so callers can report
@@ -303,6 +374,71 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             fn report_sealed<I: SpatialIndex<3>>(index: &I) {
                 println!("sealed fraction after run: {:.3}", index.sealed_fraction());
             }
+
+            if !warm_start.is_empty() {
+                // The snapshot fixes layout and configuration; flags that
+                // would contradict it are rejected rather than ignored.
+                if shards > 0 {
+                    return Err(
+                        "--shards conflicts with --warm-start (the snapshot fixes the shard layout)"
+                            .to_string(),
+                    );
+                }
+                if threads > 0 {
+                    return Err(
+                        "--threads conflicts with --warm-start (stored in the snapshot)"
+                            .to_string(),
+                    );
+                }
+                if assign_by != quasii::AssignBy::default() {
+                    return Err(
+                        "--assign-by conflicts with --warm-start (stored in the snapshot)"
+                            .to_string(),
+                    );
+                }
+                if !seal {
+                    return Err(
+                        "--seal conflicts with --warm-start (stored in the snapshot)".to_string(),
+                    );
+                }
+                let bytes = std::fs::read(&warm_start)
+                    .map_err(|e| format!("cannot read '{warm_start}': {e}"))?;
+                println!(
+                    "warm start: {} snapshot bytes from {warm_start}",
+                    bytes.len()
+                );
+                if bytes.len() >= 8 && bytes[..8] == MANIFEST_MAGIC {
+                    let (b, idx) = timed(|| ShardedQuasii::<3>::from_snapshot(bytes));
+                    let idx = idx.map_err(|e| format!("cannot load '{warm_start}': {e}"))?;
+                    let mut universe = quasii_common::geom::Aabb::empty();
+                    for e in idx.engines() {
+                        if !e.data().is_empty() {
+                            universe.expand(&mbb_of(e.data()));
+                        }
+                    }
+                    let w = build_workload(&universe, &pattern, queries, volume, seed)?;
+                    println!(
+                        "shards: {} engines revived, sealed fraction {:.3}",
+                        idx.shard_count(),
+                        idx.sealed_fraction()
+                    );
+                    let idx = report(idx, b, &w.queries, batch);
+                    report_sealed(&idx);
+                } else {
+                    let (b, idx) = timed(|| Quasii::<3>::from_snapshot(bytes));
+                    let idx = idx.map_err(|e| format!("cannot load '{warm_start}': {e}"))?;
+                    let universe = mbb_of(idx.data());
+                    let w = build_workload(&universe, &pattern, queries, volume, seed)?;
+                    println!("sealed fraction at load: {:.3}", idx.sealed_fraction());
+                    let idx = report(idx, b, &w.queries, batch);
+                    report_sealed(&idx);
+                }
+                return Ok(());
+            }
+
+            let records = load(&data)?;
+            let universe = mbb_of(&records);
+            let w = build_workload(&universe, &pattern, queries, volume, seed)?;
 
             match index.as_str() {
                 "scan" => {
@@ -359,6 +495,67 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 }
                 other => return Err(format!("unknown index '{other}'")),
             }
+            Ok(())
+        }
+        Command::Snapshot {
+            data,
+            out,
+            queries,
+            volume,
+            pattern,
+            seed,
+            threads,
+            shards,
+            assign_by,
+            finalize,
+        } => {
+            let assign_by = quasii::AssignBy::parse(&assign_by)
+                .ok_or_else(|| format!("unknown --assign-by '{assign_by}' (lower|center|upper)"))?;
+            let finalize = match finalize.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("unknown --finalize '{other}' (true|false)")),
+            };
+            let records = load(&data)?;
+            let universe = mbb_of(&records);
+            let w = build_workload(&universe, &pattern, queries, volume, seed)?;
+            let inner = QuasiiConfig::default()
+                .with_threads(threads)
+                .with_assign_by(assign_by);
+            let (bytes, frac, desc) = if shards > 0 {
+                let cfg = ShardConfig::default()
+                    .with_shards(shards)
+                    .with_shard_threads(threads)
+                    .with_inner(inner);
+                let mut idx = ShardedQuasii::new(records, cfg);
+                if finalize {
+                    idx.finalize();
+                } else {
+                    idx.execute_batch(&w.queries);
+                }
+                idx.seal();
+                let b = idx.write_snapshot().map_err(|e| format!("snapshot: {e}"))?;
+                let frac = idx.sealed_fraction();
+                (b, frac, format!("{} shards", idx.shard_count()))
+            } else {
+                let mut idx = Quasii::new(records, inner);
+                if finalize {
+                    idx.finalize();
+                } else {
+                    for q in &w.queries {
+                        idx.query_collect(q);
+                    }
+                }
+                idx.seal();
+                let b = idx.write_snapshot().map_err(|e| format!("snapshot: {e}"))?;
+                let frac = idx.sealed_fraction();
+                (b, frac, "1 engine".to_string())
+            };
+            std::fs::write(&out, &bytes).map_err(|e| format!("cannot write '{out}': {e}"))?;
+            println!(
+                "wrote {} snapshot bytes ({desc}, sealed fraction {frac:.3}) to {out}",
+                bytes.len()
+            );
             Ok(())
         }
     }
@@ -466,6 +663,7 @@ mod tests {
             shards: 0,
             assign_by: assign_by.into(),
             seal: seal.into(),
+            warm_start: String::new(),
         };
         // Every rejection fires before the dataset is even loaded.
         let err = execute(bench("quasii", "sideways", "true")).unwrap_err();
@@ -485,8 +683,124 @@ mod tests {
         assert!(parse(&args("frobnicate")).is_err());
         assert!(parse(&args("bench --data")).is_err(), "dangling option");
         assert!(parse(&args("bench x.qsd")).is_err(), "positional rejected");
+        assert!(
+            parse(&args("snapshot --data d.qsd")).is_err(),
+            "missing --out"
+        );
         assert_eq!(parse(&args("help")).unwrap(), Command::Help);
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn malformed_numeric_flags_name_flag_and_value() {
+        // Every numeric flag rejects garbage with an error naming both the
+        // flag and the offending value — never a panic.
+        let cases = [
+            ("generate --out x.qsd --n ten", "--n", "ten"),
+            ("generate --out x.qsd --seed -3", "--seed", "-3"),
+            ("bench --data d.qsd --queries 12.5", "--queries", "12.5"),
+            ("bench --data d.qsd --volume huge", "--volume", "huge"),
+            ("bench --data d.qsd --seed 0x10", "--seed", "0x10"),
+            ("bench --data d.qsd --batch -1", "--batch", "-1"),
+            ("bench --data d.qsd --threads many", "--threads", "many"),
+            ("bench --data d.qsd --shards 2.0", "--shards", "2.0"),
+            (
+                "snapshot --data d.qsd --out s --queries no",
+                "--queries",
+                "no",
+            ),
+            (
+                "snapshot --data d.qsd --out s --shards -2",
+                "--shards",
+                "-2",
+            ),
+        ];
+        for (cmdline, flag, value) in cases {
+            let err = parse(&args(cmdline)).unwrap_err();
+            assert!(err.contains(flag), "{cmdline}: {err}");
+            assert!(err.contains(value), "{cmdline}: {err}");
+        }
+    }
+
+    #[test]
+    fn bench_requires_exactly_one_data_source() {
+        let bench = |data: &str, index: &str, warm_start: &str| Command::Bench {
+            data: data.into(),
+            index: index.into(),
+            queries: 1,
+            volume: 1e-4,
+            pattern: "uniform".into(),
+            seed: 1,
+            batch: 0,
+            threads: 0,
+            shards: 0,
+            assign_by: "lower".into(),
+            seal: "true".into(),
+            warm_start: warm_start.into(),
+        };
+        let err = execute(bench("", "quasii", "")).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = execute(bench("d.qsd", "quasii", "s.qsnap")).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = execute(bench("", "rtree", "s.qsnap")).unwrap_err();
+        assert!(err.contains("--warm-start requires"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_and_warm_start_round_trip() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let data = dir.join(format!("quasii-snap-{pid}.qsd"));
+        let single = dir.join(format!("quasii-snap-{pid}-single.qsnap"));
+        let sharded = dir.join(format!("quasii-snap-{pid}-sharded.qsnap"));
+        let data_s = data.to_string_lossy().to_string();
+        execute(Command::Generate {
+            family: "uniform".into(),
+            n: 2_000,
+            seed: 11,
+            out: data_s.clone(),
+        })
+        .unwrap();
+        let snapshot = |out: &std::path::Path, shards: usize, finalize: &str| Command::Snapshot {
+            data: data_s.clone(),
+            out: out.to_string_lossy().to_string(),
+            queries: 30,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 12,
+            threads: 0,
+            shards,
+            assign_by: "lower".into(),
+            finalize: finalize.into(),
+        };
+        let warm_bench = |snap: &std::path::Path, batch: usize| Command::Bench {
+            data: String::new(),
+            index: "quasii".into(),
+            queries: 30,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 12,
+            batch,
+            threads: 0,
+            shards: 0,
+            assign_by: "lower".into(),
+            seal: "true".into(),
+            warm_start: snap.to_string_lossy().to_string(),
+        };
+        // Single engine: snapshot after a query warm-up, then warm-start.
+        execute(snapshot(&single, 0, "false")).unwrap();
+        execute(warm_bench(&single, 0)).unwrap();
+        // Sharded deployment: finalize, then warm-start through the batch
+        // path (the packed file self-identifies via its manifest magic).
+        execute(snapshot(&sharded, 3, "true")).unwrap();
+        execute(warm_bench(&sharded, 8)).unwrap();
+        // A corrupt snapshot file fails loudly, not with a panic.
+        let bytes = std::fs::read(&single).unwrap();
+        std::fs::write(&single, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(execute(warm_bench(&single, 0)).is_err());
+        std::fs::remove_file(&data).ok();
+        std::fs::remove_file(&single).ok();
+        std::fs::remove_file(&sharded).ok();
     }
 
     #[test]
@@ -514,6 +828,7 @@ mod tests {
                 shards: 0,
                 assign_by: "lower".into(),
                 seal: "true".into(),
+                warm_start: String::new(),
             })
             .unwrap();
         }
@@ -530,6 +845,7 @@ mod tests {
             shards: 0,
             assign_by: "center".into(),
             seal: "true".into(),
+            warm_start: String::new(),
         })
         .unwrap();
         // Sealing disabled: the reference (pure adaptive) configuration.
@@ -545,6 +861,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "false".into(),
+            warm_start: String::new(),
         })
         .unwrap();
         // Sharded two-level path on the skewed (hot-region) workload.
@@ -560,6 +877,7 @@ mod tests {
             shards: 3,
             assign_by: "lower".into(),
             seal: "true".into(),
+            warm_start: String::new(),
         })
         .unwrap();
         // --shards is a router over QUASII engines only.
@@ -575,6 +893,7 @@ mod tests {
             shards: 2,
             assign_by: "lower".into(),
             seal: "true".into(),
+            warm_start: String::new(),
         })
         .is_err());
         assert!(execute(Command::Bench {
@@ -589,6 +908,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "true".into(),
+            warm_start: String::new(),
         })
         .is_err());
         std::fs::remove_file(&path).ok();

@@ -2,6 +2,7 @@
 //! result-verification helpers used by tests and the benchmark harness.
 
 use crate::geom::{Aabb, Record};
+use crate::snapshot::SnapshotError;
 
 /// A (possibly incremental) main-memory spatial index over a fixed dataset.
 ///
@@ -53,6 +54,28 @@ pub trait SpatialIndex<const D: usize> {
     /// without an incremental→sealed lifecycle report `0.0`.
     fn sealed_fraction(&self) -> f64 {
         0.0
+    }
+
+    /// Serializes the index into a single position-independent snapshot
+    /// buffer that [`SpatialIndex::from_snapshot`] can revive without
+    /// re-cracking (see `quasii::snapshot` for the format). Takes `&mut
+    /// self` so incremental indexes may seal converged regions first. The
+    /// default reports the index as unsupported — static baselines rebuild
+    /// from data files instead.
+    fn write_snapshot(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        Err(SnapshotError::Unsupported(self.name()))
+    }
+
+    /// Revives an index from a buffer produced by
+    /// [`SpatialIndex::write_snapshot`]. The contract is strict: the
+    /// reloaded index answers every query byte-identically (ids, stats,
+    /// record permutation) to the writer at snapshot time. Malformed
+    /// buffers return an `Err`, never panic.
+    fn from_snapshot(_bytes: Vec<u8>) -> Result<Self, SnapshotError>
+    where
+        Self: Sized,
+    {
+        Err(SnapshotError::Unsupported("this index type"))
     }
 
     /// Convenience wrapper allocating a fresh result vector.

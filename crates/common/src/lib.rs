@@ -11,7 +11,9 @@
 //! * [`workload`] — clustered and uniform query-sequence generators (§6.1);
 //! * [`scan`] — the full-scan baseline;
 //! * [`measure`] — per-query/cumulative timing series, break-even detection,
-//!   table & CSV rendering for the experiment harness.
+//!   table & CSV rendering for the experiment harness;
+//! * [`snapshot`] — the shared error surface of index persistence
+//!   (single-buffer snapshots, see `quasii::snapshot`).
 
 #![warn(missing_docs)]
 
@@ -22,7 +24,9 @@ pub mod io;
 pub mod knn;
 pub mod measure;
 pub mod scan;
+pub mod snapshot;
 pub mod workload;
 
 pub use geom::{Aabb, Record};
 pub use index::SpatialIndex;
+pub use snapshot::SnapshotError;

@@ -1,0 +1,105 @@
+//! The error surface of index persistence ("snapshots"): one buffer-level
+//! error type shared by every index that can serialize itself into a
+//! position-independent byte buffer (see `quasii::snapshot` for the format
+//! and `quasii_shard` for the per-shard manifest layer).
+//!
+//! Lives in `quasii-common` so the [`crate::index::SpatialIndex`] trait can
+//! expose default save/load hooks without depending on any engine crate.
+
+use std::fmt;
+
+/// Why a snapshot could not be written or loaded.
+///
+/// Loading is **total**: every malformed input — wrong magic, truncated
+/// buffer, checksum mismatch, unknown version, dimensionality mismatch —
+/// maps to an `Err`, never a panic (property-tested in `tests/persist.rs`).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The index (or this build target) does not support snapshots — the
+    /// default for [`crate::index::SpatialIndex`] implementations without a
+    /// persistent form, and for non-little-endian hosts (the format is
+    /// defined little-endian and loaded zero-copy).
+    Unsupported(&'static str),
+    /// The buffer is not a well-formed snapshot: bad magic, truncation,
+    /// checksum mismatch, or internally inconsistent section metadata. The
+    /// string pinpoints the first violation.
+    Corrupt(String),
+    /// The buffer is a snapshot, but of an unknown format version.
+    WrongVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The buffer is a snapshot, but of a different dimensionality than the
+    /// requested index type.
+    WrongDims {
+        /// Dimensionality found in the header.
+        found: u32,
+        /// Dimensionality of the requested index type.
+        expected: u32,
+    },
+    /// An underlying file operation failed (CLI file transport).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unsupported(what) => write!(f, "snapshots are not supported: {what}"),
+            Self::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+            Self::WrongVersion { found, expected } => {
+                write!(f, "snapshot format version {found}, expected {expected}")
+            }
+            Self::WrongDims { found, expected } => {
+                write!(f, "snapshot is {found}-d, expected {expected}-d")
+            }
+            Self::Io(e) => write!(f, "snapshot I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_pinpoints_the_failure() {
+        assert!(SnapshotError::Unsupported("R-Tree")
+            .to_string()
+            .contains("R-Tree"));
+        assert!(SnapshotError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+        let v = SnapshotError::WrongVersion {
+            found: 9,
+            expected: 1,
+        };
+        assert!(v.to_string().contains('9') && v.to_string().contains('1'));
+        let d = SnapshotError::WrongDims {
+            found: 2,
+            expected: 3,
+        };
+        assert!(d.to_string().contains("2-d") && d.to_string().contains("3-d"));
+        let io = SnapshotError::from(std::io::Error::other("disk on fire"));
+        assert!(io.to_string().contains("disk on fire"));
+        use std::error::Error;
+        assert!(io.source().is_some());
+        assert!(d.source().is_none());
+    }
+}

@@ -16,9 +16,15 @@ use std::ops::Range;
 /// Sorted key fences over one dimension: `parts()` disjoint partitions,
 /// partition `k` owning assignment keys in `[bounds[k], bounds[k+1])`.
 ///
-/// Duplicate inner fences are allowed and yield empty partitions (this is
-/// how a degenerate all-identical-keys dataset collapses into a single
-/// non-empty shard while keeping the requested partition count).
+/// [`from_inner`](Self::from_inner) stays permissive — duplicate inner
+/// fences yield empty partitions, which the batch partitioner's
+/// minimum-key fences legitimately produce. The *planners*
+/// ([`equi_depth`](Self::equi_depth) and its sampled variant) dedupe their
+/// quantiles instead: a repeated quantile used to become a permanently
+/// empty shard (every key ties on the fence and falls to its right), so a
+/// degenerate sample now collapses the partition count rather than
+/// planning dead shards — [`validate`](Self::validate) asserts the strict
+/// monotonicity planned fences must have.
 #[derive(Clone, Debug, PartialEq)]
 pub struct KeyFences {
     /// `parts() + 1` sorted bounds; `bounds[0] = -inf`, `bounds[last] = +inf`.
@@ -47,9 +53,13 @@ impl KeyFences {
         Self { bounds }
     }
 
-    /// Plans `parts` equi-depth partitions from a sorted key sample: inner
-    /// fence `i` is the sample's `i/parts` quantile, so each partition owns
-    /// roughly the same number of sampled keys.
+    /// Plans up to `parts` equi-depth partitions from a sorted key sample:
+    /// inner fence `i` is the sample's `i/parts` quantile, so each
+    /// partition owns roughly the same number of sampled keys. Repeated
+    /// quantiles (a sample with heavy key ties) are **deduplicated** —
+    /// every duplicate would have been a permanently empty partition, so
+    /// the planned count shrinks instead; a fully degenerate sample
+    /// collapses to [`single`](Self::single).
     pub fn equi_depth(sorted_keys: &[f64], parts: usize) -> Self {
         debug_assert!(
             sorted_keys
@@ -61,8 +71,18 @@ impl KeyFences {
             return Self::single();
         }
         let n = sorted_keys.len();
-        let inner = (1..parts).map(|i| sorted_keys[i * n / parts]).collect();
-        Self::from_inner(inner)
+        let mut inner: Vec<f64> = (1..parts).map(|i| sorted_keys[i * n / parts]).collect();
+        // The quantiles of a sorted sample are non-decreasing, so one
+        // dedup pass leaves them strictly increasing. Quantiles equal to
+        // the overall minimum are dropped too: every key ties-or-exceeds
+        // such a fence, so the partition left of it could never own a key.
+        inner.dedup();
+        if inner.first() == sorted_keys.first() {
+            inner.remove(0);
+        }
+        let fences = Self::from_inner(inner);
+        debug_assert!(fences.validate().is_ok());
+        fences
     }
 
     /// Plans `parts` equi-depth partitions straight from an (unsorted)
@@ -83,6 +103,43 @@ impl KeyFences {
     /// Number of partitions.
     pub fn parts(&self) -> usize {
         self.bounds.len() - 1
+    }
+
+    /// The inner boundary values, sentinels stripped — the
+    /// [`from_inner`](Self::from_inner) inverse, used to serialize a
+    /// planned fence set (shard snapshot manifests).
+    pub fn inner_bounds(&self) -> &[f64] {
+        &self.bounds[1..self.bounds.len() - 1]
+    }
+
+    /// Checks that the fences are **strictly** monotone, sentinels
+    /// included (`-inf < inner[0] < … < inner[last] < +inf`, no NaN) — the
+    /// invariant planned fences must have: a duplicated bound is a
+    /// partition no key can ever land in, i.e. a permanently empty shard.
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.bounds.len() < 2 {
+            return Err(format!("{} bounds, need at least 2", self.bounds.len()));
+        }
+        if self.bounds[0] != f64::NEG_INFINITY {
+            return Err(format!("first bound {} is not -inf", self.bounds[0]));
+        }
+        if *self.bounds.last().unwrap() != f64::INFINITY {
+            return Err(format!(
+                "last bound {} is not +inf",
+                self.bounds.last().unwrap()
+            ));
+        }
+        for (k, w) in self.bounds.windows(2).enumerate() {
+            if w[0] >= w[1] || w[0].is_nan() || w[1].is_nan() {
+                return Err(format!(
+                    "bounds not strictly increasing at fence {k}: {} then {} \
+                     (partition {k} can never own a key)",
+                    w[0], w[1]
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// The key range `[lo, hi)` partition `k` owns.
@@ -187,16 +244,57 @@ mod tests {
 
     #[test]
     fn equi_depth_degenerates_gracefully() {
-        // All-identical sample: every fence equals the key, so every record
-        // lands in the last partition and the others stay empty.
+        // All-identical sample: every quantile equals the one key, so the
+        // plan collapses to a single partition instead of fencing off
+        // permanently empty ones.
         let keys = vec![7.0; 50];
         let f = KeyFences::equi_depth(&keys, 3);
-        assert_eq!(f.parts(), 3);
-        assert_eq!(f.owner_of(7.0), 2);
-        assert_eq!(f.owner_of(6.9), 0);
+        assert_eq!(f, KeyFences::single());
+        assert_eq!(f.owner_of(7.0), 0);
         // Empty sample and single-part requests collapse to one partition.
         assert_eq!(KeyFences::equi_depth(&[], 5), KeyFences::single());
         assert_eq!(KeyFences::equi_depth(&keys, 1), KeyFences::single());
+    }
+
+    #[test]
+    fn equi_depth_dedupes_tied_quantiles() {
+        // Two heavy ties: quantiles repeat, and the repeats would be
+        // partitions no key can own. The plan keeps only live fences.
+        let mut keys = vec![1.0; 40];
+        keys.extend(std::iter::repeat_n(9.0, 40));
+        let f = KeyFences::equi_depth(&keys, 8);
+        f.validate().expect("planned fences are strictly monotone");
+        assert_eq!(f.inner_bounds(), &[9.0], "one live fence between the ties");
+        assert_eq!(f.parts(), 2);
+        // Every partition owns at least one key.
+        let mut counts = vec![0usize; f.parts()];
+        for &k in &keys {
+            counts[f.owner_of(k)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn validate_flags_duplicate_and_misplaced_bounds() {
+        KeyFences::single().validate().expect("single is valid");
+        KeyFences::from_inner(vec![1.0, 2.0])
+            .validate()
+            .expect("distinct fences are valid");
+        let dup = KeyFences::from_inner(vec![5.0, 5.0]);
+        let err = dup.validate().expect_err("duplicate bound");
+        assert!(err.contains("strictly increasing"), "{err}");
+        assert!(KeyFences::from_inner(vec![f64::INFINITY])
+            .validate()
+            .is_err());
+        assert!(KeyFences::from_inner(vec![f64::NAN]).validate().is_err());
+    }
+
+    #[test]
+    fn inner_bounds_round_trips_through_from_inner() {
+        let f = KeyFences::from_inner(vec![2.0, 4.0, 8.0]);
+        assert_eq!(f.inner_bounds(), &[2.0, 4.0, 8.0]);
+        assert_eq!(KeyFences::from_inner(f.inner_bounds().to_vec()), f);
+        assert!(KeyFences::single().inner_bounds().is_empty());
     }
 
     #[test]

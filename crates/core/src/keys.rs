@@ -145,6 +145,15 @@ impl KeyColumn {
         self.his.extend(data.iter().map(|r| r.mbb.hi[0]));
     }
 
+    /// Rebuilds the pair from columns serialized out of another index —
+    /// the snapshot loader's path (see `crate::persist`). The caller
+    /// guarantees both columns came from a built `KeyColumn` of the same
+    /// dataset permutation, so the module invariant carries over verbatim.
+    pub(crate) fn from_raw(keys: Vec<f64>, his: Vec<f64>) -> Self {
+        debug_assert_eq!(keys.len(), his.len());
+        Self { keys, his }
+    }
+
     /// Heap bytes held by both columns (16 bytes per record once built).
     pub fn heap_bytes(&self) -> usize {
         (self.keys.capacity() + self.his.capacity()) * std::mem::size_of::<f64>()

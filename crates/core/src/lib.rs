@@ -37,10 +37,19 @@ pub mod crack;
 mod engine;
 pub mod fence;
 pub mod keys;
+mod persist;
 mod seal;
 mod slice;
 mod stats;
 mod validate;
+
+/// Single-buffer snapshot surface: format constants plus the shared error
+/// type (see `persist` for the layout and versioning policy, and
+/// [`Quasii::write_snapshot`] / [`Quasii::from_snapshot`] for the API).
+pub mod snapshot {
+    pub use crate::persist::{fnv1a, FORMAT_VERSION, MAGIC};
+    pub use quasii_common::snapshot::SnapshotError;
+}
 
 pub use config::{tau_schedule, AssignBy, QuasiiConfig};
 pub use fence::KeyFences;
@@ -615,6 +624,31 @@ impl<const D: usize> Quasii<D> {
     pub(crate) fn seal_regions(&self) -> &[SealedRegion<D>] {
         &self.seals
     }
+
+    // -----------------------------------------------------------------
+    // Snapshots (see the `persist` module for the format).
+    // -----------------------------------------------------------------
+
+    /// Serializes the whole engine — record permutation, key columns,
+    /// slice-tree skeleton, every sealed arena, and all deterministic state
+    /// — into one versioned, checksummed, 8-aligned buffer. Initializes and
+    /// sweeps first, so the snapshot captures the post-sweep state; the
+    /// reloaded engine ([`from_snapshot`](Self::from_snapshot)) answers
+    /// every query **byte-identically** (ids, stats, permutation) to this
+    /// one. Fails only on big-endian hosts (the format is little-endian).
+    pub fn write_snapshot(&mut self) -> Result<Vec<u8>, snapshot::SnapshotError> {
+        persist::write(self)
+    }
+
+    /// Revives an engine from a [`write_snapshot`](Self::write_snapshot)
+    /// buffer. Sealed columns are **zero-copy**: every region borrows the
+    /// one (aligned copy of the) snapshot buffer, no per-column allocation.
+    /// Total over malformed input — wrong magic, truncation, checksum
+    /// mismatch, wrong version or dimensionality, inconsistent structure —
+    /// all return `Err`, never panic.
+    pub fn from_snapshot(bytes: Vec<u8>) -> Result<Self, snapshot::SnapshotError> {
+        persist::load(bytes)
+    }
 }
 
 impl<const D: usize> SpatialIndex<D> for Quasii<D> {
@@ -663,6 +697,14 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
 
     fn sealed_fraction(&self) -> f64 {
         Quasii::sealed_fraction(self)
+    }
+
+    fn write_snapshot(&mut self) -> Result<Vec<u8>, snapshot::SnapshotError> {
+        Quasii::write_snapshot(self)
+    }
+
+    fn from_snapshot(bytes: Vec<u8>) -> Result<Self, snapshot::SnapshotError> {
+        Quasii::from_snapshot(bytes)
     }
 }
 

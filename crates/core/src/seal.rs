@@ -25,6 +25,33 @@
 //!   bounding box decides most lane tests wholesale (see
 //!   [`SealedRegion::walk`]).
 //!
+//! # One blob per region — position independence
+//!
+//! Since the snapshot work (`crate::persist`), a region's columns are not
+//! separate `Vec`s but **offset-indexed views into one contiguous,
+//! 8-byte-aligned byte blob** held behind `Arc<AlignedBytes>`:
+//!
+//! ```text
+//! u64 m                  record count
+//! u64 L                  level count (== D - 1; tree levels 1..D)
+//! L × u64                node count per level
+//! per level l:           f64 key_lo[n_l] ; NodeMeta<D> meta[n_l]
+//! u32 ids[m]             (padded to 8 bytes)
+//! D × f64 rec_lo[d][m]   record MBB lower corners, per dimension
+//! D × f64 rec_nhi[d][m]  record MBB upper corners, negated
+//! ```
+//!
+//! Every section offset is derived from `(m, counts)` alone, so the blob is
+//! **position-independent**: [`SealedRegion::from_blob`] revives a region at
+//! any 8-aligned base inside any buffer without copying a column — this is
+//! what lets a snapshot file hold every region back-to-back and the loader
+//! hand each region a borrow of the single mapped buffer. Scalars are
+//! host-endian in memory (live sealing must work on any host); the persist
+//! layer pins the *on-disk* format to little-endian by refusing to write or
+//! load on big-endian hosts. `from_blob` is total: it validates alignment,
+//! exact length, and every node's record/child ranges before the first
+//! unsafe cast, returning `Err` on any malformed input.
+//!
 //! The arena is a **self-contained copy** — it borrows nothing from the
 //! data array or the slice tree, so sealed regions can be read through
 //! `&self` from any number of threads while unrelated parts of the index
@@ -41,18 +68,28 @@
 //! output is **byte-identical** to the unsealed engine's (`tests/sealed.rs`
 //! proves it property-based, with the sealing-disabled engine as oracle).
 
+use crate::persist::AlignedBytes;
 use crate::slice::Slice;
 use quasii_common::geom::{Aabb, Record};
+use std::sync::Arc;
 
 /// Per-node payload of one arena level: everything the candidate loop
 /// touches *after* the binary search hits — record range, child range and
 /// bounding box — packed into one contiguous blob (a single cache line at
 /// `D = 3`), so classifying a candidate costs one line instead of one per
-/// column. Only the minimum-key column stays split out ([`LevelSoa::key_lo`]):
-/// it is the probe target of the extended binary search, where the 8-byte
-/// stride matters.
-#[derive(Clone, Debug)]
+/// column. Only the minimum-key column stays split out: it is the probe
+/// target of the extended binary search, where the 8-byte stride matters.
+///
+/// `repr(C)` pins the layout to `4 × u32` then `2 × [f64; D]` — `16 + 16·D`
+/// bytes, 8-aligned, no padding, every bit pattern a valid value — so a
+/// `&[NodeMeta<D>]` can be cast zero-copy out of an 8-aligned region blob.
+#[derive(Clone, Copy, Debug)]
+#[repr(C)]
 pub(crate) struct NodeMeta<const D: usize> {
+    /// Bounding-box lower corner.
+    pub bb_lo: [f64; D],
+    /// Bounding-box upper corner.
+    pub bb_hi: [f64; D],
     /// First record (region-relative).
     pub begin: u32,
     /// Past-the-end record (region-relative).
@@ -62,40 +99,85 @@ pub(crate) struct NodeMeta<const D: usize> {
     pub child_start: u32,
     /// Past-the-end child index.
     pub child_end: u32,
-    /// Bounding-box lower corner.
-    pub bb_lo: [f64; D],
-    /// Bounding-box upper corner.
-    pub bb_hi: [f64; D],
 }
 
-/// One arena level: the minimum-key search column plus the packed per-node
-/// metadata, in left-to-right (data-array) order, each parent's children
-/// contiguous.
-#[derive(Clone, Debug)]
-pub(crate) struct LevelSoa<const D: usize> {
-    /// Minimum assignment key per slice (the §5.2 binary-search column).
-    pub key_lo: Vec<f64>,
-    /// Packed node payloads, aligned with [`key_lo`](Self::key_lo).
-    pub meta: Vec<NodeMeta<D>>,
-}
-
-impl<const D: usize> LevelSoa<D> {
-    fn with_capacity(n: usize) -> Self {
-        Self {
-            key_lo: Vec::with_capacity(n),
-            meta: Vec::with_capacity(n),
-        }
-    }
-
+/// Offsets (relative to the blob base) of one arena level's two columns.
+#[derive(Clone, Copy, Debug)]
+struct LevelView {
+    /// Byte offset of the `f64` minimum-key column.
+    key_lo: usize,
+    /// Byte offset of the packed [`NodeMeta`] column.
+    meta: usize,
     /// Number of slices at this level.
-    pub fn len(&self) -> usize {
-        self.key_lo.len()
-    }
+    len: usize,
+}
 
-    fn heap_bytes(&self) -> usize {
-        self.key_lo.capacity() * std::mem::size_of::<f64>()
-            + self.meta.capacity() * std::mem::size_of::<NodeMeta<D>>()
+/// Section offsets of a region blob, all relative to the blob base and all
+/// derived purely from `(m, per-level node counts)` — the shared source of
+/// truth for the writer ([`SealedRegion::build`]) and the reviver
+/// ([`SealedRegion::from_blob`]).
+struct BlobLayout {
+    /// Total blob length in bytes (8-aligned).
+    len: usize,
+    levels: Vec<LevelView>,
+    ids: usize,
+    rec_lo: usize,
+    rec_nhi: usize,
+}
+
+impl BlobLayout {
+    /// Computes the layout with checked arithmetic; `None` means the sizes
+    /// overflow (only reachable from hostile snapshot headers).
+    fn compute<const D: usize>(m: u64, counts: &[u64]) -> Option<Self> {
+        let meta_sz = 16 + 16 * D as u64;
+        let mut off = 16u64.checked_add(8 * counts.len() as u64)?;
+        let mut levels = Vec::with_capacity(counts.len());
+        for &n in counts {
+            let key_lo = off;
+            off = off.checked_add(n.checked_mul(8)?)?;
+            let meta = off;
+            off = off.checked_add(n.checked_mul(meta_sz)?)?;
+            levels.push(LevelView {
+                key_lo: usize::try_from(key_lo).ok()?,
+                meta: usize::try_from(meta).ok()?,
+                len: usize::try_from(n).ok()?,
+            });
+        }
+        let ids = usize::try_from(off).ok()?;
+        off = off.checked_add(m.checked_mul(4)?)?;
+        off = off.checked_add(off.wrapping_neg() % 8)?; // pad ids to 8
+        let col = m.checked_mul(8)?;
+        let rec_lo = usize::try_from(off).ok()?;
+        off = off.checked_add(col.checked_mul(D as u64)?)?;
+        let rec_nhi = usize::try_from(off).ok()?;
+        off = off.checked_add(col.checked_mul(D as u64)?)?;
+        Some(Self {
+            len: usize::try_from(off).ok()?,
+            levels,
+            ids,
+            rec_lo,
+            rec_nhi,
+        })
     }
+}
+
+fn put_u32(dst: &mut [u8], off: &mut usize, v: u32) {
+    dst[*off..*off + 4].copy_from_slice(&v.to_ne_bytes());
+    *off += 4;
+}
+
+fn put_u64(dst: &mut [u8], off: &mut usize, v: u64) {
+    dst[*off..*off + 8].copy_from_slice(&v.to_ne_bytes());
+    *off += 8;
+}
+
+fn put_f64(dst: &mut [u8], off: &mut usize, v: f64) {
+    dst[*off..*off + 8].copy_from_slice(&v.to_ne_bytes());
+    *off += 8;
+}
+
+fn read_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_ne_bytes(b[off..off + 8].try_into().unwrap())
 }
 
 /// Chunk size of the masked fallback scan (only reached at `D > 4`): each
@@ -105,32 +187,30 @@ impl<const D: usize> LevelSoa<D> {
 const SCAN_CHUNK: usize = 64;
 
 /// One converged top-level slice, compacted into a flat arena (see the
-/// module docs for the layout and the byte-identity contract).
+/// module docs for the blob layout and the byte-identity contract).
+///
+/// Cloning is cheap-ish: the blob itself is shared (`Arc`), only the small
+/// level-view table is copied.
 #[derive(Clone, Debug)]
 pub(crate) struct SealedRegion<const D: usize> {
     /// First data-array index covered (the sealed root slice's `begin`).
     pub begin: usize,
     /// Past-the-end data-array index covered.
     pub end: usize,
-    /// Slice metadata for absolute levels `1..D` (`levels[l - 1]` holds
-    /// level `l`). Empty when `D == 1` — the region root is then itself the
-    /// bottom level.
-    pub levels: Vec<LevelSoa<D>>,
-    /// Record ids over `begin..end`, region-relative order, narrowed to
-    /// `u32` (ids are positions in the original dataset, so they fit for
-    /// any dataset under 2³² records; a region holding a larger id is
-    /// simply never sealed). Half the id-stream bytes of the `u64` source —
-    /// the id column is read by every bottom-level scan and wholesale emit.
-    pub ids: Vec<u32>,
-    /// Record MBB lower corners, one column per dimension.
-    pub rec_lo: [Vec<f64>; D],
-    /// Record MBB upper corners, one column per dimension, **negated**
-    /// (`rec_nhi[d][p] == -hi[d]` of record `p`). Negation normalizes both
-    /// intersection half-tests to one shape — `rec_lo <= q.hi` and
-    /// `rec_hi >= q.lo ⇔ -rec_hi <= -q.lo` — so every bottom-level lane
-    /// pass is the same `lane[p] <= bound` loop (negation is exact for
-    /// every non-NaN float, so the truth table is unchanged).
-    pub rec_nhi: [Vec<f64>; D],
+    /// The backing buffer — either this region's private blob (live
+    /// sealing) or a whole snapshot shared by every reloaded region.
+    buf: Arc<AlignedBytes>,
+    /// Blob base offset within `buf`, always 8-aligned.
+    base: usize,
+    /// Blob length in bytes.
+    blob_len: usize,
+    /// Per-level column offsets for absolute tree levels `1..D`
+    /// (`levels[l - 1]` holds level `l`). Empty when `D == 1` — the region
+    /// root is then itself the bottom level.
+    levels: Vec<LevelView>,
+    ids: usize,
+    rec_lo: usize,
+    rec_nhi: usize,
 }
 
 impl<const D: usize> SealedRegion<D> {
@@ -149,39 +229,233 @@ impl<const D: usize> SealedRegion<D> {
             return None; // id column would not narrow — leave unsealed
         }
         let (begin, end) = (root.begin, root.end);
-        let mut levels: Vec<LevelSoa<D>> = Vec::with_capacity(D.saturating_sub(1));
+        let mut tmp: Vec<(Vec<f64>, Vec<NodeMeta<D>>)> = Vec::with_capacity(D.saturating_sub(1));
         let mut frontier: Vec<&Slice<D>> = root.children.iter().collect();
         while !frontier.is_empty() {
             let bottom = frontier[0].level + 1 == D;
-            let mut lv = LevelSoa::with_capacity(frontier.len());
+            let mut key_lo = Vec::with_capacity(frontier.len());
+            let mut meta = Vec::with_capacity(frontier.len());
             let mut next: Vec<&Slice<D>> = Vec::new();
             for s in &frontier {
-                lv.key_lo.push(s.key_lo);
+                key_lo.push(s.key_lo);
                 let child_start = next.len() as u32;
                 if !bottom {
                     next.extend(s.children.iter());
                 }
-                lv.meta.push(NodeMeta {
+                meta.push(NodeMeta {
+                    bb_lo: s.bbox.lo,
+                    bb_hi: s.bbox.hi,
                     begin: (s.begin - begin) as u32,
                     end: (s.end - begin) as u32,
                     child_start,
                     child_end: next.len() as u32,
-                    bb_lo: s.bbox.lo,
-                    bb_hi: s.bbox.hi,
                 });
             }
-            levels.push(lv);
+            tmp.push((key_lo, meta));
             frontier = next;
         }
+        let m = end - begin;
+        let counts: Vec<u64> = tmp.iter().map(|(k, _)| k.len() as u64).collect();
+        let layout =
+            BlobLayout::compute::<D>(m as u64, &counts).expect("live arena sizes fit in memory");
+        let mut blob = AlignedBytes::zeroed(layout.len);
+        let bytes = blob.as_bytes_mut();
+        let mut off = 0usize;
+        put_u64(bytes, &mut off, m as u64);
+        put_u64(bytes, &mut off, counts.len() as u64);
+        for &c in &counts {
+            put_u64(bytes, &mut off, c);
+        }
+        for (lv, (key_lo, meta)) in layout.levels.iter().zip(&tmp) {
+            let mut o = lv.key_lo;
+            for &k in key_lo {
+                put_f64(bytes, &mut o, k);
+            }
+            let mut o = lv.meta;
+            for nm in meta {
+                for d in 0..D {
+                    put_f64(bytes, &mut o, nm.bb_lo[d]);
+                }
+                for d in 0..D {
+                    put_f64(bytes, &mut o, nm.bb_hi[d]);
+                }
+                put_u32(bytes, &mut o, nm.begin);
+                put_u32(bytes, &mut o, nm.end);
+                put_u32(bytes, &mut o, nm.child_start);
+                put_u32(bytes, &mut o, nm.child_end);
+            }
+        }
         let seg = &data[begin..end];
-        Some(Self {
+        let mut o = layout.ids;
+        for r in seg {
+            put_u32(bytes, &mut o, r.id as u32);
+        }
+        for d in 0..D {
+            let mut o = layout.rec_lo + d * m * 8;
+            for r in seg {
+                put_f64(bytes, &mut o, r.mbb.lo[d]);
+            }
+            let mut o = layout.rec_nhi + d * m * 8;
+            for r in seg {
+                put_f64(bytes, &mut o, -r.mbb.hi[d]);
+            }
+        }
+        let len = layout.len;
+        Some(
+            Self::from_blob(begin, end, Arc::new(blob), 0, len)
+                .expect("freshly built seal blob parses"),
+        )
+    }
+
+    /// Revives a region from `len` blob bytes at `base` inside `buf` —
+    /// zero-copy: the region's columns stay borrows of `buf`. Total over
+    /// arbitrary input: alignment, exact length, and every node's
+    /// record/child ranges are validated *before* any column is read, so a
+    /// malformed blob yields `Err`, never a panic or out-of-bounds view.
+    pub fn from_blob(
+        begin: usize,
+        end: usize,
+        buf: Arc<AlignedBytes>,
+        base: usize,
+        len: usize,
+    ) -> Result<Self, String> {
+        if !base.is_multiple_of(8) {
+            return Err(format!("blob base {base} is not 8-aligned"));
+        }
+        if base.checked_add(len).is_none_or(|e| e > buf.len()) {
+            return Err(format!(
+                "blob {base}+{len} exceeds buffer of {} bytes",
+                buf.len()
+            ));
+        }
+        let bytes = &buf.as_bytes()[base..base + len];
+        if len < 16 {
+            return Err(format!("blob of {len} bytes is shorter than its header"));
+        }
+        let m = read_u64(bytes, 0);
+        let l = read_u64(bytes, 8);
+        if end < begin || (end - begin) as u64 != m {
+            return Err(format!(
+                "record count {m} does not match region {begin}..{end}"
+            ));
+        }
+        if m > u32::MAX as u64 {
+            return Err(format!("record count {m} exceeds the u32 arena limit"));
+        }
+        if l != (D - 1) as u64 {
+            return Err(format!("level count {l}, expected {} for D = {D}", D - 1));
+        }
+        let l = l as usize;
+        if len < 16 + 8 * l {
+            return Err("blob too short for its level-count table".into());
+        }
+        let counts: Vec<u64> = (0..l).map(|i| read_u64(bytes, 16 + 8 * i)).collect();
+        let layout = BlobLayout::compute::<D>(m, &counts)
+            .ok_or_else(|| "blob section sizes overflow".to_string())?;
+        if layout.len != len {
+            return Err(format!(
+                "blob length {len} does not match the {} bytes implied by its header",
+                layout.len
+            ));
+        }
+        let region = Self {
             begin,
             end,
-            levels,
-            ids: seg.iter().map(|r| r.id as u32).collect(),
-            rec_lo: std::array::from_fn(|d| seg.iter().map(|r| r.mbb.lo[d]).collect()),
-            rec_nhi: std::array::from_fn(|d| seg.iter().map(|r| -r.mbb.hi[d]).collect()),
-        })
+            buf,
+            base,
+            blob_len: len,
+            levels: layout.levels,
+            ids: layout.ids,
+            rec_lo: layout.rec_lo,
+            rec_nhi: layout.rec_nhi,
+        };
+        for li in 0..l {
+            let next = if li + 1 < l { counts[li + 1] } else { 0 };
+            for (i, nm) in region.meta(li).iter().enumerate() {
+                if nm.begin > nm.end || nm.end as u64 > m {
+                    return Err(format!(
+                        "level {li} node {i}: record range {}..{} outside 0..{m}",
+                        nm.begin, nm.end
+                    ));
+                }
+                if nm.child_start > nm.child_end || nm.child_end as u64 > next {
+                    return Err(format!(
+                        "level {li} node {i}: child range {}..{} outside 0..{next}",
+                        nm.child_start, nm.child_end
+                    ));
+                }
+            }
+        }
+        Ok(region)
+    }
+
+    /// The raw blob bytes — what the snapshot writer copies verbatim (the
+    /// blob is position-independent, see the module docs).
+    pub fn blob(&self) -> &[u8] {
+        &self.buf.as_bytes()[self.base..self.base + self.blob_len]
+    }
+
+    /// Casts `n` f64s at blob-relative offset `rel`.
+    ///
+    /// Sound because construction ([`Self::from_blob`]) proved every stored
+    /// offset 8-aligned (8-aligned base + 8-multiple sections over an
+    /// 8-aligned [`AlignedBytes`]) and in-bounds (exact-length check), the
+    /// buffer is immutable behind `Arc`, and `f64` admits any bit pattern.
+    fn f64s(&self, rel: usize, n: usize) -> &[f64] {
+        let off = self.base + rel;
+        debug_assert!(off.is_multiple_of(8) && off + n * 8 <= self.buf.len());
+        unsafe { std::slice::from_raw_parts(self.buf.as_bytes().as_ptr().add(off).cast(), n) }
+    }
+
+    /// Number of tree levels below the region root (`D - 1`; `0` at D = 1).
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The minimum-key binary-search column of arena level `l` (absolute
+    /// tree level `l + 1`).
+    pub fn key_lo(&self, l: usize) -> &[f64] {
+        let lv = &self.levels[l];
+        self.f64s(lv.key_lo, lv.len)
+    }
+
+    /// The packed node payloads of arena level `l`, aligned with
+    /// [`key_lo`](Self::key_lo). Same soundness argument as [`Self::f64s`]:
+    /// `NodeMeta` is `repr(C)`, 8-aligned, padding-free, any-bit-valid.
+    pub fn meta(&self, l: usize) -> &[NodeMeta<D>] {
+        debug_assert_eq!(std::mem::size_of::<NodeMeta<D>>(), 16 + 16 * D);
+        let lv = &self.levels[l];
+        let off = self.base + lv.meta;
+        debug_assert!(off.is_multiple_of(8) && off + lv.len * (16 + 16 * D) <= self.buf.len());
+        unsafe { std::slice::from_raw_parts(self.buf.as_bytes().as_ptr().add(off).cast(), lv.len) }
+    }
+
+    /// Record ids over `begin..end`, region-relative order, narrowed to
+    /// `u32` (ids are positions in the original dataset, so they fit for
+    /// any dataset under 2³² records; a region holding a larger id is
+    /// simply never sealed).
+    pub fn ids(&self) -> &[u32] {
+        let off = self.base + self.ids;
+        let n = self.end - self.begin;
+        debug_assert!(off.is_multiple_of(4) && off + n * 4 <= self.buf.len());
+        unsafe { std::slice::from_raw_parts(self.buf.as_bytes().as_ptr().add(off).cast(), n) }
+    }
+
+    /// Record MBB lower corners of dimension `d`.
+    pub fn rec_lo(&self, d: usize) -> &[f64] {
+        let m = self.end - self.begin;
+        self.f64s(self.rec_lo + d * m * 8, m)
+    }
+
+    /// Record MBB upper corners of dimension `d`, **negated**
+    /// (`rec_nhi(d)[p] == -hi[d]` of record `p`). Negation normalizes both
+    /// intersection half-tests to one shape — `rec_lo <= q.hi` and
+    /// `rec_hi >= q.lo ⇔ -rec_hi <= -q.lo` — so every bottom-level lane
+    /// pass is the same `lane[p] <= bound` loop (negation is exact for
+    /// every non-NaN float, so the truth table is unchanged).
+    pub fn rec_nhi(&self, d: usize) -> &[f64] {
+        let m = self.end - self.begin;
+        self.f64s(self.rec_nhi + d * m * 8, m)
     }
 
     /// Number of records covered.
@@ -189,16 +463,12 @@ impl<const D: usize> SealedRegion<D> {
         self.end - self.begin
     }
 
-    /// Heap bytes held by the arena (metadata + record columns).
+    /// Bytes reachable from this region (the blob plus the level-view
+    /// table). Reloaded regions share one snapshot buffer; each still
+    /// reports its own blob span, so the sum over regions stays the
+    /// arena-payload total, not the buffer size times the region count.
     pub fn heap_bytes(&self) -> usize {
-        let f = std::mem::size_of::<f64>();
-        let mut total = self.levels.iter().map(LevelSoa::heap_bytes).sum::<usize>()
-            + self.levels.capacity() * std::mem::size_of::<LevelSoa<D>>()
-            + self.ids.capacity() * std::mem::size_of::<u32>();
-        for d in 0..D {
-            total += self.rec_lo[d].capacity() * f + self.rec_nhi[d].capacity() * f;
-        }
-        total
+        self.blob_len + self.levels.capacity() * std::mem::size_of::<LevelView>()
     }
 
     /// Emits every id in the region (the caller proved `q` contains the
@@ -206,8 +476,9 @@ impl<const D: usize> SealedRegion<D> {
     /// contiguous copy instead of a per-leaf walk). Returns the objects
     /// "tested" (all of them — the bbox proof decided each record's test).
     pub fn emit_all(&self, out: &mut Vec<u64>) -> u64 {
-        out.extend(self.ids.iter().map(|&id| id as u64));
-        self.ids.len() as u64
+        let ids = self.ids();
+        out.extend(ids.iter().map(|&id| id as u64));
+        ids.len() as u64
     }
 
     /// Answers `q` over the region, appending matching ids to `out` in
@@ -218,18 +489,19 @@ impl<const D: usize> SealedRegion<D> {
     /// before descending a refined top-level slice (and takes
     /// [`emit_all`](Self::emit_all) when `q` contains the root box).
     pub fn run(&self, q: &Aabb<D>, qe: &Aabb<D>, out: &mut Vec<u64>) -> u64 {
-        match self.levels.first() {
+        if self.levels.is_empty() {
             // D == 1: the region root is the bottom level.
-            None => self.scan_range(0, self.ids.len(), q, [true; D], [true; D], out),
-            Some(top) => self.walk(0, 0, top.len(), q, qe, out),
+            self.scan_range(0, self.records(), q, [true; D], [true; D], out)
+        } else {
+            self.walk(0, 0, self.levels[0].len, q, qe, out)
         }
     }
 
-    /// Visits one sibling window `lo..hi` of `levels[idx]` (absolute level
-    /// `idx + 1`), reproducing `query_level`'s candidate selection — the
-    /// partition-point probe on the minimum-key column with the "step one
-    /// back" rule, the sorted-key break, and the bounding-box skip — with
-    /// one shortcut the arena's exact boxes make sound: a node whose
+    /// Visits one sibling window `lo..hi` of arena level `idx` (absolute
+    /// level `idx + 1`), reproducing `query_level`'s candidate selection —
+    /// the partition-point probe on the minimum-key column with the "step
+    /// one back" rule, the sorted-key break, and the bounding-box skip —
+    /// with one shortcut the arena's exact boxes make sound: a node whose
     /// bounding box is *contained* in `q` emits its whole record range as a
     /// contiguous id copy (every descendant's box is inside the node's box,
     /// and a record inside `q`'s interval on a dimension passes that
@@ -244,10 +516,11 @@ impl<const D: usize> SealedRegion<D> {
         qe: &Aabb<D>,
         out: &mut Vec<u64>,
     ) -> u64 {
-        let lv = &self.levels[idx];
+        let key_col = self.key_lo(idx);
+        let metas = self.meta(idx);
         let dim = idx + 1;
         let bottom = dim + 1 == D;
-        let keys = &lv.key_lo[lo..hi];
+        let keys = &key_col[lo..hi];
         let start = lo + keys.partition_point(|&k| k < qe.lo[dim]).saturating_sub(1);
         let mut tested = 0u64;
         // Bottom-level run fusion: consecutive leaves that are contiguous in
@@ -257,13 +530,13 @@ impl<const D: usize> SealedRegion<D> {
         // breaks contiguity and flushes.
         let mut run: Option<(usize, usize, [bool; D], [bool; D])> = None;
         for i in start..hi {
-            if lv.key_lo[i] > qe.hi[dim] {
+            if key_col[i] > qe.hi[dim] {
                 break;
             }
             // One fused pass over the node's packed bbox classifies it:
             // disjoint from `q` (skip), contained in `q` (wholesale emit),
             // or boundary (descend / scan only the undecided lanes).
-            let node = &lv.meta[i];
+            let node = &metas[i];
             let mut intersects = true;
             let mut test_lo = [false; D];
             let mut test_hi = [false; D];
@@ -300,7 +573,7 @@ impl<const D: usize> SealedRegion<D> {
                     }
                 }
             } else if !undecided {
-                out.extend(self.ids[rb..re].iter().map(|&id| id as u64));
+                out.extend(self.ids()[rb..re].iter().map(|&id| id as u64));
                 tested += (re - rb) as u64;
             } else {
                 let (clo, chi) = (node.child_start as usize, node.child_end as usize);
@@ -344,7 +617,7 @@ impl<const D: usize> SealedRegion<D> {
         for d in 0..D {
             if test_lo[d] {
                 if k < MAX_LANES {
-                    lanes[k] = &self.rec_lo[d][b..e];
+                    lanes[k] = &self.rec_lo(d)[b..e];
                     bounds[k] = q.hi[d];
                     k += 1;
                 } else {
@@ -353,7 +626,7 @@ impl<const D: usize> SealedRegion<D> {
             }
             if test_hi[d] {
                 if k < MAX_LANES {
-                    lanes[k] = &self.rec_nhi[d][b..e];
+                    lanes[k] = &self.rec_nhi(d)[b..e];
                     bounds[k] = -q.lo[d];
                     k += 1;
                 } else {
@@ -361,13 +634,14 @@ impl<const D: usize> SealedRegion<D> {
                 }
             }
         }
+        let all_ids = self.ids();
         if k == 0 {
-            out.extend(self.ids[b..e].iter().map(|&id| id as u64));
+            out.extend(all_ids[b..e].iter().map(|&id| id as u64));
             return m as u64;
         }
         let start = out.len();
         out.resize(start + m, 0);
-        let ids = &self.ids[b..e];
+        let ids = &all_ids[b..e];
         let mut w = start;
         if overflow {
             // More than MAX_LANES active tests (D > 4): masked chunk pass
@@ -380,14 +654,14 @@ impl<const D: usize> SealedRegion<D> {
                 for d in 0..D {
                     if test_lo[d] {
                         let qhi = q.hi[d];
-                        let lane = &self.rec_lo[d][b + base..b + base + c];
+                        let lane = &self.rec_lo(d)[b + base..b + base + c];
                         for (mk, &v) in mask[..c].iter_mut().zip(lane) {
                             *mk &= v <= qhi;
                         }
                     }
                     if test_hi[d] {
                         let nqlo = -q.lo[d];
-                        let lane = &self.rec_nhi[d][b + base..b + base + c];
+                        let lane = &self.rec_nhi(d)[b + base..b + base + c];
                         for (mk, &v) in mask[..c].iter_mut().zip(lane) {
                             *mk &= v <= nqlo;
                         }
@@ -496,6 +770,54 @@ mod tests {
             let _ = arr2;
             assert_eq!(got, expect, "query {q:?}");
         }
+    }
+
+    /// The blob roundtrip is the identity: re-parsing a built region's blob
+    /// at a different base inside a larger buffer reads back the same
+    /// columns (position independence).
+    #[test]
+    fn blob_reparses_at_a_shifted_base() {
+        let data = uniform_boxes_in::<3>(500, 50.0, 11);
+        let mut idx = Quasii::new(data, QuasiiConfig::with_tau(8).with_seal(false));
+        idx.finalize();
+        let (arr, _, roots, _, _) = idx.raw_parts();
+        let r = SealedRegion::build(&roots[0], arr).expect("finalized trees seal");
+        let blob = r.blob();
+        let shift = 64usize;
+        let mut shifted = AlignedBytes::zeroed(shift + blob.len());
+        shifted.as_bytes_mut()[shift..].copy_from_slice(blob);
+        let r2 = SealedRegion::<3>::from_blob(r.begin, r.end, Arc::new(shifted), shift, blob.len())
+            .expect("shifted blob parses");
+        assert_eq!(r.ids(), r2.ids());
+        assert_eq!(r.level_count(), r2.level_count());
+        for l in 0..r.level_count() {
+            assert_eq!(r.key_lo(l), r2.key_lo(l));
+        }
+        for d in 0..3 {
+            assert_eq!(r.rec_lo(d), r2.rec_lo(d));
+            assert_eq!(r.rec_nhi(d), r2.rec_nhi(d));
+        }
+    }
+
+    /// Every truncation of a valid blob is rejected, never misread.
+    #[test]
+    fn truncated_blobs_are_rejected() {
+        let data = uniform_boxes_in::<2>(200, 20.0, 3);
+        let mut idx = Quasii::new(data, QuasiiConfig::with_tau(8).with_seal(false));
+        idx.finalize();
+        let (arr, _, roots, _, _) = idx.raw_parts();
+        let r = SealedRegion::build(&roots[0], arr).expect("finalized trees seal");
+        let blob = r.blob().to_vec();
+        for cut in [0, 8, 15, 16, blob.len() / 2, blob.len() - 1] {
+            let buf = Arc::new(AlignedBytes::copy_from(&blob[..cut]));
+            assert!(
+                SealedRegion::<2>::from_blob(r.begin, r.end, buf, 0, cut).is_err(),
+                "truncation to {cut} bytes must not parse"
+            );
+        }
+        // Wrong dimensionality: the level count no longer matches.
+        let buf = Arc::new(AlignedBytes::copy_from(&blob));
+        assert!(SealedRegion::<3>::from_blob(r.begin, r.end, buf, 0, blob.len()).is_err());
     }
 
     #[test]

@@ -76,18 +76,19 @@ fn check_seals<const D: usize>(index: &Quasii<D>) -> Result<(), String> {
         }
         // Record columns mirror the data array.
         let seg = &data[region.begin..region.end];
-        if region.ids.len() != seg.len() {
+        let ids = region.ids();
+        if ids.len() != seg.len() {
             return Err(format!("seal {k}: id column length mismatch"));
         }
         for (p, r) in seg.iter().enumerate() {
-            if region.ids[p] as u64 != r.id {
+            if ids[p] as u64 != r.id {
                 return Err(format!(
                     "seal {k}: id column diverges at position {p} ({} vs {})",
-                    region.ids[p], r.id
+                    ids[p], r.id
                 ));
             }
             for d in 0..D {
-                if region.rec_lo[d][p] != r.mbb.lo[d] || region.rec_nhi[d][p] != -r.mbb.hi[d] {
+                if region.rec_lo(d)[p] != r.mbb.lo[d] || region.rec_nhi(d)[p] != -r.mbb.hi[d] {
                     return Err(format!(
                         "seal {k}: MBB columns diverge at position {p}, dim {d}"
                     ));
@@ -96,22 +97,22 @@ fn check_seals<const D: usize>(index: &Quasii<D>) -> Result<(), String> {
         }
         // Level arrays mirror the subtree, breadth-first.
         let mut frontier: Vec<&Slice<D>> = root.children.iter().collect();
-        for (li, lv) in region.levels.iter().enumerate() {
-            if lv.len() != frontier.len() {
+        for li in 0..region.level_count() {
+            let key_lo = region.key_lo(li);
+            let meta = region.meta(li);
+            if key_lo.len() != frontier.len() {
                 return Err(format!(
                     "seal {k}, level {li}: {} arena nodes vs {} slices",
-                    lv.len(),
+                    key_lo.len(),
                     frontier.len()
                 ));
             }
             let mut next: Vec<&Slice<D>> = Vec::new();
             let bottom = li + 2 == D;
             for (i, s) in frontier.iter().enumerate() {
-                let node = &lv.meta[i];
+                let node = &meta[i];
                 let (b, e) = (node.begin as usize, node.end as usize);
-                if lv.key_lo[i] != s.key_lo
-                    || b != s.begin - region.begin
-                    || e != s.end - region.begin
+                if key_lo[i] != s.key_lo || b != s.begin - region.begin || e != s.end - region.begin
                 {
                     return Err(format!(
                         "seal {k}, level {li}, node {i}: metadata diverges from slice"

@@ -35,6 +35,19 @@
 //! subsequence in the same order, and the engine's batch path is itself
 //! deterministic (see `quasii::Quasii::execute_batch`).
 //!
+//! ## Persistence
+//!
+//! A deployment snapshots as **one buffer per shard** (each an independent
+//! engine snapshot, see `quasii`'s `persist` module) plus a small
+//! checksummed **manifest** binding them together: fences, router extension,
+//! router counters, and a per-shard `(record count, length, checksum)`
+//! table. [`ShardedQuasii::write_snapshot_parts`] /
+//! [`ShardedQuasii::from_snapshot_parts`] expose the parts individually —
+//! the migration seam (shard buffers can live on different nodes) — and
+//! [`ShardedQuasii::write_snapshot`] / [`ShardedQuasii::from_snapshot`]
+//! pack manifest + buffers into a single file-friendly byte vector. A
+//! reloaded deployment answers every query byte-identically to the writer.
+//!
 //! Result vectors are returned in **canonical (ascending id) order**. The
 //! single-instance engine emits hits in physical data order, which depends
 //! on its private crack permutation; a sharded deployment cannot reproduce
@@ -67,17 +80,26 @@
 #![warn(missing_docs)]
 
 use quasii::crack::key_of;
+use quasii::snapshot::{fnv1a, SnapshotError};
 use quasii::{AssignBy, KeyFences, Quasii, QuasiiConfig, QuasiiStats};
 use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
 use std::sync::Mutex;
 
+/// First 8 bytes of every shard-deployment manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"QSIISHRD";
+/// The one manifest format version this build writes and accepts (bumped on
+/// **any** layout change, mirroring the engine snapshot's policy).
+pub const MANIFEST_VERSION: u32 = 1;
+
 /// Tuning knobs of [`ShardedQuasii`].
 #[derive(Clone, Debug)]
 pub struct ShardConfig {
     /// Number of shards `K` the planner splits the dataset into (`0` and
-    /// `1` both mean a single shard). Degenerate key distributions may
-    /// leave some shards empty; the shard count itself is always honored.
+    /// `1` both mean a single shard). Degenerate key distributions collapse
+    /// tied boundary quantiles, so the planner may produce *fewer* shards
+    /// than requested (never more) — every planned shard owns a
+    /// non-degenerate key range instead of sitting permanently empty.
     pub shards: usize,
     /// Concurrent shard workers for [`ShardedQuasii::execute_batch`]:
     /// `0` (the default) resolves to
@@ -249,8 +271,8 @@ impl<const D: usize> ShardedQuasii<D> {
         }
     }
 
-    /// Number of shards (fence ranges; some may be empty on degenerate key
-    /// distributions).
+    /// Number of shards (planned fence ranges; may be fewer than requested
+    /// on degenerate key distributions — see [`ShardConfig::shards`]).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
@@ -357,6 +379,14 @@ impl<const D: usize> ShardedQuasii<D> {
     /// ownership invariant (each record's key inside its shard's fence
     /// range); returns a description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
+        self.fences.validate().map_err(|e| format!("fences: {e}"))?;
+        if self.fences.parts() != self.shards.len() {
+            return Err(format!(
+                "{} fence ranges vs {} shard engines",
+                self.fences.parts(),
+                self.shards.len()
+            ));
+        }
         let mode = self.cfg.inner.assign_by;
         for (k, s) in self.shards.iter().enumerate() {
             s.validate().map_err(|e| format!("shard {k}: {e}"))?;
@@ -372,6 +402,167 @@ impl<const D: usize> ShardedQuasii<D> {
             }
         }
         Ok(())
+    }
+
+    /// Serializes the deployment as a **manifest** plus **one buffer per
+    /// shard** — the migration seam: each shard buffer is a self-contained
+    /// engine snapshot that can be shipped to (and verified on) a different
+    /// node, while the manifest pins the pieces together (fences, router
+    /// extension/counters, and a per-shard record-count/length/checksum
+    /// table).
+    ///
+    /// Like the engine's `write_snapshot`, this sweeps pending seal work
+    /// first, so a snapshot captures the post-sweep state.
+    pub fn write_snapshot_parts(&mut self) -> Result<(Vec<u8>, Vec<Vec<u8>>), SnapshotError> {
+        let mut shard_bufs = Vec::with_capacity(self.shards.len());
+        for s in &mut self.shards {
+            shard_bufs.push(s.write_snapshot()?);
+        }
+        let mut m = Vec::new();
+        m.extend_from_slice(&MANIFEST_MAGIC);
+        m.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        m.extend_from_slice(&(D as u32).to_le_bytes());
+        m.extend_from_slice(&[0u8; 16]); // checksum + total, patched below
+        for v in [
+            self.shards.len() as u64,
+            self.cfg.shards as u64,
+            self.cfg.shard_threads as u64,
+            self.cfg.sample_cap as u64,
+        ] {
+            m.extend_from_slice(&v.to_le_bytes());
+        }
+        m.extend_from_slice(&self.ext_low0.to_le_bytes());
+        m.extend_from_slice(&self.ext_high0.to_le_bytes());
+        m.extend_from_slice(&self.router.queries.to_le_bytes());
+        m.extend_from_slice(&self.router.shard_visits.to_le_bytes());
+        let inner = self.fences.inner_bounds();
+        m.extend_from_slice(&(inner.len() as u64).to_le_bytes());
+        for b in inner {
+            m.extend_from_slice(&b.to_le_bytes());
+        }
+        for (s, buf) in self.shards.iter().zip(&shard_bufs) {
+            m.extend_from_slice(&(s.data().len() as u64).to_le_bytes());
+            m.extend_from_slice(&(buf.len() as u64).to_le_bytes());
+            m.extend_from_slice(&fnv1a(buf).to_le_bytes());
+        }
+        let total = m.len() as u64;
+        m[24..32].copy_from_slice(&total.to_le_bytes());
+        let sum = fnv1a(&m[24..]);
+        m[16..24].copy_from_slice(&sum.to_le_bytes());
+        Ok((m, shard_bufs))
+    }
+
+    /// Revives a deployment from [`write_snapshot_parts`] output. Every
+    /// shard buffer is verified against the manifest's length/checksum
+    /// table (buffers must arrive in shard order), then loaded through the
+    /// engine's own validated snapshot path; the reloaded deployment
+    /// answers every query byte-identically to the writer. Never panics on
+    /// malformed input.
+    pub fn from_snapshot_parts(
+        manifest: &[u8],
+        shards: Vec<Vec<u8>>,
+    ) -> Result<Self, SnapshotError> {
+        let m = parse_manifest::<D>(manifest)?;
+        if m.total != manifest.len() {
+            return Err(corrupt(format!(
+                "manifest claims {} bytes, got {}",
+                m.total,
+                manifest.len()
+            )));
+        }
+        Self::assemble(m, shards)
+    }
+
+    /// Serializes the whole deployment into **one buffer**: the manifest of
+    /// [`write_snapshot_parts`](Self::write_snapshot_parts) followed by the
+    /// shard buffers back-to-back — the single-file transport.
+    pub fn write_snapshot(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let (manifest, shard_bufs) = self.write_snapshot_parts()?;
+        let mut out = manifest;
+        for b in &shard_bufs {
+            out.extend_from_slice(b);
+        }
+        Ok(out)
+    }
+
+    /// Revives a deployment from a packed [`write_snapshot`]
+    /// (manifest + shard buffers) byte vector. Never panics on malformed
+    /// input.
+    ///
+    /// [`write_snapshot`]: Self::write_snapshot
+    pub fn from_snapshot(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        let m = parse_manifest::<D>(&bytes)?;
+        let mut off = m.total;
+        let mut bufs = Vec::with_capacity(m.shards.len());
+        for (k, &(_, len, _)) in m.shards.iter().enumerate() {
+            let end = off
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| corrupt(format!("shard {k} buffer overruns the packed snapshot")))?;
+            bufs.push(bytes[off..end].to_vec());
+            off = end;
+        }
+        if off != bytes.len() {
+            return Err(corrupt(format!(
+                "packed snapshot holds {} bytes, sections account for {off}",
+                bytes.len()
+            )));
+        }
+        Self::assemble(m, bufs)
+    }
+
+    /// Shared tail of both load paths: verify each shard buffer against the
+    /// manifest table, revive the engines, and rebuild the router around
+    /// them.
+    fn assemble(m: Manifest, shard_bufs: Vec<Vec<u8>>) -> Result<Self, SnapshotError> {
+        if shard_bufs.len() != m.shards.len() {
+            return Err(corrupt(format!(
+                "manifest lists {} shards, got {} buffers",
+                m.shards.len(),
+                shard_bufs.len()
+            )));
+        }
+        let fences = KeyFences::from_inner(m.inner_bounds);
+        fences
+            .validate()
+            .map_err(|e| corrupt(format!("fences: {e}")))?;
+        let mut engines: Vec<Quasii<D>> = Vec::with_capacity(shard_bufs.len());
+        for (k, (&(records, len, sum), buf)) in m.shards.iter().zip(shard_bufs).enumerate() {
+            if buf.len() != len {
+                return Err(corrupt(format!(
+                    "shard {k} buffer is {} bytes, manifest says {len}",
+                    buf.len()
+                )));
+            }
+            if fnv1a(&buf) != sum {
+                return Err(corrupt(format!("shard {k} buffer checksum mismatch")));
+            }
+            let engine = Quasii::from_snapshot(buf).map_err(|e| match e {
+                SnapshotError::Corrupt(msg) => corrupt(format!("shard {k}: {msg}")),
+                other => other,
+            })?;
+            if engine.data().len() != records {
+                return Err(corrupt(format!(
+                    "shard {k} holds {} records, manifest says {records}",
+                    engine.data().len()
+                )));
+            }
+            engines.push(engine);
+        }
+        let inner = engines[0].config().clone();
+        Ok(Self {
+            shards: engines,
+            fences,
+            cfg: ShardConfig {
+                shards: m.requested_shards,
+                shard_threads: m.shard_threads,
+                sample_cap: m.sample_cap,
+                inner,
+            },
+            ext_low0: m.ext_low0,
+            ext_high0: m.ext_high0,
+            router: m.router,
+        })
     }
 
     /// The extension-adjusted routing span of `query` on dimension 0.
@@ -459,6 +650,150 @@ impl<const D: usize> ShardedQuasii<D> {
     }
 }
 
+fn corrupt(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Corrupt(msg.into())
+}
+
+/// Decoded manifest: everything the router needs besides the engines
+/// themselves, plus the per-shard verification table
+/// `(record count, buffer length, buffer checksum)`.
+struct Manifest {
+    total: usize,
+    requested_shards: usize,
+    shard_threads: usize,
+    sample_cap: usize,
+    ext_low0: f64,
+    ext_high0: f64,
+    router: RouterStats,
+    inner_bounds: Vec<f64>,
+    shards: Vec<(usize, usize, u64)>,
+}
+
+/// Sequential little-endian reader over the manifest body; every read is
+/// bounds-checked so a short or hostile buffer yields `Err`, never a panic.
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(8)
+            .filter(|&e| e <= self.b.len())
+            .ok_or_else(|| corrupt(format!("manifest truncated at offset {}", self.pos)))?;
+        let v = u64::from_le_bytes(self.b[self.pos..end].try_into().unwrap());
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn index(&mut self, what: &str) -> Result<usize, SnapshotError> {
+        usize::try_from(self.u64()?).map_err(|_| corrupt(format!("{what} exceeds usize")))
+    }
+}
+
+/// Parses and verifies a manifest prefix (magic, version, dimensionality,
+/// checksum, exact body accounting). `bytes` may extend past the manifest —
+/// the packed single-buffer form appends the shard buffers right after it —
+/// so callers decide what `total` must equal.
+fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
+    if bytes.len() < 32 {
+        return Err(corrupt(format!(
+            "{} bytes is shorter than the 32-byte manifest prefix",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != MANIFEST_MAGIC {
+        return Err(corrupt("bad magic (not a QUASII shard manifest)"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != MANIFEST_VERSION {
+        return Err(SnapshotError::WrongVersion {
+            found: version,
+            expected: MANIFEST_VERSION,
+        });
+    }
+    let dims = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if dims as usize != D {
+        return Err(SnapshotError::WrongDims {
+            found: dims,
+            expected: D as u32,
+        });
+    }
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let total = usize::try_from(u64::from_le_bytes(bytes[24..32].try_into().unwrap()))
+        .map_err(|_| corrupt("manifest length exceeds usize"))?;
+    if total < 32 || total > bytes.len() {
+        return Err(corrupt(format!(
+            "manifest claims {total} bytes, buffer holds {}",
+            bytes.len()
+        )));
+    }
+    let actual = fnv1a(&bytes[24..total]);
+    if actual != checksum {
+        return Err(corrupt(format!(
+            "manifest checksum mismatch: header {checksum:#018x}, computed {actual:#018x}"
+        )));
+    }
+
+    let mut r = Reader {
+        b: &bytes[..total],
+        pos: 32,
+    };
+    let shard_count = r.index("shard count")?;
+    if shard_count == 0 {
+        return Err(corrupt("manifest lists zero shards"));
+    }
+    let requested_shards = r.index("requested shard count")?;
+    let shard_threads = r.index("shard threads")?;
+    let sample_cap = r.index("sample cap")?;
+    let ext_low0 = r.f64()?;
+    let ext_high0 = r.f64()?;
+    let router = RouterStats {
+        queries: r.u64()?,
+        shard_visits: r.u64()?,
+    };
+    let bound_count = r.index("inner-bound count")?;
+    if bound_count != shard_count - 1 {
+        return Err(corrupt(format!(
+            "{bound_count} inner fence bounds for {shard_count} shards"
+        )));
+    }
+    let mut inner_bounds = Vec::with_capacity(bound_count);
+    for _ in 0..bound_count {
+        inner_bounds.push(r.f64()?);
+    }
+    let mut shards = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        let records = r.index("shard record count")?;
+        let len = r.index("shard buffer length")?;
+        let sum = r.u64()?;
+        shards.push((records, len, sum));
+    }
+    if r.pos != total {
+        return Err(corrupt(format!(
+            "manifest body ends at {}, header claims {total}",
+            r.pos
+        )));
+    }
+    Ok(Manifest {
+        total,
+        requested_shards,
+        shard_threads,
+        sample_cap,
+        ext_low0,
+        ext_high0,
+        router,
+        inner_bounds,
+        shards,
+    })
+}
+
 impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
     fn name(&self) -> &'static str {
         "QUASII-sharded"
@@ -495,6 +830,14 @@ impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
 
     fn sealed_fraction(&self) -> f64 {
         ShardedQuasii::sealed_fraction(self)
+    }
+
+    fn write_snapshot(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        ShardedQuasii::write_snapshot(self)
+    }
+
+    fn from_snapshot(bytes: Vec<u8>) -> Result<Self, SnapshotError> {
+        ShardedQuasii::from_snapshot(bytes)
     }
 }
 
@@ -609,14 +952,18 @@ mod tests {
             .with_inner(QuasiiConfig::with_tau(8));
         cfg.inner.max_artificial_depth = 16;
         let mut idx = ShardedQuasii::new(data.clone(), cfg);
-        assert_eq!(idx.shard_count(), 5);
+        assert_eq!(
+            idx.shard_count(),
+            1,
+            "tied boundary quantiles collapse to a single shard"
+        );
         let snaps = idx.snapshots();
         let populated: Vec<usize> = snaps
             .iter()
             .filter(|s| s.records > 0)
             .map(|s| s.shard)
             .collect();
-        assert_eq!(populated, vec![4], "identical keys land in the last shard");
+        assert_eq!(populated, vec![0], "all identical keys in the one shard");
         let q = Aabb::new([5.5; 2], [5.8; 2]);
         let got = idx.query_collect(&q);
         assert_eq!(got.len(), 600);
@@ -733,6 +1080,118 @@ mod tests {
         }
         assert_eq!(idx.stats().cracks, cracks, "pure reads after sealing");
         idx.validate().unwrap();
+    }
+
+    /// A warmed 3-shard deployment for the snapshot tests.
+    fn warmed_deployment() -> (ShardedQuasii<3>, Vec<Aabb<3>>) {
+        let data = uniform_boxes_in::<3>(2_500, 600.0, 120);
+        let u = Aabb::new([0.0; 3], [600.0; 3]);
+        let queries = workload::uniform(&u, 40, 1e-3, 121).queries;
+        let cfg = ShardConfig::default()
+            .with_shards(3)
+            .with_inner(QuasiiConfig::with_tau(16));
+        let mut idx = ShardedQuasii::new(data, cfg);
+        idx.execute_batch(&queries[..20]);
+        (idx, queries)
+    }
+
+    #[test]
+    fn snapshot_parts_roundtrip_is_byte_identical() {
+        let (mut idx, queries) = warmed_deployment();
+        let (manifest, shard_bufs) = idx.write_snapshot_parts().expect("write parts");
+        assert_eq!(shard_bufs.len(), idx.shard_count());
+        let mut re =
+            ShardedQuasii::<3>::from_snapshot_parts(&manifest, shard_bufs).expect("load parts");
+        assert_eq!(re.fences(), idx.fences());
+        assert_eq!(re.router_stats(), idx.router_stats());
+        assert_eq!(re.stats(), idx.stats());
+        assert_eq!(re.config().shards, idx.config().shards);
+        assert_eq!(re.config().sample_cap, idx.config().sample_cap);
+        for (a, b) in re.engines().iter().zip(idx.engines()) {
+            assert_eq!(a.data(), b.data(), "per-shard permutation");
+        }
+        re.validate().expect("reloaded invariants");
+        assert_eq!(
+            re.execute_batch(&queries),
+            idx.execute_batch(&queries),
+            "reloaded deployment answers byte-identically"
+        );
+        assert_eq!(re.stats(), idx.stats(), "work counters track in lockstep");
+        assert_eq!(re.router_stats(), idx.router_stats());
+    }
+
+    #[test]
+    fn packed_snapshot_roundtrips_through_the_trait() {
+        let (mut idx, queries) = warmed_deployment();
+        let packed = SpatialIndex::write_snapshot(&mut idx).expect("write packed");
+        let mut re =
+            <ShardedQuasii<3> as SpatialIndex<3>>::from_snapshot(packed).expect("load packed");
+        assert_eq!(re.execute_batch(&queries), idx.execute_batch(&queries));
+        assert_eq!(re.stats(), idx.stats());
+    }
+
+    #[test]
+    fn corrupted_shard_snapshots_are_rejected() {
+        let (mut idx, _) = warmed_deployment();
+        let (manifest, shard_bufs) = idx.write_snapshot_parts().expect("write parts");
+        let packed = idx.write_snapshot().expect("write packed");
+
+        let mut bad = manifest.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            ShardedQuasii::<3>::from_snapshot_parts(&bad, shard_bufs.clone()),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let mut bad = manifest.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            ShardedQuasii::<3>::from_snapshot_parts(&bad, shard_bufs.clone()),
+            Err(SnapshotError::WrongVersion { found: 99, .. })
+        ));
+
+        assert!(matches!(
+            ShardedQuasii::<2>::from_snapshot(packed.clone()),
+            Err(SnapshotError::WrongDims {
+                found: 3,
+                expected: 2
+            })
+        ));
+
+        // Shard buffers swapped out of manifest order: checksums catch it.
+        let mut swapped = shard_bufs.clone();
+        swapped.swap(0, 1);
+        assert!(matches!(
+            ShardedQuasii::<3>::from_snapshot_parts(&manifest, swapped),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // A bit flip inside one shard buffer: its engine checksum catches it.
+        let mut flipped = shard_bufs.clone();
+        let at = flipped[1].len() / 2;
+        flipped[1][at] ^= 0x01;
+        assert!(matches!(
+            ShardedQuasii::<3>::from_snapshot_parts(&manifest, flipped),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        // Missing buffer.
+        let mut short = shard_bufs.clone();
+        short.pop();
+        assert!(ShardedQuasii::<3>::from_snapshot_parts(&manifest, short).is_err());
+
+        // Truncations of the packed form never panic.
+        for cut in [0, 16, 31, 32, manifest.len(), packed.len() - 1] {
+            assert!(ShardedQuasii::<3>::from_snapshot(packed[..cut].to_vec()).is_err());
+        }
+
+        // A manifest-body bit flip fails the manifest checksum.
+        let mut bad = manifest.clone();
+        bad[40] ^= 0x10;
+        assert!(matches!(
+            ShardedQuasii::<3>::from_snapshot_parts(&bad, shard_bufs),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 
     #[test]
