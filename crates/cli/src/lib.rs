@@ -11,12 +11,23 @@
 //!   `--warm-start FILE` the QUASII index is revived from a snapshot
 //!   instead of cracked from scratch;
 //! * `snapshot` — warm a QUASII index (plain or sharded) on a workload and
-//!   persist it as a single snapshot file for later `--warm-start` runs.
+//!   persist it for later `--warm-start` runs, either as a single packed
+//!   file or (`--layout parts`) as a manifest plus per-shard part files;
+//!   every write goes through the crash-safe atomic-replace protocol, and
+//!   `--fault SPEC` injects deterministic crashes/transients into it;
+//! * `verify` — check the integrity of a snapshot, shard manifest (+ its
+//!   part files), or dataset file — header, version, checksums, structure —
+//!   without constructing any engine; exits nonzero on corruption;
+//! * `recover` — degraded-mode recovery of a sharded snapshot: quarantine
+//!   corrupt shards, rebuild them from the source dataset, and durably
+//!   re-commit the repaired deployment.
 
 #![warn(missing_docs)]
 
 use quasii::{Quasii, QuasiiConfig};
 use quasii_common::dataset;
+use quasii_common::fault::{parse_fault_spec, FaultStore};
+use quasii_common::fsx::{self, FsStore, SnapshotStore};
 use quasii_common::geom::{max_extents, mbb_of, Record};
 use quasii_common::index::SpatialIndex;
 use quasii_common::measure::{run_queries, run_query_batches, timed};
@@ -26,7 +37,10 @@ use quasii_grid::{Assignment, UniformGrid};
 use quasii_mosaic::Mosaic;
 use quasii_rtree::RTree;
 use quasii_sfc::{SfCracker, SfcIndex};
-use quasii_shard::{ShardConfig, ShardedQuasii, MANIFEST_MAGIC};
+use quasii_shard::{
+    manifest_summary, part_path, Recovery, ShardConfig, ShardedQuasii, MANIFEST_MAGIC,
+};
+use std::path::Path;
 
 /// Parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -100,6 +114,27 @@ pub enum Command {
         /// "true" finalizes (fully cracks) the index instead of warming it
         /// with queries.
         finalize: String,
+        /// "packed" (one file) or "parts" (manifest + per-shard part
+        /// files; requires `--shards`).
+        layout: String,
+        /// Deterministic fault-injection spec for the snapshot write
+        /// (`crash@OP[:SEED]` or `transient@COUNT`; empty = no faults).
+        fault: String,
+    },
+    /// Verify the integrity of a snapshot, shard manifest (+ parts), or
+    /// dataset file without constructing any engine.
+    Verify {
+        /// File to verify.
+        path: String,
+    },
+    /// Quarantine corrupt shards of a sharded snapshot, rebuild them from
+    /// the source dataset, and durably re-commit the repaired deployment.
+    Recover {
+        /// Sharded snapshot (manifest or packed file) to repair.
+        snapshot: String,
+        /// Source dataset to rebuild quarantined shards from (may be empty
+        /// to only report health).
+        data: String,
     },
     /// Show usage.
     Help,
@@ -177,6 +212,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             shards: num("shards", &get("shards", Some("0"))?)?,
             assign_by: get("assign-by", Some("lower"))?,
             finalize: get("finalize", Some("false"))?,
+            layout: get("layout", Some("packed"))?,
+            fault: get("fault", Some(""))?,
+        }),
+        "verify" => Ok(Command::Verify {
+            path: get("path", None)?,
+        }),
+        "recover" => Ok(Command::Recover {
+            snapshot: get("snapshot", None)?,
+            data: get("data", Some(""))?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
@@ -200,6 +244,9 @@ USAGE:
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--threads N] [--shards K]
                   [--assign-by lower|center|upper] [--finalize true|false]
+                  [--layout packed|parts] [--fault SPEC]
+  quasii verify   --path FILE
+  quasii recover  --snapshot SNAP [--data FILE]
 
 Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
 --batch N executes the workload in batches of N queries through the index's
@@ -222,7 +269,24 @@ and slice tree — as one checksummed snapshot file. `bench --warm-start
 SNAP` revives that index (sharded snapshots carry their own layout, so
 --shards/--threads/--assign-by/--seal are read from the file) and answers
 queries byte-identically to the index that wrote it, skipping the cold
-cracking phase entirely.";
+cracking phase entirely.
+Snapshots are written crash-safely (temp file, fsync, atomic rename,
+directory fsync); --layout parts additionally commits a sharded snapshot
+as one part file per shard plus a small manifest whose rename is the
+single commit point — a crash at any instant leaves the old snapshot or
+the new one, never a torn mix. --fault crash@OP[:SEED] kills the write at
+its OP-th store operation (tearing the in-flight file to a seeded
+prefix); --fault transient@COUNT makes the first COUNT operations fail
+with a retryable error (absorbed by bounded retry).
+`verify` checks magic, version, checksums and structural accounting of an
+engine snapshot (per-region report), a shard manifest (per-shard report,
+reading part files when the manifest is the parts layout), or a .qsd
+dataset — without constructing an engine; it exits nonzero on corruption.
+`recover` validates each shard of a sharded snapshot independently,
+quarantines the corrupt ones, re-cracks them from --data (routing records
+through the manifest's fences), re-validates every invariant, and
+re-commits the repaired deployment as a new snapshot generation; without
+--data it only reports per-shard health.";
 
 /// Builds the benchmark workload for a universe (shared by `bench` and
 /// `snapshot` so a warm-started run replays exactly the pattern the
@@ -408,7 +472,12 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     bytes.len()
                 );
                 if bytes.len() >= 8 && bytes[..8] == MANIFEST_MAGIC {
-                    let (b, idx) = timed(|| ShardedQuasii::<3>::from_snapshot(bytes));
+                    // Handles both the packed single-file layout and a
+                    // manifest + part files commit; per-shard loads run on
+                    // parallel workers either way.
+                    let (b, idx) = timed(|| {
+                        ShardedQuasii::<3>::from_snapshot_files(&FsStore, Path::new(&warm_start))
+                    });
                     let idx = idx.map_err(|e| format!("cannot load '{warm_start}': {e}"))?;
                     let mut universe = quasii_common::geom::Aabb::empty();
                     for e in idx.engines() {
@@ -508,6 +577,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             shards,
             assign_by,
             finalize,
+            layout,
+            fault,
         } => {
             let assign_by = quasii::AssignBy::parse(&assign_by)
                 .ok_or_else(|| format!("unknown --assign-by '{assign_by}' (lower|center|upper)"))?;
@@ -516,13 +587,38 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 "false" => false,
                 other => return Err(format!("unknown --finalize '{other}' (true|false)")),
             };
+            let parts = match layout.as_str() {
+                "packed" => false,
+                "parts" => true,
+                other => return Err(format!("unknown --layout '{other}' (packed|parts)")),
+            };
+            if parts && shards == 0 {
+                return Err(
+                    "--layout parts requires --shards K (the manifest + part-file \
+                            commit is the sharded transport)"
+                        .to_string(),
+                );
+            }
+            // All writes go through the crash-safe atomic-replace protocol;
+            // --fault wraps the store in a deterministic fault injector so
+            // the protocol can be exercised from the command line.
+            let plain = FsStore;
+            let injected;
+            let store: &dyn SnapshotStore = if fault.is_empty() {
+                &plain
+            } else {
+                let plan = parse_fault_spec(&fault).map_err(|e| format!("--fault: {e}"))?;
+                injected = FaultStore::new(FsStore, plan);
+                &injected
+            };
             let records = load(&data)?;
             let universe = mbb_of(&records);
             let w = build_workload(&universe, &pattern, queries, volume, seed)?;
             let inner = QuasiiConfig::default()
                 .with_threads(threads)
                 .with_assign_by(assign_by);
-            let (bytes, frac, desc) = if shards > 0 {
+            let out_path = Path::new(&out);
+            if shards > 0 {
                 let cfg = ShardConfig::default()
                     .with_shards(shards)
                     .with_shard_threads(threads)
@@ -534,9 +630,27 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     idx.execute_batch(&w.queries);
                 }
                 idx.seal();
-                let b = idx.write_snapshot().map_err(|e| format!("snapshot: {e}"))?;
                 let frac = idx.sealed_fraction();
-                (b, frac, format!("{} shards", idx.shard_count()))
+                if parts {
+                    let gen = idx
+                        .write_snapshot_files(store, out_path)
+                        .map_err(|e| format!("snapshot: {e}"))?;
+                    println!(
+                        "committed generation {gen} ({} shards, {} part files + manifest, \
+                         sealed fraction {frac:.3}) to {out}",
+                        idx.shard_count(),
+                        idx.shard_count()
+                    );
+                } else {
+                    let bytes = idx.write_snapshot().map_err(|e| format!("snapshot: {e}"))?;
+                    fsx::write_atomic(store, out_path, &bytes)
+                        .map_err(|e| format!("cannot write '{out}': {e}"))?;
+                    println!(
+                        "wrote {} snapshot bytes ({} shards, sealed fraction {frac:.3}) to {out}",
+                        bytes.len(),
+                        idx.shard_count()
+                    );
+                }
             } else {
                 let mut idx = Quasii::new(records, inner);
                 if finalize {
@@ -547,18 +661,166 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     }
                 }
                 idx.seal();
-                let b = idx.write_snapshot().map_err(|e| format!("snapshot: {e}"))?;
                 let frac = idx.sealed_fraction();
-                (b, frac, "1 engine".to_string())
-            };
-            std::fs::write(&out, &bytes).map_err(|e| format!("cannot write '{out}': {e}"))?;
-            println!(
-                "wrote {} snapshot bytes ({desc}, sealed fraction {frac:.3}) to {out}",
-                bytes.len()
-            );
+                let bytes = idx.write_snapshot().map_err(|e| format!("snapshot: {e}"))?;
+                fsx::write_atomic(store, out_path, &bytes)
+                    .map_err(|e| format!("cannot write '{out}': {e}"))?;
+                println!(
+                    "wrote {} snapshot bytes (1 engine, sealed fraction {frac:.3}) to {out}",
+                    bytes.len()
+                );
+            }
             Ok(())
         }
+        Command::Verify { path } => verify_file(&path),
+        Command::Recover { snapshot, data } => recover_snapshot(&snapshot, &data),
     }
+}
+
+/// `quasii verify` — integrity check of a snapshot/manifest/dataset file
+/// by magic sniffing, without constructing any engine. Returns `Err` (exit
+/// code 2) on any corruption so scripts can gate on it.
+fn verify_file(path: &str) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+    if bytes.len() >= 8 && bytes[..8] == MANIFEST_MAGIC {
+        let s = manifest_summary(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "shard manifest: generation {}, {}-d, {} shards, {} records, {} manifest bytes",
+            s.generation,
+            s.dims,
+            s.shards.len(),
+            s.records,
+            s.total
+        );
+        let packed = bytes.len() > s.total;
+        let mut failures = 0usize;
+        let mut off = s.total;
+        for (k, &(records, len, sum)) in s.shards.iter().enumerate() {
+            let verdict: Result<(), String> = if packed {
+                match off.checked_add(len).filter(|&e| e <= bytes.len()) {
+                    Some(end) => {
+                        let actual = quasii::snapshot::fnv1a(&bytes[off..end]);
+                        off = end;
+                        if actual == sum {
+                            Ok(())
+                        } else {
+                            Err("checksum mismatch".to_string())
+                        }
+                    }
+                    None => Err("buffer overruns the packed file".to_string()),
+                }
+            } else {
+                match std::fs::read(part_path(Path::new(path), s.generation, k)) {
+                    Ok(part) if part.len() != len => {
+                        Err(format!("part is {} bytes, manifest says {len}", part.len()))
+                    }
+                    Ok(part) if quasii::snapshot::fnv1a(&part) != sum => {
+                        Err("part checksum mismatch".to_string())
+                    }
+                    Ok(_) => Ok(()),
+                    Err(e) => Err(format!("part unreadable: {e}")),
+                }
+            };
+            match verdict {
+                Ok(()) => println!("  shard {k}: ok ({records} records, {len} bytes)"),
+                Err(why) => {
+                    failures += 1;
+                    println!("  shard {k}: CORRUPT — {why}");
+                }
+            }
+        }
+        if packed && off != bytes.len() {
+            return Err(format!(
+                "packed file holds {} bytes, sections account for {off}",
+                bytes.len()
+            ));
+        }
+        if failures > 0 {
+            return Err(format!(
+                "{failures} of {} shard buffers failed verification (recover can quarantine \
+                 and rebuild them from the source dataset)",
+                s.shards.len()
+            ));
+        }
+        Ok(())
+    } else if bytes.len() >= 8 && bytes[..8] == quasii::snapshot::MAGIC {
+        let s = quasii::snapshot::verify(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "engine snapshot: {}-d, {} records, {} slices ({} root), checksum {:#018x} ok",
+            s.dims, s.records, s.slices, s.root_slices, s.checksum
+        );
+        for (i, &(begin, end, blob)) in s.regions.iter().enumerate() {
+            println!("  sealed region {i}: records {begin}..{end}, {blob} arena bytes");
+        }
+        Ok(())
+    } else if bytes.len() >= 4 && bytes[..4] == qio::QSD_MAGIC[..] {
+        let records = qio::decode_qsd::<3>(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "qsd dataset: {} records, {} bytes",
+            records.len(),
+            bytes.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "'{path}' is not a recognized QUASII file (expected a {:?}, {:?} or {:?} header)",
+            String::from_utf8_lossy(&quasii::snapshot::MAGIC),
+            String::from_utf8_lossy(&MANIFEST_MAGIC),
+            String::from_utf8_lossy(qio::QSD_MAGIC),
+        ))
+    }
+}
+
+/// `quasii recover` — per-shard health report, rebuild of quarantined
+/// shards from the source dataset, and durable re-commit.
+fn recover_snapshot(snapshot: &str, data: &str) -> Result<(), String> {
+    let store = FsStore;
+    let path = Path::new(snapshot);
+    let mut rec =
+        Recovery::<3>::load(&store, path).map_err(|e| format!("cannot load '{snapshot}': {e}"))?;
+    let report = rec.report().clone();
+    println!(
+        "generation {}: {} shards, coverage {:.3}",
+        report.generation,
+        report.shards.len(),
+        report.coverage_fraction()
+    );
+    for h in &report.shards {
+        match &h.status {
+            quasii_shard::ShardStatus::Healthy => {
+                println!("  shard {}: healthy ({} records)", h.shard, h.records)
+            }
+            quasii_shard::ShardStatus::Rebuilt => {
+                println!("  shard {}: rebuilt ({} records)", h.shard, h.records)
+            }
+            quasii_shard::ShardStatus::Quarantined(why) => {
+                println!("  shard {}: QUARANTINED — {why}", h.shard)
+            }
+        }
+    }
+    if report.is_complete() {
+        println!("all shards healthy; nothing to repair");
+        return Ok(());
+    }
+    if data.is_empty() {
+        return Err(format!(
+            "{} shards are quarantined; pass --data FILE (the snapshot's source dataset) \
+             to rebuild them",
+            report.quarantined().len()
+        ));
+    }
+    let records = load(data)?;
+    let rebuilt = rec
+        .rebuild(&records)
+        .map_err(|e| format!("rebuild from '{data}': {e}"))?;
+    let mut full = rec
+        .into_full()
+        .map_err(|e| format!("post-recovery validation: {e}"))?;
+    let gen = full
+        .write_snapshot_files(&store, path)
+        .map_err(|e| format!("re-commit: {e}"))?;
+    println!("rebuilt {rebuilt} shards from {data}; committed generation {gen} to {snapshot}");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -772,6 +1034,8 @@ mod tests {
             shards,
             assign_by: "lower".into(),
             finalize: finalize.into(),
+            layout: "packed".into(),
+            fault: String::new(),
         };
         let warm_bench = |snap: &std::path::Path, batch: usize| Command::Bench {
             data: String::new(),
@@ -801,6 +1065,88 @@ mod tests {
         std::fs::remove_file(&data).ok();
         std::fs::remove_file(&single).ok();
         std::fs::remove_file(&sharded).ok();
+    }
+
+    #[test]
+    fn verify_fault_injection_and_recover_flow() {
+        let dir = std::env::temp_dir().join(format!("quasii-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("d.qsd").to_string_lossy().to_string();
+        let snap = dir.join("deploy.qshard").to_string_lossy().to_string();
+        execute(Command::Generate {
+            family: "uniform".into(),
+            n: 2_000,
+            seed: 21,
+            out: data.clone(),
+        })
+        .unwrap();
+        execute(Command::Verify { path: data.clone() }).unwrap();
+        let snapshot = |fault: &str| Command::Snapshot {
+            data: data.clone(),
+            out: snap.clone(),
+            queries: 30,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 22,
+            threads: 0,
+            shards: 3,
+            assign_by: "lower".into(),
+            finalize: "false".into(),
+            layout: "parts".into(),
+            fault: fault.into(),
+        };
+        execute(snapshot("")).unwrap();
+        execute(Command::Verify { path: snap.clone() }).unwrap();
+
+        // A crash injected mid-commit fails the write but leaves the
+        // committed generation fully intact (manifest still names it).
+        assert!(execute(snapshot("crash@2:7")).is_err());
+        execute(Command::Verify { path: snap.clone() }).unwrap();
+        execute(Command::Bench {
+            data: String::new(),
+            index: "quasii".into(),
+            queries: 30,
+            volume: 1e-4,
+            pattern: "clustered".into(),
+            seed: 22,
+            batch: 8,
+            threads: 0,
+            shards: 0,
+            assign_by: "lower".into(),
+            seal: "true".into(),
+            warm_start: snap.clone(),
+        })
+        .unwrap();
+        // Transient faults are absorbed by the bounded retry.
+        execute(snapshot("transient@2")).unwrap();
+        execute(Command::Verify { path: snap.clone() }).unwrap();
+
+        // Tear one part file: verify flags it, recover reports it, and
+        // rebuilding from the source dataset re-commits a clean generation.
+        let part = part_path(Path::new(&snap), 2, 1);
+        let bytes = std::fs::read(&part).expect("part of committed generation");
+        std::fs::write(&part, &bytes[..bytes.len() / 2]).unwrap();
+        let err = execute(Command::Verify { path: snap.clone() }).unwrap_err();
+        assert!(err.contains("failed verification"), "{err}");
+        let err = execute(Command::Recover {
+            snapshot: snap.clone(),
+            data: String::new(),
+        })
+        .unwrap_err();
+        assert!(err.contains("--data"), "{err}");
+        execute(Command::Recover {
+            snapshot: snap.clone(),
+            data: data.clone(),
+        })
+        .unwrap();
+        execute(Command::Verify { path: snap.clone() }).unwrap();
+        // A healthy deployment reports complete and changes nothing.
+        execute(Command::Recover {
+            snapshot: snap.clone(),
+            data: String::new(),
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

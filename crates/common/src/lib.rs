@@ -13,11 +13,17 @@
 //! * [`measure`] — per-query/cumulative timing series, break-even detection,
 //!   table & CSV rendering for the experiment harness;
 //! * [`snapshot`] — the shared error surface of index persistence
-//!   (single-buffer snapshots, see `quasii::snapshot`).
+//!   (single-buffer snapshots, see `quasii::snapshot`);
+//! * [`fsx`] — crash-safe atomic file replacement behind the
+//!   [`fsx::SnapshotStore`] trait, with bounded retry for transient errors;
+//! * [`fault`] — deterministic fault injection ([`fault::MemStore`] crash
+//!   model + seeded [`fault::FaultStore`]) for the recovery test suite.
 
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod fault;
+pub mod fsx;
 pub mod geom;
 pub mod index;
 pub mod io;

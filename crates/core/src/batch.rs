@@ -57,10 +57,30 @@ use crate::engine;
 use crate::fence::KeyFences;
 use crate::slice::Slice;
 use crate::stats::QuasiiStats;
-use crate::Quasii;
+use crate::{EnginePoisoned, Quasii};
 use quasii_common::geom::{Aabb, Record};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Renders a caught panic payload for the poison marker.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The one-shot test trap: panics when the worker reaches the trapped
+/// query index (see `Quasii::inject_panic_at`).
+fn trap_check(trap: Option<usize>, j: usize) {
+    if trap == Some(j) {
+        panic!("injected worker panic at query {j} (test fault)");
+    }
+}
 
 /// Work-queue chunking: partitions per worker thread, so stragglers (a
 /// partition that happens to hold the hot slices) rebalance onto idle
@@ -133,10 +153,12 @@ impl<const D: usize> Quasii<D> {
     /// # Panics
     ///
     /// A panic on a worker thread (a bug — the engine itself never panics
-    /// on valid inputs) propagates out of this call while the top-level
-    /// hierarchy is detached; the index is then poisoned, and any further
-    /// query panics with an explicit message rather than silently
-    /// returning empty results.
+    /// on valid inputs) is caught under `catch_unwind`, the hierarchy is
+    /// reassembled, the engine is **poisoned**, and this infallible entry
+    /// point re-panics with the structured [`EnginePoisoned`] message.
+    /// Callers that want to handle the fault (and
+    /// [`repair`](Self::repair) the engine) should use
+    /// [`try_execute_batch`](Self::try_execute_batch) instead.
     ///
     /// ```
     /// use quasii::{Quasii, QuasiiConfig};
@@ -158,12 +180,31 @@ impl<const D: usize> Quasii<D> {
     /// assert!(!results[0].is_empty() && !results[1].is_empty());
     /// ```
     pub fn execute_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        match self.try_execute_batch(queries) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`execute_batch`](Self::execute_batch): identical
+    /// semantics, but a worker panic (caught under `catch_unwind`) or an
+    /// already-poisoned engine returns the structured [`EnginePoisoned`]
+    /// error instead of panicking. On `Err` the engine stays poisoned —
+    /// and keeps refusing queries — until [`repair`](Self::repair).
+    pub fn try_execute_batch(
+        &mut self,
+        queries: &[Aabb<D>],
+    ) -> Result<Vec<Vec<u64>>, EnginePoisoned> {
+        if let Some(e) = self.poison_error() {
+            return Err(e);
+        }
+        let trap = self.panic_trap.take();
         self.ensure_init();
         self.try_seal();
         let mut results: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
         results.resize_with(queries.len(), Vec::new);
         if queries.is_empty() {
-            return results;
+            return Ok(results);
         }
         let threads = self.effective_threads();
         let extended: Vec<Aabb<D>> = queries.iter().map(|q| self.extend_query(q)).collect();
@@ -175,14 +216,23 @@ impl<const D: usize> Quasii<D> {
         if !self.cfg.seal {
             let mut next = 0;
             while next < queries.len() && (threads <= 1 || self.root.len() < 2) {
-                let (q, qe) = (&queries[next], &extended[next]);
-                self.query_unsealed(q, qe, &mut results[next]);
+                self.run_one_caught(
+                    next,
+                    trap,
+                    &queries[next],
+                    &extended[next],
+                    &mut results[next],
+                )?;
                 next += 1;
             }
             if next < queries.len() {
-                self.run_partitioned(&queries[next..], &mut results[next..], threads);
+                let local_trap = trap.filter(|&t| t >= next).map(|t| t - next);
+                self.run_partitioned(&queries[next..], &mut results[next..], threads, local_trap);
             }
-            return results;
+            return match self.poison_error() {
+                Some(e) => Err(e),
+                None => Ok(results),
+            };
         }
 
         // Classify each query by the root slices its §5.2 candidate window
@@ -210,7 +260,17 @@ impl<const D: usize> Quasii<D> {
         // jobs). Reads commute with the crack phase below: sealed regions
         // are immutable and crack queries never read them.
         if !sealed_jobs.is_empty() {
-            self.run_sealed_batch(queries, &extended, &sealed_jobs, &mut results, threads);
+            self.run_sealed_batch(
+                queries,
+                &extended,
+                &sealed_jobs,
+                &mut results,
+                threads,
+                trap,
+            );
+            if let Some(e) = self.poison_error() {
+                return Err(e);
+            }
         }
 
         // Phase 2 — the adaptive `&mut` path for everything else, after
@@ -221,7 +281,7 @@ impl<const D: usize> Quasii<D> {
             self.invalidate_candidates(cand);
         }
         if crack_jobs.is_empty() {
-            return results;
+            return Ok(results);
         }
         // Sequential prefix: the whole remainder with one worker; otherwise
         // only until the top level has cracked open far enough to split (a
@@ -229,8 +289,9 @@ impl<const D: usize> Quasii<D> {
         let mut next = 0;
         while next < crack_jobs.len() && (threads <= 1 || self.root.len() < 2) {
             let j = crack_jobs[next];
-            let (q, qe) = (&queries[j], &extended[j]);
-            self.query_unsealed(q, qe, &mut results[j]);
+            let mut out = std::mem::take(&mut results[j]);
+            self.run_one_caught(j, trap, &queries[j], &extended[j], &mut out)?;
+            results[j] = out;
             next += 1;
         }
         if next < crack_jobs.len() {
@@ -238,12 +299,40 @@ impl<const D: usize> Quasii<D> {
             let sub_queries: Vec<Aabb<D>> = rest.iter().map(|&j| queries[j]).collect();
             let mut sub_results: Vec<Vec<u64>> = Vec::with_capacity(rest.len());
             sub_results.resize_with(rest.len(), Vec::new);
-            self.run_partitioned(&sub_queries, &mut sub_results, threads);
+            let local_trap = trap.and_then(|t| rest.iter().position(|&j| j == t));
+            self.run_partitioned(&sub_queries, &mut sub_results, threads, local_trap);
             for (&j, hits) in rest.iter().zip(sub_results) {
                 results[j] = hits;
             }
         }
-        results
+        match self.poison_error() {
+            Some(e) => Err(e),
+            None => Ok(results),
+        }
+    }
+
+    /// Runs one crack-path query on the calling thread under
+    /// `catch_unwind`; a panic poisons the engine and surfaces as `Err`.
+    fn run_one_caught(
+        &mut self,
+        j: usize,
+        trap: Option<usize>,
+        q: &Aabb<D>,
+        qe: &Aabb<D>,
+        out: &mut Vec<u64>,
+    ) -> Result<(), EnginePoisoned> {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            trap_check(trap, j);
+            self.query_unsealed(q, qe, out);
+        }));
+        if let Err(payload) = r {
+            self.poison(format!(
+                "panic during crack query {j}: {}",
+                panic_message(payload)
+            ));
+            return Err(self.poison_error().expect("poison just set"));
+        }
+        Ok(())
     }
 
     /// Phase-1 executor: answers `jobs` (indices into the batch) entirely
@@ -257,22 +346,36 @@ impl<const D: usize> Quasii<D> {
         jobs: &[(usize, std::ops::Range<usize>)],
         results: &mut [Vec<u64>],
         threads: usize,
+        trap: Option<usize>,
     ) {
         let mut tested_total = 0u64;
+        let mut worker_panic: Option<String> = None;
         if threads <= 1 || jobs.len() < 2 {
             for (j, cand) in jobs {
-                tested_total += self.run_sealed_query(
-                    &queries[*j],
-                    &extended[*j],
-                    cand.clone(),
-                    &mut results[*j],
-                );
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    trap_check(trap, *j);
+                    let mut out = Vec::new();
+                    let tested =
+                        self.run_sealed_query(&queries[*j], &extended[*j], cand.clone(), &mut out);
+                    (out, tested)
+                }));
+                match r {
+                    Ok((out, tested)) => {
+                        results[*j] = out;
+                        tested_total += tested;
+                    }
+                    Err(payload) => {
+                        worker_panic = Some(panic_message(payload));
+                        break;
+                    }
+                }
             }
         } else {
             let workers = threads.min(jobs.len());
             let cursor = AtomicUsize::new(0);
             let collected: Mutex<Vec<(usize, Vec<u64>, u64)>> =
                 Mutex::new(Vec::with_capacity(jobs.len()));
+            let panicked: Mutex<Option<String>> = Mutex::new(None);
             let this: &Quasii<D> = self;
             std::thread::scope(|scope| {
                 for _ in 0..workers {
@@ -281,14 +384,28 @@ impl<const D: usize> Quasii<D> {
                         loop {
                             let t = cursor.fetch_add(1, Ordering::Relaxed);
                             let Some((j, cand)) = jobs.get(t) else { break };
-                            let mut out = Vec::new();
-                            let tested = this.run_sealed_query(
-                                &queries[*j],
-                                &extended[*j],
-                                cand.clone(),
-                                &mut out,
-                            );
-                            local.push((*j, out, tested));
+                            // Isolate each job: a panic is recorded, never
+                            // unwound across the scope (which would abort
+                            // the batch with the results half-collected).
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                trap_check(trap, *j);
+                                let mut out = Vec::new();
+                                let tested = this.run_sealed_query(
+                                    &queries[*j],
+                                    &extended[*j],
+                                    cand.clone(),
+                                    &mut out,
+                                );
+                                (out, tested)
+                            }));
+                            match r {
+                                Ok((out, tested)) => local.push((*j, out, tested)),
+                                Err(payload) => {
+                                    *panicked.lock().expect("panic slot poisoned") =
+                                        Some(panic_message(payload));
+                                    break;
+                                }
+                            }
                         }
                         // One lock per worker, at drain time — the hot loop
                         // itself is contention-free.
@@ -296,6 +413,7 @@ impl<const D: usize> Quasii<D> {
                     });
                 }
             });
+            worker_panic = panicked.into_inner().expect("panic slot poisoned");
             for (j, out, tested) in collected.into_inner().expect("collector poisoned") {
                 results[j] = out;
                 tested_total += tested;
@@ -304,11 +422,25 @@ impl<const D: usize> Quasii<D> {
         self.rt.stats.queries += jobs.len() as u64;
         self.rt.stats.objects_tested += tested_total;
         self.seal_stats.sealed_queries += jobs.len() as u64;
+        if let Some(msg) = worker_panic {
+            // The sealed phase mutates nothing, so the structure is intact
+            // — but the batch's results are incomplete, so the engine still
+            // refuses to pretend it answered (repair() will revalidate).
+            self.poison(format!("worker panic during sealed batch phase: {msg}"));
+        }
     }
 
     /// Parallel remainder of a batch: requires `root.len() >= 2` and
-    /// `threads >= 2`.
-    fn run_partitioned(&mut self, queries: &[Aabb<D>], results: &mut [Vec<u64>], threads: usize) {
+    /// `threads >= 2`. A worker panic is caught, the partition (slices
+    /// reattached) is returned to the pool so the hierarchy reassembles
+    /// completely, and the engine is poisoned.
+    fn run_partitioned(
+        &mut self,
+        queries: &[Aabb<D>],
+        results: &mut [Vec<u64>],
+        threads: usize,
+        trap: Option<usize>,
+    ) {
         let extended: Vec<Aabb<D>> = queries.iter().map(|q| self.extend_query(q)).collect();
 
         // Group the top-level slices into contiguous runs of roughly equal
@@ -388,30 +520,47 @@ impl<const D: usize> Quasii<D> {
         let env = &self.env;
         let queue: Mutex<Vec<Partition<'_, D>>> = Mutex::new(parts);
         let done: Mutex<Vec<Partition<'_, D>>> = Mutex::new(Vec::with_capacity(m));
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
         let workers = threads.min(m);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    if panicked.lock().expect("panic slot poisoned").is_some() {
+                        break; // a sibling already failed the batch
+                    }
                     let popped = queue.lock().expect("queue poisoned").pop();
                     let Some(mut p) = popped else { break };
-                    let mut rt = engine::Runtime::<D>::new();
-                    for &j in &p.queries {
-                        let mut out = Vec::new();
-                        engine::query_level(
-                            p.data,
-                            p.keys,
-                            p.his,
-                            &mut p.slices,
-                            &queries[j],
-                            &extended[j],
-                            env,
-                            &mut rt,
-                            &mut out,
-                        );
-                        p.hits.push(out);
-                    }
-                    p.stats = rt.stats;
+                    // catch_unwind around the whole partition run: a panic
+                    // mid-crack may leave this partition's subtree
+                    // inconsistent, but the partition object (and its
+                    // slices) survives, so the hierarchy reassembles
+                    // completely and repair() can inspect it.
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        let mut rt = engine::Runtime::<D>::new();
+                        for &j in &p.queries {
+                            trap_check(trap, j);
+                            let mut out = Vec::new();
+                            engine::query_level(
+                                p.data,
+                                p.keys,
+                                p.his,
+                                &mut p.slices,
+                                &queries[j],
+                                &extended[j],
+                                env,
+                                &mut rt,
+                                &mut out,
+                            );
+                            p.hits.push(out);
+                        }
+                        p.stats = rt.stats;
+                    }));
                     done.lock().expect("done poisoned").push(p);
+                    if let Err(payload) = r {
+                        *panicked.lock().expect("panic slot poisoned") =
+                            Some(panic_message(payload));
+                        break;
+                    }
                 });
             }
         });
@@ -419,8 +568,11 @@ impl<const D: usize> Quasii<D> {
         // Reassemble: partitions back in data order, slices rebased to
         // absolute indices, hits concatenated per query in partition order
         // (= ascending data order, the sequential append order), counters
-        // summed.
+        // summed. After a worker panic the queue may still hold unstarted
+        // partitions — they reattach too, so the top level is always a
+        // complete partition of the data array.
         let mut finished = done.into_inner().expect("done poisoned");
+        finished.extend(queue.into_inner().expect("queue poisoned"));
         finished.sort_unstable_by_key(|p| p.index);
         debug_assert_eq!(finished.len(), m);
         self.rt.stats.queries += queries.len() as u64;
@@ -433,6 +585,11 @@ impl<const D: usize> Quasii<D> {
             for (&j, hits) in p.queries.iter().zip(p.hits.drain(..)) {
                 results[j].extend(hits);
             }
+        }
+        if let Some(msg) = panicked.into_inner().expect("panic slot poisoned") {
+            self.poison(format!(
+                "worker panic during partitioned crack phase: {msg}"
+            ));
         }
     }
 }
@@ -588,6 +745,39 @@ mod tests {
         assert_eq!(got.len(), 3);
         for (q, hits) in queries.iter().zip(&got) {
             assert_matches_brute_force(&data, q, hits);
+        }
+    }
+
+    #[test]
+    fn worker_panic_poisons_then_repair_restores_correct_answers() {
+        let data = uniform_boxes_in::<3>(2_000, 500.0, 81);
+        let u = Aabb::new([0.0; 3], [500.0; 3]);
+        let queries = workload::uniform(&u, 20, 1e-3, 82).queries;
+        let mut idx = Quasii::new(data.clone(), QuasiiConfig::with_tau(12).with_threads(4));
+        idx.execute_batch(&queries[..8]); // warm up: top level cracked open
+
+        idx.inject_panic_at(3);
+        let err = idx
+            .try_execute_batch(&queries[8..])
+            .expect_err("injected panic must fail the batch");
+        assert!(err.detail.contains("injected worker panic"), "{err}");
+        assert!(idx.is_poisoned());
+        // Still poisoned: no silent wrong answers from any entry point.
+        assert!(idx.try_execute_batch(&queries[..2]).is_err());
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.query_collect(&queries[0])
+        }));
+        assert!(panic.is_err(), "query on a poisoned engine must panic");
+
+        let outcome = idx.repair();
+        assert_ne!(outcome, crate::RepairOutcome::Clean);
+        assert!(!idx.is_poisoned());
+        idx.validate()
+            .expect("repaired engine is structurally sound");
+        for q in &queries {
+            let mut got = idx.query_collect(q);
+            got.sort_unstable();
+            assert_matches_brute_force(&data, q, &got);
         }
     }
 

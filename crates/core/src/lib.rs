@@ -43,11 +43,12 @@ mod slice;
 mod stats;
 mod validate;
 
-/// Single-buffer snapshot surface: format constants plus the shared error
-/// type (see `persist` for the layout and versioning policy, and
+/// Single-buffer snapshot surface: format constants, the shared error
+/// type, and header/structure verification without engine construction
+/// (see `persist` for the layout and versioning policy, and
 /// [`Quasii::write_snapshot`] / [`Quasii::from_snapshot`] for the API).
 pub mod snapshot {
-    pub use crate::persist::{fnv1a, FORMAT_VERSION, MAGIC};
+    pub use crate::persist::{fnv1a, verify, SnapshotSummary, FORMAT_VERSION, MAGIC};
     pub use quasii_common::snapshot::SnapshotError;
 }
 
@@ -61,7 +62,48 @@ use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
 use seal::SealedRegion;
 use slice::Slice;
+use std::fmt;
 use std::ops::Range;
+
+/// A worker thread panicked mid-batch and the engine refused to keep
+/// serving: the slice hierarchy (or a partition of it) may be in an
+/// undefined intermediate state, so every answer after the panic would be
+/// untrustworthy. The engine never degrades into silently wrong results —
+/// it returns this from [`Quasii::try_execute_batch`] (and panics with the
+/// same message from the infallible entry points) until
+/// [`Quasii::repair`] re-validates or rebuilds it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnginePoisoned {
+    /// Where the panic happened and what its payload said.
+    pub detail: String,
+}
+
+impl fmt::Display for EnginePoisoned {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "engine poisoned: {} (call repair() to re-validate or rebuild)",
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for EnginePoisoned {}
+
+/// What [`Quasii::repair`] had to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// The engine was not poisoned; nothing to do.
+    Clean,
+    /// Every structural invariant still held (the panic struck before any
+    /// reorganization went inconsistent): the poison marker was cleared
+    /// and all adaptive state survives.
+    Revalidated,
+    /// Invariants were violated: the engine was rebuilt from its record
+    /// multiset (cracking re-grows the index from raw data — the paper's
+    /// recovery posture), discarding crack progress and counters.
+    Rebuilt,
+}
 
 /// The QUASII index. Generic over the dimensionality `D` (the paper
 /// evaluates `D = 3`; its worked example is `D = 2`).
@@ -114,6 +156,14 @@ pub struct Quasii<const D: usize> {
     /// next sweep revives it by range match instead of rebuilding, making
     /// an invalidate → re-seal cycle O(1) instead of O(region).
     parked: Vec<SealedRegion<D>>,
+    /// Set when a batch worker panicked: the hierarchy may be mid-crack
+    /// inconsistent, so the engine refuses to answer (structured
+    /// [`EnginePoisoned`], never a silent wrong result) until
+    /// [`repair`](Self::repair) clears it.
+    poisoned: Option<String>,
+    /// One-shot fault-injection seam for the recovery test suite: the next
+    /// batch panics while executing this query index.
+    panic_trap: Option<usize>,
 }
 
 impl<const D: usize> Quasii<D> {
@@ -145,6 +195,8 @@ impl<const D: usize> Quasii<D> {
             seal_dirty: Vec::new(),
             seal_dirty_all: true,
             parked: Vec::new(),
+            poisoned: None,
+            panic_trap: None,
         }
     }
 
@@ -319,6 +371,70 @@ impl<const D: usize> Quasii<D> {
     /// description of the first violation, if any. Used heavily by tests.
     pub fn validate(&self) -> Result<(), String> {
         validate::validate(self)
+    }
+
+    // -----------------------------------------------------------------
+    // Panic isolation & repair (see `batch` for where poison is set).
+    // -----------------------------------------------------------------
+
+    /// Whether a worker panic has poisoned this engine (see
+    /// [`EnginePoisoned`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The structured poison error, if any.
+    pub fn poison_error(&self) -> Option<EnginePoisoned> {
+        self.poisoned
+            .clone()
+            .map(|detail| EnginePoisoned { detail })
+    }
+
+    /// Marks the engine poisoned (internal — called when a batch worker
+    /// panic is caught).
+    pub(crate) fn poison(&mut self, detail: String) {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(detail);
+        }
+    }
+
+    /// Recovers a poisoned engine. If every structural invariant still
+    /// holds (and the hierarchy is attached), the panic struck before any
+    /// reorganization went inconsistent: the poison marker is cleared and
+    /// all adaptive state survives ([`RepairOutcome::Revalidated`]).
+    /// Otherwise the engine is **rebuilt from its record multiset**
+    /// ([`RepairOutcome::Rebuilt`]) — cracks only permute records in
+    /// place, so the data itself survives any mid-crack panic, and a
+    /// cracking engine re-grows its index from raw data by design; crack
+    /// progress and work counters are discarded.
+    pub fn repair(&mut self) -> RepairOutcome {
+        if self.poisoned.is_none() {
+            return RepairOutcome::Clean;
+        }
+        let attached = self.data.is_empty() || !self.root.is_empty();
+        // `validate` walks whatever state the panic left behind; treat a
+        // panic inside it as just another invariant violation.
+        let intact = self.initialized
+            && attached
+            && std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.validate().is_ok()))
+                .unwrap_or(false);
+        if intact {
+            self.poisoned = None;
+            return RepairOutcome::Revalidated;
+        }
+        let data = std::mem::take(&mut self.data);
+        let cfg = self.cfg.clone();
+        *self = Quasii::new(data, cfg);
+        RepairOutcome::Rebuilt
+    }
+
+    /// Fault-injection seam for the recovery test suite: the next
+    /// [`execute_batch`](Self::execute_batch) panics on the worker that
+    /// picks up query `query_index`, exercising the `catch_unwind` →
+    /// poison → [`repair`](Self::repair) path deterministically.
+    #[doc(hidden)]
+    pub fn inject_panic_at(&mut self, query_index: usize) {
+        self.panic_trap = Some(query_index);
     }
 
     // -----------------------------------------------------------------
@@ -657,6 +773,11 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
     }
 
     fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>) {
+        // The trait signature is infallible, so a poisoned engine panics
+        // with the structured message — never a silently wrong answer.
+        if let Some(e) = self.poison_error() {
+            panic!("{e}");
+        }
         self.ensure_init();
         self.try_seal();
         let qe = self.extend_query(query);

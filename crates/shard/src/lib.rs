@@ -79,18 +79,29 @@
 
 #![warn(missing_docs)]
 
+pub mod recovery;
+
+pub use recovery::{Coverage, DegradedQuasii, Recovery, RecoveryReport, ShardHealth, ShardStatus};
+
 use quasii::crack::key_of;
 use quasii::snapshot::{fnv1a, SnapshotError};
-use quasii::{AssignBy, KeyFences, Quasii, QuasiiConfig, QuasiiStats};
+use quasii::{
+    AssignBy, EnginePoisoned, KeyFences, Quasii, QuasiiConfig, QuasiiStats, RepairOutcome,
+};
+use quasii_common::fsx::{self, SnapshotStore};
 use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// First 8 bytes of every shard-deployment manifest.
 pub const MANIFEST_MAGIC: [u8; 8] = *b"QSIISHRD";
 /// The one manifest format version this build writes and accepts (bumped on
 /// **any** layout change, mirroring the engine snapshot's policy).
-pub const MANIFEST_VERSION: u32 = 1;
+/// Version 2 added the snapshot **generation** counter and the inner engine
+/// configuration, so durable multi-file commits can name their part files
+/// and degraded-mode recovery can rebuild shards with zero healthy engines.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// Tuning knobs of [`ShardedQuasii`].
 #[derive(Clone, Debug)]
@@ -202,6 +213,14 @@ pub struct ShardedQuasii<const D: usize> {
     ext_low0: f64,
     ext_high0: f64,
     router: RouterStats,
+    /// Snapshot generation: `0` until first persisted, then the generation
+    /// of the last durable commit (see
+    /// [`write_snapshot_files`](Self::write_snapshot_files)).
+    generation: u64,
+    /// First worker-panic detail, set when a shard engine poisons itself
+    /// mid-batch; the deployment refuses queries until
+    /// [`repair`](Self::repair).
+    poisoned: Option<String>,
 }
 
 /// One unit of shard work inside a batch: the target engine, the batch
@@ -211,6 +230,9 @@ struct Task<'a, const D: usize> {
     engine: &'a mut Quasii<D>,
     queries: Vec<usize>,
     hits: Vec<Vec<u64>>,
+    /// Worker-panic detail: set when the shard's engine poisoned itself (or
+    /// the routing glue itself panicked) while running this task.
+    error: Option<String>,
 }
 
 impl<const D: usize> ShardedQuasii<D> {
@@ -268,6 +290,8 @@ impl<const D: usize> ShardedQuasii<D> {
             ext_low0,
             ext_high0,
             router: RouterStats::default(),
+            generation: 0,
+            poisoned: None,
         }
     }
 
@@ -404,6 +428,55 @@ impl<const D: usize> ShardedQuasii<D> {
         Ok(())
     }
 
+    /// `true` once a worker panic poisoned the deployment — every query
+    /// entry point refuses (structured error or panic) until
+    /// [`repair`](Self::repair).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// The poison marker as a structured error, if set.
+    pub fn poison_error(&self) -> Option<EnginePoisoned> {
+        self.poisoned
+            .clone()
+            .map(|detail| EnginePoisoned { detail })
+    }
+
+    /// Clears a worker-panic poison marker by repairing every poisoned
+    /// shard engine (see [`Quasii::repair`]): each engine either
+    /// re-validates in place (its adaptive state survives) or rebuilds
+    /// itself by re-cracking from its record multiset — the paper's
+    /// recovery posture. Returns the *worst* per-shard outcome.
+    pub fn repair(&mut self) -> RepairOutcome {
+        if self.poisoned.is_none() && self.shards.iter().all(|s| !s.is_poisoned()) {
+            return RepairOutcome::Clean;
+        }
+        let mut worst = RepairOutcome::Revalidated;
+        for s in &mut self.shards {
+            if let RepairOutcome::Rebuilt = s.repair() {
+                worst = RepairOutcome::Rebuilt;
+            }
+        }
+        self.poisoned = None;
+        worst
+    }
+
+    /// Snapshot generation of the last durable commit (`0` before the
+    /// first [`write_snapshot_files`](Self::write_snapshot_files); restored
+    /// from the manifest on load).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Test seam: arms a one-shot panic inside shard `shard`'s engine that
+    /// fires on the `query_index`-th query of its **next sub-batch** (the
+    /// shard-local index, not the batch-global one). See
+    /// `Quasii::inject_panic_at`.
+    #[doc(hidden)]
+    pub fn inject_panic_at(&mut self, shard: usize, query_index: usize) {
+        self.shards[shard].inject_panic_at(query_index);
+    }
+
     /// Serializes the deployment as a **manifest** plus **one buffer per
     /// shard** — the migration seam: each shard buffer is a self-contained
     /// engine snapshot that can be shipped to (and verified on) a different
@@ -414,6 +487,11 @@ impl<const D: usize> ShardedQuasii<D> {
     /// Like the engine's `write_snapshot`, this sweeps pending seal work
     /// first, so a snapshot captures the post-sweep state.
     pub fn write_snapshot_parts(&mut self) -> Result<(Vec<u8>, Vec<Vec<u8>>), SnapshotError> {
+        if self.is_poisoned() {
+            return Err(SnapshotError::Unsupported(
+                "a poisoned sharded deployment (a worker panicked mid-batch; call repair() first)",
+            ));
+        }
         let mut shard_bufs = Vec::with_capacity(self.shards.len());
         for s in &mut self.shards {
             shard_bufs.push(s.write_snapshot()?);
@@ -424,10 +502,16 @@ impl<const D: usize> ShardedQuasii<D> {
         m.extend_from_slice(&(D as u32).to_le_bytes());
         m.extend_from_slice(&[0u8; 16]); // checksum + total, patched below
         for v in [
+            self.generation,
             self.shards.len() as u64,
             self.cfg.shards as u64,
             self.cfg.shard_threads as u64,
             self.cfg.sample_cap as u64,
+            self.cfg.inner.tau as u64,
+            assign_code(self.cfg.inner.assign_by),
+            self.cfg.inner.max_artificial_depth as u64,
+            self.cfg.inner.threads as u64,
+            self.cfg.inner.seal as u64,
         ] {
             m.extend_from_slice(&v.to_le_bytes());
         }
@@ -512,8 +596,11 @@ impl<const D: usize> ShardedQuasii<D> {
     }
 
     /// Shared tail of both load paths: verify each shard buffer against the
-    /// manifest table, revive the engines, and rebuild the router around
-    /// them.
+    /// manifest table, revive the engines — **in parallel**, one scoped
+    /// worker per shard up to the host's parallelism — and rebuild the
+    /// router around them. Per-shard failures are collected and the first
+    /// one *in shard order* is returned, so the error is deterministic for
+    /// every worker count.
     fn assemble(m: Manifest, shard_bufs: Vec<Vec<u8>>) -> Result<Self, SnapshotError> {
         if shard_bufs.len() != m.shards.len() {
             return Err(corrupt(format!(
@@ -522,47 +609,142 @@ impl<const D: usize> ShardedQuasii<D> {
                 shard_bufs.len()
             )));
         }
-        let fences = KeyFences::from_inner(m.inner_bounds);
+        let fences = KeyFences::from_inner(m.inner_bounds.clone());
         fences
             .validate()
             .map_err(|e| corrupt(format!("fences: {e}")))?;
-        let mut engines: Vec<Quasii<D>> = Vec::with_capacity(shard_bufs.len());
-        for (k, (&(records, len, sum), buf)) in m.shards.iter().zip(shard_bufs).enumerate() {
-            if buf.len() != len {
-                return Err(corrupt(format!(
-                    "shard {k} buffer is {} bytes, manifest says {len}",
-                    buf.len()
-                )));
-            }
-            if fnv1a(&buf) != sum {
-                return Err(corrupt(format!("shard {k} buffer checksum mismatch")));
-            }
-            let engine = Quasii::from_snapshot(buf).map_err(|e| match e {
-                SnapshotError::Corrupt(msg) => corrupt(format!("shard {k}: {msg}")),
-                other => other,
-            })?;
-            if engine.data().len() != records {
-                return Err(corrupt(format!(
-                    "shard {k} holds {} records, manifest says {records}",
-                    engine.data().len()
-                )));
-            }
-            engines.push(engine);
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(shard_bufs.len());
+        let loaded: Vec<Result<Quasii<D>, SnapshotError>> = if workers <= 1 {
+            m.shards
+                .iter()
+                .zip(shard_bufs)
+                .enumerate()
+                .map(|(k, (&entry, buf))| load_shard(k, entry, buf))
+                .collect()
+        } else {
+            type LoadJob = (usize, (usize, usize, u64), Vec<u8>);
+            let jobs: Vec<LoadJob> = m
+                .shards
+                .iter()
+                .zip(shard_bufs)
+                .enumerate()
+                .map(|(k, (&entry, buf))| (k, entry, buf))
+                .collect();
+            let queue = Mutex::new(jobs);
+            let slots: Vec<Mutex<Option<Result<Quasii<D>, SnapshotError>>>> =
+                (0..m.shards.len()).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let popped = queue.lock().expect("queue poisoned").pop();
+                        let Some((k, entry, buf)) = popped else { break };
+                        let r = load_shard(k, entry, buf);
+                        *slots[k].lock().expect("slot poisoned") = Some(r);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("slot poisoned").expect("job ran"))
+                .collect()
+        };
+        let mut engines: Vec<Quasii<D>> = Vec::with_capacity(loaded.len());
+        for r in loaded {
+            engines.push(r?);
         }
-        let inner = engines[0].config().clone();
-        Ok(Self {
+        Ok(Self::from_parts_raw(engines, fences, m))
+    }
+
+    /// Raw constructor shared by [`assemble`](Self::assemble) and the
+    /// recovery path: trusts that `engines` already passed per-shard
+    /// verification and match `fences` one-to-one.
+    pub(crate) fn from_parts_raw(engines: Vec<Quasii<D>>, fences: KeyFences, m: Manifest) -> Self {
+        Self {
             shards: engines,
             fences,
             cfg: ShardConfig {
                 shards: m.requested_shards,
                 shard_threads: m.shard_threads,
                 sample_cap: m.sample_cap,
-                inner,
+                inner: m.inner,
             },
             ext_low0: m.ext_low0,
             ext_high0: m.ext_high0,
             router: m.router,
-        })
+            generation: m.generation,
+            poisoned: None,
+        }
+    }
+
+    /// Durably commits the deployment to `path` as a **new generation** of
+    /// part files plus a manifest, through `store`'s atomic-replace
+    /// protocol (see `quasii_common::fsx`):
+    ///
+    /// 1. every shard buffer is written atomically to its own
+    ///    generation-stamped part file (`<path>.g<G>.part<k>`, `G` = old
+    ///    generation + 1) — new parts never overwrite the committed ones;
+    /// 2. the checksummed manifest (carrying `G`) is written atomically to
+    ///    `path` **last** — its rename is the single commit point: a crash
+    ///    anywhere earlier leaves the old manifest naming the old parts,
+    ///    both intact;
+    /// 3. the superseded generation's part files are removed best-effort
+    ///    (failures ignored — stale parts are garbage, not corruption).
+    ///
+    /// Returns the committed generation.
+    pub fn write_snapshot_files<S: SnapshotStore + ?Sized>(
+        &mut self,
+        store: &S,
+        path: &Path,
+    ) -> Result<u64, SnapshotError> {
+        // The previous commit (if any) tells us which generation to
+        // supersede and how many stale parts to sweep afterwards. The read
+        // retries transient errors so a flaky store cannot silently reset
+        // the generation counter.
+        let prev = fsx::RetryPolicy::default()
+            .run(|| store.read_file(path))
+            .ok()
+            .and_then(|b| parse_manifest_any(&b).ok())
+            .map(|(_, m)| (m.generation, m.shards.len()));
+        self.generation = prev.map_or(0, |(g, _)| g).max(self.generation) + 1;
+        let (manifest, shard_bufs) = self.write_snapshot_parts()?;
+        for (k, buf) in shard_bufs.iter().enumerate() {
+            fsx::write_atomic(store, &part_path(path, self.generation, k), buf)?;
+        }
+        fsx::write_atomic(store, path, &manifest)?;
+        if let Some((old_gen, old_count)) = prev {
+            for k in 0..old_count {
+                let _ = store.remove_file(&part_path(path, old_gen, k));
+            }
+        }
+        Ok(self.generation)
+    }
+
+    /// Revives a deployment committed by
+    /// [`write_snapshot_files`](Self::write_snapshot_files): reads the
+    /// manifest at `path`, then the generation-stamped part files it names.
+    /// Also accepts a **packed** single-file snapshot at `path` (the
+    /// manifest's `total` tells the two layouts apart), so one loader
+    /// serves both transports. Never panics on malformed input; any
+    /// missing or corrupt part yields `Err` — use
+    /// [`Recovery`](crate::recovery::Recovery) to load what survives
+    /// instead.
+    pub fn from_snapshot_files<S: SnapshotStore + ?Sized>(
+        store: &S,
+        path: &Path,
+    ) -> Result<Self, SnapshotError> {
+        let bytes = store.read_file(path)?;
+        let m = parse_manifest::<D>(&bytes)?;
+        if bytes.len() > m.total {
+            return Self::from_snapshot(bytes);
+        }
+        let mut bufs = Vec::with_capacity(m.shards.len());
+        for k in 0..m.shards.len() {
+            bufs.push(store.read_file(&part_path(path, m.generation, k))?);
+        }
+        Self::assemble(m, bufs)
     }
 
     /// The extension-adjusted routing span of `query` on dimension 0.
@@ -579,11 +761,30 @@ impl<const D: usize> ShardedQuasii<D> {
     /// count, engine-thread count, batch size) combination, and equal to
     /// the canonicalized single-instance answer (see the module docs).
     pub fn execute_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {
+        match self.try_execute_batch(queries) {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`execute_batch`](Self::execute_batch) with worker panics surfaced
+    /// as a structured error instead of a propagated panic: if any shard
+    /// engine poisons itself mid-batch the whole deployment poisons (first
+    /// failing shard wins, deterministically) and returns
+    /// [`EnginePoisoned`]; call [`repair`](Self::repair) to recover. The
+    /// deployment **never** silently returns partial results.
+    pub fn try_execute_batch(
+        &mut self,
+        queries: &[Aabb<D>],
+    ) -> Result<Vec<Vec<u64>>, EnginePoisoned> {
+        if let Some(e) = self.poison_error() {
+            return Err(e);
+        }
         self.router.queries += queries.len() as u64;
         let mut results: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
         results.resize_with(queries.len(), Vec::new);
         if queries.is_empty() {
-            return results;
+            return Ok(results);
         }
         let assigned = self
             .fences
@@ -599,13 +800,25 @@ impl<const D: usize> ShardedQuasii<D> {
                     engine,
                     queries,
                     hits: Vec::new(),
+                    error: None,
                 });
             }
         }
 
         fn run_task<const D: usize>(t: &mut Task<'_, D>, queries: &[Aabb<D>]) {
             let sub: Vec<Aabb<D>> = t.queries.iter().map(|&j| queries[j]).collect();
-            t.hits = t.engine.execute_batch(&sub);
+            let engine = &mut *t.engine;
+            // The engine catches its own query-worker panics; this guard
+            // additionally contains panics from the routing glue so a
+            // sibling shard's thread never unwinds through the scope.
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                engine.try_execute_batch(&sub)
+            }));
+            match run {
+                Ok(Ok(hits)) => t.hits = hits,
+                Ok(Err(e)) => t.error = Some(e.detail),
+                Err(payload) => t.error = Some(panic_message(payload)),
+            }
         }
 
         let workers = workers_cap.min(tasks.len());
@@ -635,6 +848,22 @@ impl<const D: usize> ShardedQuasii<D> {
             v
         };
 
+        // A worker panic anywhere poisons the whole deployment: partial
+        // results would be silently wrong. `finished` is in shard order, so
+        // the reported failure is the first failing shard regardless of
+        // which worker hit it first.
+        if let Some(t) = finished.iter().find(|t| t.error.is_some()) {
+            let detail = format!(
+                "shard {}: {}",
+                t.shard,
+                t.error.as_deref().unwrap_or("worker panic")
+            );
+            if self.poisoned.is_none() {
+                self.poisoned = Some(detail.clone());
+            }
+            return Err(EnginePoisoned { detail });
+        }
+
         // Merge hits per query in shard order (deterministic), then
         // canonicalize: shards are disjoint, so this is a duplicate-free
         // union sorted by id.
@@ -646,7 +875,7 @@ impl<const D: usize> ShardedQuasii<D> {
         for r in &mut results {
             r.sort_unstable();
         }
-        results
+        Ok(results)
     }
 }
 
@@ -654,19 +883,124 @@ fn corrupt(msg: impl Into<String>) -> SnapshotError {
     SnapshotError::Corrupt(msg.into())
 }
 
+/// The part-file path for shard `shard` of snapshot generation
+/// `generation`, as named by a manifest committed at `path`:
+/// `<path>.g<G>.part<k>`, a sibling of the manifest.
+pub fn part_path(path: &Path, generation: u64, shard: usize) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "shards".to_string());
+    path.with_file_name(format!("{name}.g{generation}.part{shard}"))
+}
+
+/// What [`manifest_summary`] reports about a shard-deployment manifest
+/// without loading any engine.
+#[derive(Clone, Debug)]
+pub struct ManifestSummary {
+    /// Dimensionality declared in the header.
+    pub dims: u32,
+    /// Snapshot generation (names the part files of a multi-file commit).
+    pub generation: u64,
+    /// Manifest byte length; a packed snapshot's shard buffers start here.
+    pub total: usize,
+    /// Per-shard `(record count, buffer length, buffer checksum)` table.
+    pub shards: Vec<(usize, usize, u64)>,
+    /// Records across all shards.
+    pub records: usize,
+    /// Bytes across all shard buffers (excluding the manifest).
+    pub shard_bytes: usize,
+}
+
+/// Parses and verifies a manifest **header** (magic, version, checksum,
+/// body accounting) of any dimensionality and returns its shard table —
+/// the CLI `verify` seam: no engine is constructed, no part file read.
+pub fn manifest_summary(bytes: &[u8]) -> Result<ManifestSummary, SnapshotError> {
+    let (dims, m) = parse_manifest_any(bytes)?;
+    Ok(ManifestSummary {
+        dims,
+        generation: m.generation,
+        total: m.total,
+        records: m.shards.iter().map(|&(r, _, _)| r).sum(),
+        shard_bytes: m.shards.iter().map(|&(_, l, _)| l).sum(),
+        shards: m.shards,
+    })
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Manifest encoding of [`AssignBy`] (mirrors the engine snapshot's).
+fn assign_code(mode: AssignBy) -> u64 {
+    match mode {
+        AssignBy::Lower => 0,
+        AssignBy::Center => 1,
+        AssignBy::Upper => 2,
+    }
+}
+
+fn assign_from_code(v: u64) -> Result<AssignBy, SnapshotError> {
+    match v {
+        0 => Ok(AssignBy::Lower),
+        1 => Ok(AssignBy::Center),
+        2 => Ok(AssignBy::Upper),
+        other => Err(corrupt(format!("unknown assignment mode {other}"))),
+    }
+}
+
+/// Verifies one shard buffer against its manifest entry
+/// `(record count, length, checksum)` and revives its engine — the
+/// per-shard unit of work the parallel load path fans out.
+fn load_shard<const D: usize>(
+    k: usize,
+    (records, len, sum): (usize, usize, u64),
+    buf: Vec<u8>,
+) -> Result<Quasii<D>, SnapshotError> {
+    if buf.len() != len {
+        return Err(corrupt(format!(
+            "shard {k} buffer is {} bytes, manifest says {len}",
+            buf.len()
+        )));
+    }
+    if fnv1a(&buf) != sum {
+        return Err(corrupt(format!("shard {k} buffer checksum mismatch")));
+    }
+    let engine = Quasii::from_snapshot(buf).map_err(|e| match e {
+        SnapshotError::Corrupt(msg) => corrupt(format!("shard {k}: {msg}")),
+        other => other,
+    })?;
+    if engine.data().len() != records {
+        return Err(corrupt(format!(
+            "shard {k} holds {} records, manifest says {records}",
+            engine.data().len()
+        )));
+    }
+    Ok(engine)
+}
+
 /// Decoded manifest: everything the router needs besides the engines
 /// themselves, plus the per-shard verification table
 /// `(record count, buffer length, buffer checksum)`.
-struct Manifest {
-    total: usize,
-    requested_shards: usize,
-    shard_threads: usize,
-    sample_cap: usize,
-    ext_low0: f64,
-    ext_high0: f64,
-    router: RouterStats,
-    inner_bounds: Vec<f64>,
-    shards: Vec<(usize, usize, u64)>,
+pub(crate) struct Manifest {
+    pub(crate) total: usize,
+    pub(crate) generation: u64,
+    pub(crate) requested_shards: usize,
+    pub(crate) shard_threads: usize,
+    pub(crate) sample_cap: usize,
+    pub(crate) inner: QuasiiConfig,
+    pub(crate) ext_low0: f64,
+    pub(crate) ext_high0: f64,
+    pub(crate) router: RouterStats,
+    pub(crate) inner_bounds: Vec<f64>,
+    pub(crate) shards: Vec<(usize, usize, u64)>,
 }
 
 /// Sequential little-endian reader over the manifest body; every read is
@@ -695,13 +1029,46 @@ impl Reader<'_> {
     fn index(&mut self, what: &str) -> Result<usize, SnapshotError> {
         usize::try_from(self.u64()?).map_err(|_| corrupt(format!("{what} exceeds usize")))
     }
+
+    /// Checks that `count` entries of `entry_bytes` each fit in the bytes
+    /// remaining — the pre-allocation guard against forged huge counts.
+    fn fits(&self, count: usize, entry_bytes: usize, what: &str) -> Result<(), SnapshotError> {
+        let need = count
+            .checked_mul(entry_bytes)
+            .ok_or_else(|| corrupt(format!("{what} count overflows")))?;
+        if need > self.b.len() - self.pos {
+            return Err(corrupt(format!(
+                "{count} {what} need {need} bytes, only {} remain",
+                self.b.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
 }
 
-/// Parses and verifies a manifest prefix (magic, version, dimensionality,
-/// checksum, exact body accounting). `bytes` may extend past the manifest —
-/// the packed single-buffer form appends the shard buffers right after it —
-/// so callers decide what `total` must equal.
-fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
+/// Parses and verifies a manifest prefix for dimensionality `D` (see
+/// [`parse_manifest_any`] for the runtime-dims variant).
+pub(crate) fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotError> {
+    let (dims, m) = parse_manifest_any(bytes)?;
+    if dims as usize != D {
+        return Err(SnapshotError::WrongDims {
+            found: dims,
+            expected: D as u32,
+        });
+    }
+    Ok(m)
+}
+
+/// Parses and verifies a manifest prefix (magic, version, checksum, exact
+/// body accounting) without pinning the dimensionality — the CLI `verify`
+/// path inspects manifests of any `D`. `bytes` may extend past the
+/// manifest — the packed single-buffer form appends the shard buffers
+/// right after it — so callers decide what `total` must equal.
+///
+/// Every count read from the body is validated against the bytes that
+/// remain *before* any allocation sized by it, so a forged manifest with a
+/// colliding checksum and huge counts yields `Err`, never an OOM abort.
+pub(crate) fn parse_manifest_any(bytes: &[u8]) -> Result<(u32, Manifest), SnapshotError> {
     if bytes.len() < 32 {
         return Err(corrupt(format!(
             "{} bytes is shorter than the 32-byte manifest prefix",
@@ -719,12 +1086,6 @@ fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotErro
         });
     }
     let dims = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
-    if dims as usize != D {
-        return Err(SnapshotError::WrongDims {
-            found: dims,
-            expected: D as u32,
-        });
-    }
     let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
     let total = usize::try_from(u64::from_le_bytes(bytes[24..32].try_into().unwrap()))
         .map_err(|_| corrupt("manifest length exceeds usize"))?;
@@ -745,6 +1106,7 @@ fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotErro
         b: &bytes[..total],
         pos: 32,
     };
+    let generation = r.u64()?;
     let shard_count = r.index("shard count")?;
     if shard_count == 0 {
         return Err(corrupt("manifest lists zero shards"));
@@ -752,6 +1114,17 @@ fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotErro
     let requested_shards = r.index("requested shard count")?;
     let shard_threads = r.index("shard threads")?;
     let sample_cap = r.index("sample cap")?;
+    let inner = QuasiiConfig {
+        tau: r.index("tau")?,
+        assign_by: assign_from_code(r.u64()?)?,
+        max_artificial_depth: r.index("max artificial depth")?,
+        threads: r.index("inner threads")?,
+        seal: match r.u64()? {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt(format!("seal flag is {other}, expected 0 or 1"))),
+        },
+    };
     let ext_low0 = r.f64()?;
     let ext_high0 = r.f64()?;
     let router = RouterStats {
@@ -764,10 +1137,14 @@ fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotErro
             "{bound_count} inner fence bounds for {shard_count} shards"
         )));
     }
+    // Guard every count-sized allocation against the bytes that actually
+    // remain: a forged (checksum-colliding) manifest must not OOM us.
+    r.fits(bound_count, 8, "inner fence bounds")?;
     let mut inner_bounds = Vec::with_capacity(bound_count);
     for _ in 0..bound_count {
         inner_bounds.push(r.f64()?);
     }
+    r.fits(shard_count, 24, "shard table entries")?;
     let mut shards = Vec::with_capacity(shard_count);
     for _ in 0..shard_count {
         let records = r.index("shard record count")?;
@@ -781,17 +1158,22 @@ fn parse_manifest<const D: usize>(bytes: &[u8]) -> Result<Manifest, SnapshotErro
             r.pos
         )));
     }
-    Ok(Manifest {
-        total,
-        requested_shards,
-        shard_threads,
-        sample_cap,
-        ext_low0,
-        ext_high0,
-        router,
-        inner_bounds,
-        shards,
-    })
+    Ok((
+        dims,
+        Manifest {
+            total,
+            generation,
+            requested_shards,
+            shard_threads,
+            sample_cap,
+            inner,
+            ext_low0,
+            ext_high0,
+            router,
+            inner_bounds,
+            shards,
+        },
+    ))
 }
 
 impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
@@ -800,6 +1182,9 @@ impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
     }
 
     fn query(&mut self, query: &Aabb<D>, out: &mut Vec<u64>) {
+        if let Some(e) = self.poison_error() {
+            panic!("{e}");
+        }
         self.router.queries += 1;
         let (lo, hi) = self.extended_span(query);
         let range = self.fences.overlapping(lo, hi);
@@ -845,6 +1230,7 @@ impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
 mod tests {
     use super::*;
     use quasii_common::dataset::{degenerate, uniform_boxes_in};
+    use quasii_common::fault::MemStore;
     use quasii_common::index::{assert_matches_brute_force, brute_force, canonical_results};
     use quasii_common::workload;
 
@@ -1192,6 +1578,187 @@ mod tests {
             ShardedQuasii::<3>::from_snapshot_parts(&bad, shard_bufs),
             Err(SnapshotError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_files_commit_generations_and_roundtrip() {
+        let (mut idx, queries) = warmed_deployment();
+        let store = MemStore::new();
+        let path = Path::new("/deploy/shards.manifest");
+        assert_eq!(idx.generation(), 0);
+        assert_eq!(idx.write_snapshot_files(&store, path).unwrap(), 1);
+        let mut re = ShardedQuasii::<3>::from_snapshot_files(&store, path).unwrap();
+        assert_eq!(re.generation(), 1);
+        let expect = idx.execute_batch(&queries);
+        assert_eq!(re.execute_batch(&queries), expect);
+        assert_eq!(re.config().inner.tau, idx.config().inner.tau);
+
+        // A second commit bumps the generation and sweeps the old parts.
+        assert_eq!(idx.write_snapshot_files(&store, path).unwrap(), 2);
+        let files = store.files();
+        assert!(files.contains_key(&part_path(path, 2, 0)));
+        assert!(
+            !files
+                .keys()
+                .any(|p| p.to_string_lossy().contains(".g1.part")),
+            "superseded generation swept: {files:?}",
+            files = files.keys().collect::<Vec<_>>()
+        );
+        let summary = manifest_summary(files.get(Path::new("/deploy/shards.manifest")).unwrap())
+            .expect("committed manifest verifies");
+        assert_eq!(summary.dims, 3);
+        assert_eq!(summary.generation, 2);
+        assert_eq!(summary.records, 2_500);
+        assert_eq!(summary.shards.len(), idx.shard_count());
+
+        // A packed single file loads through the same entry point.
+        let packed = idx.write_snapshot().unwrap();
+        let p2 = Path::new("/deploy/packed.bin");
+        fsx::write_atomic(&store, p2, &packed).unwrap();
+        let mut re2 = ShardedQuasii::<3>::from_snapshot_files(&store, p2).unwrap();
+        assert_eq!(re2.execute_batch(&queries), idx.execute_batch(&queries));
+    }
+
+    #[test]
+    fn forged_huge_counts_error_instead_of_allocating() {
+        // A hostile manifest with a *valid* checksum but an absurd shard
+        // count must fail cleanly before any count-sized allocation.
+        let huge: u64 = 1 << 40;
+        let mut m = Vec::new();
+        m.extend_from_slice(&MANIFEST_MAGIC);
+        m.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        m.extend_from_slice(&3u32.to_le_bytes());
+        m.extend_from_slice(&[0u8; 16]); // checksum + total, patched below
+        for v in [
+            1u64,     // generation
+            huge,     // shard count
+            huge,     // requested shards
+            1,        // shard threads
+            4096,     // sample cap
+            60,       // tau
+            0,        // assign mode
+            64,       // max artificial depth
+            0,        // inner threads
+            1,        // seal
+            0,        // ext_low0
+            0,        // ext_high0
+            0,        // router queries
+            0,        // router visits
+            huge - 1, // inner-bound count
+        ] {
+            m.extend_from_slice(&v.to_le_bytes());
+        }
+        let total = m.len() as u64;
+        m[24..32].copy_from_slice(&total.to_le_bytes());
+        let sum = fnv1a(&m[24..]);
+        m[16..24].copy_from_slice(&sum.to_le_bytes());
+        match manifest_summary(&m) {
+            Err(SnapshotError::Corrupt(why)) => {
+                assert!(why.contains("remain"), "unexpected reason: {why}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(matches!(
+            ShardedQuasii::<3>::from_snapshot(m),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn worker_panic_poisons_the_deployment_and_repair_recovers() {
+        let data = uniform_boxes_in::<3>(2_500, 600.0, 120);
+        let (mut idx, queries) = warmed_deployment();
+        idx.inject_panic_at(0, 0);
+        let err = idx.try_execute_batch(&queries).expect_err("injected panic");
+        assert!(err.detail.contains("shard 0"), "detail: {}", err.detail);
+        assert!(idx.is_poisoned());
+        assert!(idx.poison_error().is_some());
+
+        // Every entry point refuses loudly while poisoned.
+        let again = idx.try_execute_batch(&queries).expect_err("still poisoned");
+        assert_eq!(again.detail, err.detail);
+        let q = queries[0];
+        let p = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.query_collect(&q);
+        }));
+        assert!(p.is_err(), "single-query path must refuse while poisoned");
+        assert!(matches!(
+            idx.write_snapshot_parts(),
+            Err(SnapshotError::Unsupported(_))
+        ));
+
+        // Repair re-validates or rebuilds, and answers match a cold-cracked
+        // deployment byte-for-byte afterwards (results are canonical).
+        let outcome = idx.repair();
+        assert_ne!(outcome, RepairOutcome::Clean);
+        assert!(!idx.is_poisoned());
+        idx.validate().expect("repaired deployment validates");
+        let mut oracle = ShardedQuasii::new(data, idx.config().clone());
+        assert_eq!(idx.execute_batch(&queries), oracle.execute_batch(&queries));
+        assert_eq!(idx.repair(), RepairOutcome::Clean, "repair is idempotent");
+    }
+
+    #[test]
+    fn recovery_quarantines_rebuilds_and_serves_degraded() {
+        let data = uniform_boxes_in::<3>(2_500, 600.0, 120);
+        let (mut idx, queries) = warmed_deployment();
+        let store = MemStore::new();
+        let path = Path::new("/deploy/shards.manifest");
+        idx.write_snapshot_files(&store, path).unwrap();
+
+        // Tear one part file in half: the strict loader refuses outright.
+        let torn = part_path(path, 1, 1);
+        let cur = store.files().remove(&torn).expect("part exists");
+        store.write_file(&torn, &cur[..cur.len() / 2]).unwrap();
+        assert!(ShardedQuasii::<3>::from_snapshot_files(&store, path).is_err());
+
+        // Recovery quarantines exactly the torn shard.
+        let rec = Recovery::<3>::load(&store, path).expect("manifest intact");
+        assert_eq!(rec.report().quarantined(), vec![1]);
+        assert!(!rec.report().is_complete());
+        let cov = rec.report().coverage_fraction();
+        assert!(0.0 < cov && cov < 1.0, "coverage {cov}");
+        assert!(
+            rec.into_full().is_err(),
+            "into_full refuses while shards are quarantined"
+        );
+
+        // Degraded mode serves the healthy subset and labels partial
+        // answers per query.
+        let mut deg = Recovery::<3>::load(&store, path).unwrap().into_degraded();
+        let mut any_partial = false;
+        let mut any_exact = false;
+        for q in &queries {
+            let (hits, coverage) = deg.query_partial(q);
+            let truth = brute_force(&data, q);
+            if coverage.is_complete() {
+                any_exact = true;
+                assert_eq!(hits, truth, "complete-coverage answers are exact");
+            } else {
+                any_partial = true;
+                assert_eq!(coverage.missing, vec![1]);
+                assert!(hits.iter().all(|id| truth.contains(id)));
+            }
+        }
+        assert!(any_partial && any_exact, "workload exercises both labels");
+
+        // Rebuild from source records restores full byte-identity with a
+        // cold-cracked deployment.
+        let mut rec = Recovery::<3>::load(&store, path).unwrap();
+        assert_eq!(rec.rebuild(&data).expect("rebuild"), 1);
+        assert!(rec.report().is_complete());
+        let mut full = rec.into_full().expect("complete after rebuild");
+        full.validate().unwrap();
+        let mut oracle = ShardedQuasii::new(data.clone(), idx.config().clone());
+        assert_eq!(full.execute_batch(&queries), oracle.execute_batch(&queries));
+
+        // Rebuilding from the *wrong* dataset is rejected, not absorbed.
+        let mut rec = Recovery::<3>::load(&store, path).unwrap();
+        let wrong = uniform_boxes_in::<3>(2_500, 600.0, 121);
+        assert!(rec.rebuild(&wrong).is_err());
+        let short = &data[..2_000];
+        let mut rec = Recovery::<3>::load(&store, path).unwrap();
+        assert!(rec.rebuild(short).is_err());
     }
 
     #[test]

@@ -30,8 +30,10 @@ pub use quasii_shard;
 
 /// Convenience prelude used by the examples.
 pub mod prelude {
-    pub use quasii::{Quasii, QuasiiConfig};
+    pub use quasii::{EnginePoisoned, Quasii, QuasiiConfig, RepairOutcome};
     pub use quasii_common::dataset::{self, DatasetSpec};
+    pub use quasii_common::fault::{FaultPlan, FaultStore, MemStore};
+    pub use quasii_common::fsx::{self, FsStore, RetryPolicy, SnapshotStore};
     pub use quasii_common::geom::{Aabb, Record};
     pub use quasii_common::index::SpatialIndex;
     pub use quasii_common::scan::Scan;
@@ -40,5 +42,8 @@ pub mod prelude {
     pub use quasii_mosaic::Mosaic;
     pub use quasii_rtree::RTree;
     pub use quasii_sfc::{SfCracker, SfcIndex};
-    pub use quasii_shard::{ShardConfig, ShardSnapshot, ShardedQuasii};
+    pub use quasii_shard::{
+        Coverage, DegradedQuasii, Recovery, RecoveryReport, ShardConfig, ShardSnapshot,
+        ShardedQuasii,
+    };
 }

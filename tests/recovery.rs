@@ -1,0 +1,333 @@
+//! Crash, fault and panic recovery properties, end to end:
+//!
+//! * **Crash-point matrix** — a snapshot commit interrupted at *every*
+//!   store operation (with seeded torn writes and adversarial rename/sync
+//!   outcomes at remount) leaves either the old state or the new state —
+//!   loadable, validating, answering correctly — never a torn mix, a
+//!   panic, or a silently wrong engine. Single-file engine snapshots and
+//!   multi-file sharded commits (parts first, manifest rename as the
+//!   single commit point) are both covered.
+//! * **Degraded-mode recovery** — corrupting any one shard part
+//!   (truncation, bit flip, deletion) quarantines exactly that shard;
+//!   rebuilding it from source records restores answers byte-identical to
+//!   a cold-cracked deployment, and the degraded path labels every
+//!   partial answer with the shards it could not consult.
+//! * **Transient errors** — bounded retry absorbs short transient bursts
+//!   and surfaces exhaustion as a clean error with the old state intact.
+//! * **Worker panics** — a panic inside a shard's batch worker poisons
+//!   the deployment (structured error, never a partial result) and
+//!   `repair()` restores byte-identical answers.
+//!
+//! Deep CI runs widen the case budget via `PROPTEST_CASES`.
+
+use proptest::prelude::*;
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::index::{assert_matches_brute_force, brute_force};
+use quasii_shard::{part_path, ShardConfig, ShardedQuasii};
+use quasii_suite::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn arb_box3() -> impl Strategy<Value = Aabb<3>> {
+    (
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..100.0f64,
+        0.0..12.0f64,
+        0.0..12.0f64,
+        0.0..12.0f64,
+    )
+        .prop_map(|(x, y, z, a, b, c)| Aabb::new([x, y, z], [x + a, y + b, z + c]))
+}
+
+fn dataset3(max: usize) -> impl Strategy<Value = Vec<Record<3>>> {
+    prop::collection::vec(arb_box3(), 1..max).prop_map(|boxes| {
+        boxes
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| Record::new(i as u64, b))
+            .collect()
+    })
+}
+
+fn queries3(max: usize) -> impl Strategy<Value = Vec<Aabb<3>>> {
+    let q = (0.0..100.0f64, 0.0..100.0f64, 0.0..100.0f64, 0.5..80.0f64)
+        .prop_map(|(x, y, z, side)| Aabb::new([x, y, z], [x + side, y + side, z + side]));
+    prop::collection::vec(q, 2..max)
+}
+
+/// Everything that distinguishes one committed deployment state from
+/// another: generation, router counters, and the per-shard record
+/// permutations (query *results* are canonical and thus identical across
+/// crack states by design — they cannot tell old from new).
+fn fingerprint(idx: &ShardedQuasii<3>) -> (u64, quasii_shard::RouterStats, Vec<Vec<u64>>) {
+    (
+        idx.generation(),
+        idx.router_stats(),
+        idx.engines()
+            .iter()
+            .map(|e| e.data().iter().map(|r| r.id).collect())
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash-point matrix over the single-file atomic-replace protocol:
+    /// whatever operation the crash lands on, and whatever the seeded
+    /// remount adversary decides about unsynced state, the file holds the
+    /// old bytes or the new bytes — and the engine loaded from them
+    /// validates and answers correctly.
+    #[test]
+    fn engine_snapshot_crash_matrix_leaves_old_or_new(
+        data in dataset3(400),
+        queries in queries3(12),
+        crash_at in 0u64..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let path = Path::new("/snaps/engine.qsnap");
+        let mut writer = Quasii::new(data.clone(), QuasiiConfig::with_tau(8));
+        let split = queries.len() / 2;
+        for q in &queries[..split] {
+            writer.query_collect(q);
+        }
+        let old = writer.write_snapshot().expect("write old");
+        for q in &queries[split..] {
+            writer.query_collect(q);
+        }
+        let new = writer.write_snapshot().expect("write new");
+
+        let mem = MemStore::new();
+        fsx::write_atomic(&mem, path, &old).expect("commit old");
+        let store = FaultStore::new(mem, FaultPlan {
+            crash_at_op: Some(crash_at),
+            seed,
+            transient_ops: 0,
+        });
+        let res = fsx::write_atomic_with(&store, path, &new, RetryPolicy::NONE);
+        let mem = store.into_inner();
+        mem.crash(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        let back = mem
+            .files()
+            .remove(&PathBuf::from(path))
+            .expect("a committed snapshot never vanishes");
+        prop_assert!(
+            back == old || back == new,
+            "crash at op {crash_at} left a torn mix ({} bytes)",
+            back.len()
+        );
+        if res.is_ok() {
+            prop_assert_eq!(&back, &new, "successful commit must be durable");
+        }
+        let mut loaded = Quasii::<3>::from_snapshot(back).expect("old/new state loads");
+        loaded.validate().expect("loaded engine validates");
+        let got = loaded.query_collect(&queries[0]);
+        assert_matches_brute_force(&data, &queries[0], &got);
+    }
+
+    /// Crash-point matrix over the multi-file sharded commit: parts are
+    /// written (atomically, under new generation-stamped names) first, the
+    /// manifest last, so its rename is the single commit point. A crash at
+    /// any operation leaves a deployment that loads as exactly the old
+    /// committed state or exactly the new one.
+    #[test]
+    fn sharded_commit_crash_matrix_is_atomic(
+        data in dataset3(600),
+        queries in queries3(16),
+        crash_at in 0u64..24,
+        seed in 0u64..u64::MAX,
+    ) {
+        let path = Path::new("/snaps/deploy");
+        let cfg = ShardConfig::default()
+            .with_shards(3)
+            .with_inner(QuasiiConfig::with_tau(8));
+        let mut idx = ShardedQuasii::new(data.clone(), cfg);
+        let split = queries.len() / 2;
+        idx.execute_batch(&queries[..split]);
+
+        let mem = MemStore::new();
+        idx.write_snapshot_files(&mem, path).expect("commit generation 1");
+        let old_fp = fingerprint(
+            &ShardedQuasii::<3>::from_snapshot_files(&mem, path).expect("old loads"),
+        );
+
+        idx.execute_batch(&queries[split..]);
+        let store = FaultStore::new(mem, FaultPlan {
+            crash_at_op: Some(crash_at),
+            seed,
+            transient_ops: 0,
+        });
+        let res = idx.write_snapshot_files(&store, path);
+        let new_fp = fingerprint(&idx);
+        let mem = store.into_inner();
+        mem.crash(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        let mut re = ShardedQuasii::<3>::from_snapshot_files(&mem, path)
+            .expect("old or new generation always loads after a crash");
+        let fp = fingerprint(&re);
+        prop_assert!(
+            fp == old_fp || fp == new_fp,
+            "crash at op {crash_at} left neither the old nor the new deployment"
+        );
+        if res.is_ok() {
+            prop_assert_eq!(fp, new_fp, "successful commit must be durable");
+        }
+        let got = re.execute_batch(&queries[..1]);
+        prop_assert_eq!(&got[0], &brute_force(&data, &queries[0]));
+    }
+
+    /// Quarantine → rebuild: corrupting any single part (truncation, bit
+    /// flip, deletion) quarantines exactly that shard; rebuilding from the
+    /// source records restores answers byte-identical to a cold-cracked
+    /// deployment, and degraded mode labels partial answers per query.
+    #[test]
+    fn quarantine_rebuild_restores_byte_identity(
+        data in dataset3(500),
+        queries in queries3(12),
+        victim in 0usize..3,
+        kind in 0u8..3,
+        flip_seed in 0u64..u64::MAX,
+    ) {
+        let path = Path::new("/snaps/deploy");
+        let cfg = ShardConfig::default()
+            .with_shards(3)
+            .with_inner(QuasiiConfig::with_tau(8));
+        let mut idx = ShardedQuasii::new(data.clone(), cfg.clone());
+        let split = queries.len() / 2;
+        idx.execute_batch(&queries[..split]);
+        let mem = MemStore::new();
+        idx.write_snapshot_files(&mem, path).expect("commit");
+
+        let victim = victim % idx.shard_count();
+        let part = part_path(path, idx.generation(), victim);
+        let bytes = mem.files().remove(&part).expect("part exists");
+        match kind {
+            0 => mem.write_file(&part, &bytes[..bytes.len() / 2]).unwrap(),
+            1 => {
+                let mut b = bytes.clone();
+                let at = (flip_seed as usize) % b.len();
+                b[at] ^= 0x01;
+                mem.write_file(&part, &b).unwrap();
+            }
+            _ => mem.remove_file(&part).unwrap(),
+        }
+
+        prop_assert!(
+            ShardedQuasii::<3>::from_snapshot_files(&mem, path).is_err(),
+            "the strict loader must refuse a corrupt part"
+        );
+        let mut rec = Recovery::<3>::load(&mem, path).expect("manifest intact");
+        prop_assert_eq!(rec.report().quarantined(), vec![victim]);
+
+        // Degraded service first: exact answers where coverage is
+        // complete, labeled subsets where it is not.
+        let mut deg = Recovery::<3>::load(&mem, path).unwrap().into_degraded();
+        for q in &queries {
+            let (hits, cov) = deg.query_partial(q);
+            let truth = brute_force(&data, q);
+            if cov.is_complete() {
+                prop_assert_eq!(&hits, &truth);
+            } else {
+                prop_assert!(hits.iter().all(|id| truth.contains(id)));
+            }
+        }
+
+        // Then the full rebuild: byte-identical to a cold-cracked oracle.
+        prop_assert_eq!(rec.rebuild(&data).expect("rebuild"), 1);
+        let mut full = rec.into_full().expect("complete after rebuild");
+        let mut oracle = ShardedQuasii::new(data.clone(), cfg);
+        prop_assert_eq!(full.execute_batch(&queries), oracle.execute_batch(&queries));
+    }
+}
+
+#[test]
+fn transient_errors_are_absorbed_then_exhausted() {
+    let path = Path::new("/snaps/x");
+    let mem = MemStore::new();
+    fsx::write_atomic(&mem, path, b"old").unwrap();
+
+    // A short transient burst is absorbed by the bounded retry.
+    let store = FaultStore::new(
+        mem,
+        FaultPlan {
+            transient_ops: 2,
+            ..FaultPlan::default()
+        },
+    );
+    fsx::write_atomic_with(&store, path, b"new", RetryPolicy::FAST).expect("retry absorbs");
+    let mem = store.into_inner();
+    assert_eq!(mem.files().get(&PathBuf::from(path)).unwrap(), b"new");
+
+    // A burst longer than the attempt budget surfaces as a clean error
+    // with the committed state untouched.
+    let store = FaultStore::new(
+        mem,
+        FaultPlan {
+            transient_ops: 100,
+            ..FaultPlan::default()
+        },
+    );
+    let err = fsx::write_atomic_with(&store, path, b"newer", RetryPolicy::FAST)
+        .expect_err("retry budget exhausted");
+    assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+    let mem = store.into_inner();
+    assert_eq!(
+        mem.files().get(&PathBuf::from(path)).unwrap(),
+        b"new",
+        "failed replacement leaves the old state"
+    );
+
+    // RetryPolicy::NONE gives up on the first transient.
+    let store = FaultStore::new(
+        mem,
+        FaultPlan {
+            transient_ops: 1,
+            ..FaultPlan::default()
+        },
+    );
+    assert!(fsx::write_atomic_with(&store, path, b"nope", RetryPolicy::NONE).is_err());
+}
+
+#[test]
+fn worker_panics_poison_then_repair_restores_byte_identity() {
+    let data: Vec<Record<3>> = (0..3_000)
+        .map(|i| {
+            let v = (i % 701) as f64 / 2.0;
+            Record::new(i, Aabb::new([v; 3], [v + 3.0; 3]))
+        })
+        .collect();
+    let queries: Vec<Aabb<3>> = (0..24)
+        .map(|i| {
+            let v = (i * 13 % 300) as f64;
+            Aabb::new([v; 3], [v + 20.0; 3])
+        })
+        .collect();
+    let cfg = ShardConfig::default()
+        .with_shards(3)
+        .with_inner(QuasiiConfig::with_tau(16));
+    let mut oracle = ShardedQuasii::new(data.clone(), cfg.clone());
+    let expect = oracle.execute_batch(&queries);
+
+    for (shard, query_index) in [(0, 0), (1, 2), (2, 5)] {
+        let mut idx = ShardedQuasii::new(data.clone(), cfg.clone());
+        idx.execute_batch(&queries[..8]);
+        idx.inject_panic_at(shard, query_index);
+        let err = idx
+            .try_execute_batch(&queries)
+            .expect_err("injected panic must poison");
+        assert!(
+            err.detail.contains(&format!("shard {shard}")),
+            "detail: {}",
+            err.detail
+        );
+        assert!(idx.is_poisoned());
+        assert_ne!(idx.repair(), RepairOutcome::Clean);
+        idx.validate().expect("repaired deployment validates");
+        assert_eq!(
+            idx.execute_batch(&queries),
+            expect,
+            "injection at shard {shard} query {query_index}"
+        );
+    }
+}
