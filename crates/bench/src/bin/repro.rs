@@ -21,6 +21,7 @@ use quasii::AssignBy;
 use quasii_bench::experiments::{Harness, ALL_EXPERIMENTS};
 use quasii_bench::scale::Scale;
 use quasii_bench::OutputDir;
+use quasii_obs as obs;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +31,7 @@ fn main() {
     let mut shards = 0usize;
     let mut assign_by = AssignBy::default();
     let mut json_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -79,6 +81,14 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = args.get(i).cloned();
+                if metrics_out.is_none() {
+                    eprintln!("--metrics-out needs a path");
+                    std::process::exit(2);
+                }
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -104,6 +114,12 @@ fn main() {
         scale.name, scale.neuro_n, scale.uniform_n, scale.uniform_queries, out_dir
     );
 
+    if metrics_out.is_some() {
+        // Arm the registry for the whole run; the dump below then covers
+        // every experiment executed by this invocation.
+        obs::registry::reset();
+        obs::set_enabled(true);
+    }
     let mut harness = Harness::new(scale, out);
     harness.threads = threads;
     harness.shards = shards;
@@ -123,13 +139,28 @@ fn main() {
         }
         eprintln!("[repro] wrote timing summary to {path}");
     }
+    if let Some(path) = metrics_out {
+        // Prometheus text exposition with the run configuration embedded
+        // as a comment line (parsers skip unknown comments).
+        let dump = format!(
+            "# config {}\n{}",
+            harness.config_json(),
+            obs::registry::render_prometheus()
+        );
+        if let Err(e) = std::fs::write(&path, dump) {
+            eprintln!("cannot write '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] wrote metrics dump to {path}");
+    }
     eprintln!("[repro] done in {:.1}s", t.elapsed().as_secs_f64());
 }
 
 fn print_usage() {
     println!(
         "usage: repro [--scale tiny|small|medium|full] [--out DIR] [--threads N] \
-         [--shards K] [--assign-by lower|center|upper] [--json PATH] <experiment|all>..."
+         [--shards K] [--assign-by lower|center|upper] [--json PATH] \
+         [--metrics-out PATH] <experiment|all>..."
     );
     println!("experiments: {ALL_EXPERIMENTS:?}");
 }

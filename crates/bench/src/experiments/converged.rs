@@ -14,7 +14,7 @@
 //! reads). Every sealed run is checked **byte-for-byte** against the
 //! unsealed engine's results.
 
-use super::{Harness, JsonRecord};
+use super::{crack_cost_curve, Harness, JsonRecord};
 use quasii::{Quasii, QuasiiConfig};
 use quasii_common::geom::mbb_of;
 use quasii_common::index::SpatialIndex;
@@ -145,4 +145,27 @@ pub fn run_exp(h: &mut Harness) {
     }
     println!("[check] sealed runs byte-identical to the unsealed engine");
     let _ = h.out.write_csv("converged_steady.csv", &csv);
+
+    // Per-query cumulative crack cost over warm-up + steady state on a
+    // fresh engine (CIDR-2007-style cracking curve, rebuilt here from the
+    // engine's trace events): reorganization effort decays towards zero as
+    // the structure converges, and the steady tail confirms the converged
+    // regime really stops paying crack costs.
+    let mut fresh = Quasii::new(
+        data.clone(),
+        QuasiiConfig::default().with_assign_by(assign_by),
+    );
+    let curve_queries: Vec<_> = warm.iter().chain(&steady).cloned().collect();
+    let curve = crack_cost_curve(&mut fresh, &curve_queries);
+    let converged_at = curve
+        .lines()
+        .skip(1)
+        .filter(|l| l.split(',').nth(1) != Some("0"))
+        .count();
+    println!(
+        "crack-cost curve: {} queries, {} still cracking (tail is pure reads)",
+        curve_queries.len(),
+        converged_at
+    );
+    let _ = h.out.write_csv("converged_crack_cost.csv", &curve);
 }

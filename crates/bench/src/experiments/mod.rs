@@ -20,8 +20,10 @@ use crate::OutputDir;
 use quasii::AssignBy;
 use quasii_common::dataset;
 use quasii_common::geom::{mbb_of, Aabb, Record};
+use quasii_common::index::SpatialIndex;
 use quasii_common::measure::RunSeries;
 use quasii_common::workload;
+use quasii_obs as obs;
 
 /// Experiment identifiers accepted by the `repro` binary.
 pub const ALL_EXPERIMENTS: &[&str] = &[
@@ -47,6 +49,34 @@ pub const NEURO_DATA_SEED: u64 = 42;
 pub const UNIFORM_DATA_SEED: u64 = 43;
 /// Seed of the clustered neuro query workload.
 pub const NEURO_WORKLOAD_SEED: u64 = 7;
+
+/// CIDR-2007-style per-query cumulative crack-cost curve: runs `queries`
+/// one at a time with tracing armed and drains the trace ring after each,
+/// summing the `Crack { records }` events that query emitted. Each CSV row
+/// is `query, records cracked by it, cumulative records cracked` — the
+/// classic cracking plot of indexing effort decaying as the structure
+/// converges. Tracing is torn down before returning, so the measured runs
+/// that follow stay untouched.
+pub(crate) fn crack_cost_curve<I: SpatialIndex<3>>(index: &mut I, queries: &[Aabb<3>]) -> String {
+    obs::trace::enable(1 << 16, 1);
+    let mut csv = String::from("query,records_cracked,cumulative_records_cracked\n");
+    let mut cumulative = 0u64;
+    for (i, q) in queries.iter().enumerate() {
+        let mut out = Vec::new();
+        index.query(q, &mut out);
+        let cost: u64 = obs::trace::drain()
+            .iter()
+            .map(|(_, e)| match e {
+                obs::trace::TraceEvent::Crack { records } => *records,
+                _ => 0,
+            })
+            .sum();
+        cumulative += cost;
+        csv.push_str(&format!("{},{cost},{cumulative}\n", i + 1));
+    }
+    obs::trace::disable();
+    csv
+}
 
 /// One row of the machine-readable report `repro --json` emits: either an
 /// experiment's wall time (series `"(wall)"`) or one measured series inside
@@ -151,19 +181,15 @@ impl Harness {
     /// preset with its sizes, thread/shard overrides, generator seeds) so a
     /// trajectory file is self-describing: two reports are comparable iff
     /// their `config` objects match.
-    pub fn json_report(&self) -> String {
+    /// The run configuration as a JSON object — embedded at the top of
+    /// [`json_report`](Self::json_report) and (as a `# config` comment) in
+    /// `--metrics-out` dumps, so every artifact names the run that made it.
+    pub fn config_json(&self) -> String {
         fn esc(s: &str) -> String {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
-        let mut out = format!(
-            "{{\n  \"config\": {{\n    \"scale\": \"{}\",\n    \"neuro_n\": {},\n    \
-             \"uniform_n\": {},\n    \"clusters\": {},\n    \"per_cluster\": {},\n    \
-             \"uniform_queries\": {},\n    \"threads\": {},\n    \"shards\": {},\n    \
-             \"assign_by\": \"{}\",\n    \
-             \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \
-             \"scaling_workload\": {}, \"sharding_workload\": {}, \
-             \"converged_warmup\": {}, \"converged_workload\": {}, \
-             \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}\n  }},\n  \"records\": [",
+        format!(
+            "{{\"scale\": \"{}\", \"neuro_n\": {}, \"uniform_n\": {}, \"clusters\": {}, \"per_cluster\": {}, \"uniform_queries\": {}, \"threads\": {}, \"shards\": {}, \"assign_by\": \"{}\", \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \"scaling_workload\": {}, \"sharding_workload\": {}, \"converged_warmup\": {}, \"converged_workload\": {}, \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}}}",
             esc(self.scale.name),
             self.scale.neuro_n,
             self.scale.uniform_n,
@@ -182,6 +208,19 @@ impl Harness {
             converged::WORKLOAD_SEED,
             warm_start::WARMUP_SEED,
             warm_start::WORKLOAD_SEED,
+        )
+    }
+
+    /// The machine-readable per-experiment timing report `repro --json`
+    /// writes: the full run configuration followed by one record per
+    /// measured series (see [`JsonRecord`]).
+    pub fn json_report(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = format!(
+            "{{\n  \"config\": {},\n  \"records\": [",
+            self.config_json()
         );
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {

@@ -14,7 +14,7 @@
 //! the sweep doubles as an end-to-end determinism gate for the sharded
 //! path.
 
-use super::{Harness, JsonRecord};
+use super::{crack_cost_curve, Harness, JsonRecord};
 use quasii::{Quasii, QuasiiConfig};
 use quasii_common::geom::mbb_of;
 use quasii_common::index::canonical_results;
@@ -135,4 +135,20 @@ pub fn run_exp(h: &mut Harness) {
     }
     println!("[check] all runs byte-identical to the canonical single-instance reference");
     let _ = h.out.write_csv("sharding_router.csv", &csv);
+
+    // Per-query cumulative crack cost through the router (CIDR-2007-style,
+    // from the engines' trace events): the skewed workload keeps hammering
+    // the hot shard, so its curve keeps climbing after the cold shards'
+    // contributions flatten — the sharded view of convergence.
+    let curve_shards = if h.shards > 0 { h.shards } else { 2 };
+    let cfg = ShardConfig::default()
+        .with_shards(curve_shards)
+        .with_inner(base_cfg());
+    let mut fresh = ShardedQuasii::new(data.clone(), cfg);
+    let curve = crack_cost_curve(&mut fresh, &queries);
+    println!(
+        "crack-cost curve: {} queries over {curve_shards} shards",
+        queries.len()
+    );
+    let _ = h.out.write_csv("sharding_crack_cost.csv", &curve);
 }

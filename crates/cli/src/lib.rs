@@ -35,6 +35,7 @@ use quasii_common::scan::Scan;
 use quasii_common::{io as qio, workload};
 use quasii_grid::{Assignment, UniformGrid};
 use quasii_mosaic::Mosaic;
+use quasii_obs as obs;
 use quasii_rtree::RTree;
 use quasii_sfc::{SfCracker, SfcIndex};
 use quasii_shard::{
@@ -89,6 +90,9 @@ pub enum Command {
         /// Snapshot file to revive the index from instead of `--data`
         /// (quasii only; empty = cold start from the dataset).
         warm_start: String,
+        /// Enable the metrics registry for the run and print the latency /
+        /// fan-out table afterwards (`--metrics`, no value needed).
+        metrics: bool,
     },
     /// Warm a QUASII index on a workload and persist it as one snapshot
     /// file (plain engine or, with `--shards K`, a sharded deployment).
@@ -162,6 +166,13 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         let key = rest[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --option, found '{}'", rest[i]))?;
+        // `--metrics` is a bare flag: a following `--option` (or end of
+        // line) means "on", an explicit true/false value is also accepted.
+        if key == "metrics" && rest.get(i + 1).is_none_or(|v| v.starts_with("--")) {
+            opts.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let val = rest
             .get(i + 1)
             .ok_or_else(|| format!("--{key} needs a value"))?;
@@ -200,6 +211,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             assign_by: get("assign-by", Some("lower"))?,
             seal: get("seal", Some("true"))?,
             warm_start: get("warm-start", Some(""))?,
+            metrics: match get("metrics", Some("false"))?.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("unknown --metrics '{other}' (true|false)")),
+            },
         }),
         "snapshot" => Ok(Command::Snapshot {
             data: get("data", None)?,
@@ -240,6 +256,7 @@ USAGE:
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--batch N] [--threads N] [--shards K]
                   [--assign-by lower|center|upper] [--seal true|false]
+                  [--metrics]
   quasii snapshot --data FILE --out SNAP [--queries N] [--volume FRAC]
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--threads N] [--shards K]
@@ -262,7 +279,10 @@ assignment coordinate (paper footnote 1; lower is the paper's default —
 center/upper exercise the engine's cached-key modes). --seal false keeps
 the adaptive machinery on every query (the sealed read path's reference
 configuration); results are identical either way, and the run prints the
-sealed fraction reached.
+sealed fraction reached. --metrics turns on the global metrics registry
+for the run and prints a latency table afterwards (batch phase p50/p90/p99,
+shard fan-out, seal sweeps); metrics are a pure side channel — answers are
+byte-identical with or without it.
 `snapshot` warms a QUASII index on the workload (or fully cracks it with
 --finalize true), then persists it — sealed arenas, record permutation
 and slice tree — as one checksummed snapshot file. `bench --warm-start
@@ -370,7 +390,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             assign_by,
             seal,
             warm_start,
+            metrics,
         } => {
+            if metrics {
+                // Fresh registry per run: the table below reports this
+                // invocation only, not process history.
+                obs::registry::reset();
+                obs::set_enabled(true);
+            }
             if warm_start.is_empty() == data.is_empty() {
                 return Err("bench needs exactly one of --data or --warm-start".to_string());
             }
@@ -502,6 +529,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     let idx = report(idx, b, &w.queries, batch);
                     report_sealed(&idx);
                 }
+                report_metrics(metrics);
                 return Ok(());
             }
 
@@ -564,6 +592,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 }
                 other => return Err(format!("unknown index '{other}'")),
             }
+            report_metrics(metrics);
             Ok(())
         }
         Command::Snapshot {
@@ -670,11 +699,44 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     bytes.len()
                 );
             }
+            report_fsx_counters();
             Ok(())
         }
-        Command::Verify { path } => verify_file(&path),
-        Command::Recover { snapshot, data } => recover_snapshot(&snapshot, &data),
+        Command::Verify { path } => {
+            let r = verify_file(&path);
+            report_fsx_counters();
+            r
+        }
+        Command::Recover { snapshot, data } => {
+            let r = recover_snapshot(&snapshot, &data);
+            report_fsx_counters();
+            r
+        }
     }
+}
+
+/// Prints the metrics table for a `--metrics` bench run (no-op otherwise).
+fn report_metrics(metrics: bool) {
+    if metrics {
+        println!("\nmetrics (this run):");
+        print!("{}", obs::registry::render_table());
+    }
+}
+
+/// One line of durable-write health: the always-on `fsx` counters (commit,
+/// retry, fault-injection), so flaky-store symptoms show up in `verify`,
+/// `recover` and faulted `snapshot` runs without any flag.
+fn report_fsx_counters() {
+    let commits = obs::registry::FSX_COMMITS_TOTAL.get();
+    let failures = obs::registry::FSX_COMMIT_FAILURES_TOTAL.get();
+    let retries = obs::registry::FSX_RETRIES_TOTAL.get();
+    let exhausted = obs::registry::FSX_RETRY_EXHAUSTED_TOTAL.get();
+    let fault_ops = obs::registry::FSX_FAULT_OPS_TOTAL.get();
+    let injected = obs::registry::FSX_INJECTED_FAULTS_TOTAL.get();
+    println!(
+        "fsx: {commits} atomic commits ({failures} failed), {retries} transient retries \
+         ({exhausted} exhausted), {fault_ops} fault-store ops ({injected} injected faults)"
+    );
 }
 
 /// `quasii verify` — integrity check of a snapshot/manifest/dataset file
@@ -926,6 +988,7 @@ mod tests {
             assign_by: assign_by.into(),
             seal: seal.into(),
             warm_start: String::new(),
+            metrics: false,
         };
         // Every rejection fires before the dataset is even loaded.
         let err = execute(bench("quasii", "sideways", "true")).unwrap_err();
@@ -999,6 +1062,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "true".into(),
             warm_start: warm_start.into(),
+            metrics: false,
         };
         let err = execute(bench("", "quasii", "")).unwrap_err();
         assert!(err.contains("exactly one"), "{err}");
@@ -1050,6 +1114,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "true".into(),
             warm_start: snap.to_string_lossy().to_string(),
+            metrics: false,
         };
         // Single engine: snapshot after a query warm-up, then warm-start.
         execute(snapshot(&single, 0, "false")).unwrap();
@@ -1115,6 +1180,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "true".into(),
             warm_start: snap.clone(),
+            metrics: false,
         })
         .unwrap();
         // Transient faults are absorbed by the bounded retry.
@@ -1175,6 +1241,7 @@ mod tests {
                 assign_by: "lower".into(),
                 seal: "true".into(),
                 warm_start: String::new(),
+                metrics: false,
             })
             .unwrap();
         }
@@ -1192,6 +1259,7 @@ mod tests {
             assign_by: "center".into(),
             seal: "true".into(),
             warm_start: String::new(),
+            metrics: false,
         })
         .unwrap();
         // Sealing disabled: the reference (pure adaptive) configuration.
@@ -1208,6 +1276,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "false".into(),
             warm_start: String::new(),
+            metrics: false,
         })
         .unwrap();
         // Sharded two-level path on the skewed (hot-region) workload.
@@ -1224,6 +1293,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "true".into(),
             warm_start: String::new(),
+            metrics: false,
         })
         .unwrap();
         // --shards is a router over QUASII engines only.
@@ -1240,6 +1310,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "true".into(),
             warm_start: String::new(),
+            metrics: false,
         })
         .is_err());
         assert!(execute(Command::Bench {
@@ -1255,6 +1326,7 @@ mod tests {
             assign_by: "lower".into(),
             seal: "true".into(),
             warm_start: String::new(),
+            metrics: false,
         })
         .is_err());
         std::fs::remove_file(&path).ok();

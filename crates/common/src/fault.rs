@@ -19,6 +19,7 @@
 //! suite replays byte-identically; no external dependencies.
 
 use crate::fsx::SnapshotStore;
+use quasii_obs as obs;
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -293,11 +294,15 @@ impl<S: SnapshotStore> FaultStore<S> {
         let mut st = self.state.lock().expect("FaultStore lock poisoned");
         let op = st.ops;
         st.ops += 1;
+        obs::registry::FSX_FAULT_OPS_TOTAL.inc();
         if st.crashed {
+            obs::registry::FSX_INJECTED_FAULTS_TOTAL.inc();
             return Err(io::Error::other("fault injection: store crashed"));
         }
         if st.transient_left > 0 {
             st.transient_left -= 1;
+            obs::registry::FSX_INJECTED_FAULTS_TOTAL.inc();
+            obs::trace::record(|| obs::trace::TraceEvent::FsxFault { op });
             return Err(io::Error::new(
                 io::ErrorKind::Interrupted,
                 "fault injection: transient error",
@@ -305,6 +310,8 @@ impl<S: SnapshotStore> FaultStore<S> {
         }
         if self.plan.crash_at_op == Some(op) {
             st.crashed = true;
+            obs::registry::FSX_INJECTED_FAULTS_TOTAL.inc();
+            obs::trace::record(|| obs::trace::TraceEvent::FsxFault { op });
             return Ok(false);
         }
         Ok(true)

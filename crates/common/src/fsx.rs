@@ -27,6 +27,7 @@
 //! with bounded exponential backoff ([`RetryPolicy`]); anything else fails
 //! the write immediately, after a best-effort cleanup of the temp file.
 
+use quasii_obs as obs;
 use std::fs::{File, OpenOptions};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -138,7 +139,11 @@ impl RetryPolicy {
         backoff: Duration::ZERO,
     };
 
-    /// Runs `op` under this policy, retrying transient errors.
+    /// Runs `op` under this policy, retrying transient errors. Every
+    /// absorbed transient bumps `fsx_retries_total`; an operation that
+    /// stays transient until the budget runs out additionally bumps
+    /// `fsx_retry_exhausted_total` — the counters the `verify`/`recover`
+    /// CLI surfaces so flaky-store symptoms are no longer silent.
     pub fn run<T>(&self, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
         let attempts = self.attempts.max(1);
         let mut wait = self.backoff;
@@ -148,9 +153,15 @@ impl RetryPolicy {
                 Ok(v) => return Ok(v),
                 Err(e) => {
                     tries += 1;
-                    if tries >= attempts || !is_transient(&e) {
+                    if !is_transient(&e) {
                         return Err(e);
                     }
+                    if tries >= attempts {
+                        obs::registry::FSX_RETRY_EXHAUSTED_TOTAL.inc();
+                        return Err(e);
+                    }
+                    obs::registry::FSX_RETRIES_TOTAL.inc();
+                    obs::trace::record(|| obs::trace::TraceEvent::FsxRetry);
                     if !wait.is_zero() {
                         std::thread::sleep(wait);
                         wait = wait.saturating_mul(2);
@@ -199,6 +210,8 @@ pub fn write_atomic_with<S: SnapshotStore + ?Sized>(
     bytes: &[u8],
     retry: RetryPolicy,
 ) -> io::Result<()> {
+    let t = obs::start();
+    obs::registry::FSX_COMMITS_TOTAL.inc();
     let tmp = temp_path(path);
     let result = (|| {
         retry.run(|| store.write_file(&tmp, bytes))?;
@@ -215,7 +228,13 @@ pub fn write_atomic_with<S: SnapshotStore + ?Sized>(
         // guarantees don't depend on this (temp files are never read), so
         // a failure here is ignored.
         let _ = store.remove_file(&tmp);
+        obs::registry::FSX_COMMIT_FAILURES_TOTAL.inc();
     }
+    obs::registry::FSX_COMMIT_SECONDS.observe_since(t);
+    obs::trace::record(|| obs::trace::TraceEvent::FsxCommit {
+        nanos: obs::elapsed_nanos(t),
+        ok: result.is_ok(),
+    });
     result
 }
 

@@ -59,9 +59,26 @@ use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use crate::{EnginePoisoned, Quasii};
 use quasii_common::geom::{Aabb, Record};
+use quasii_obs as obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Closes a batch-phase span: feeds the phase histogram (metrics on) and
+/// emits a [`obs::trace::TraceEvent::BatchPhase`] (tracing on). `t` comes
+/// from [`obs::start_span`], so a disabled site costs two relaxed loads.
+fn finish_phase(t: Option<std::time::Instant>, phase: obs::Phase, queries: u64) {
+    let Some(start) = t else { return };
+    let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    if obs::enabled() {
+        obs::registry::batch_phase(phase).observe(nanos);
+    }
+    obs::trace::record(|| obs::trace::TraceEvent::BatchPhase {
+        phase,
+        queries,
+        nanos,
+    });
+}
 
 /// Renders a caught panic payload for the poison marker.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -195,6 +212,35 @@ impl<const D: usize> Quasii<D> {
         &mut self,
         queries: &[Aabb<D>],
     ) -> Result<Vec<Vec<u64>>, EnginePoisoned> {
+        let before = self.rt.stats;
+        if obs::enabled() && !queries.is_empty() {
+            obs::registry::BATCHES_TOTAL.inc();
+        }
+        let r = self.try_execute_batch_inner(queries);
+        self.publish_work_deltas(&before);
+        r
+    }
+
+    /// Publishes this call's deterministic work-counter deltas into the
+    /// global registry. The registry *mirrors* the engine-local counters —
+    /// it never feeds back into them — so results, permutation and
+    /// [`QuasiiStats`] are byte-identical with metrics on or off.
+    pub(crate) fn publish_work_deltas(&self, before: &QuasiiStats) {
+        if !obs::enabled() {
+            return;
+        }
+        let now = &self.rt.stats;
+        obs::registry::QUERIES_TOTAL.add(now.queries - before.queries);
+        obs::registry::CRACKS_TOTAL.add(now.cracks - before.cracks);
+        obs::registry::RECORDS_CRACKED_TOTAL.add(now.records_cracked - before.records_cracked);
+    }
+
+    /// The batch body, split out so the public wrapper can publish metric
+    /// deltas on every return path.
+    fn try_execute_batch_inner(
+        &mut self,
+        queries: &[Aabb<D>],
+    ) -> Result<Vec<Vec<u64>>, EnginePoisoned> {
         if let Some(e) = self.poison_error() {
             return Err(e);
         }
@@ -214,6 +260,7 @@ impl<const D: usize> Quasii<D> {
         // `--seal false` reference configuration must not pay any sealed-
         // path bookkeeping.
         if !self.cfg.seal {
+            let span = obs::start_span();
             let mut next = 0;
             while next < queries.len() && (threads <= 1 || self.root.len() < 2) {
                 self.run_one_caught(
@@ -229,6 +276,7 @@ impl<const D: usize> Quasii<D> {
                 let local_trap = trap.filter(|&t| t >= next).map(|t| t - next);
                 self.run_partitioned(&queries[next..], &mut results[next..], threads, local_trap);
             }
+            finish_phase(span, obs::Phase::Crack, queries.len() as u64);
             return match self.poison_error() {
                 Some(e) => Err(e),
                 None => Ok(results),
@@ -241,6 +289,7 @@ impl<const D: usize> Quasii<D> {
         // because the sealed phase mutates nothing and the crack phase runs
         // after it (cracks only ever split *unsealed* slices, so a sealed
         // query's window can never gain an unsealed candidate mid-batch).
+        let span = obs::start_span();
         let mut sealed_jobs: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
         let mut crack_jobs: Vec<usize> = Vec::new();
         let mut crack_windows: Vec<std::ops::Range<usize>> = Vec::new();
@@ -253,6 +302,7 @@ impl<const D: usize> Quasii<D> {
                 crack_windows.push(cand);
             }
         }
+        finish_phase(span, obs::Phase::Classify, queries.len() as u64);
 
         // Phase 1 — shared-read execution over the sealed arenas: arbitrary
         // queries on a `&self` thread pool, no disjoint-partition
@@ -260,6 +310,7 @@ impl<const D: usize> Quasii<D> {
         // jobs). Reads commute with the crack phase below: sealed regions
         // are immutable and crack queries never read them.
         if !sealed_jobs.is_empty() {
+            let span = obs::start_span();
             self.run_sealed_batch(
                 queries,
                 &extended,
@@ -268,6 +319,7 @@ impl<const D: usize> Quasii<D> {
                 threads,
                 trap,
             );
+            finish_phase(span, obs::Phase::SealedRead, sealed_jobs.len() as u64);
             if let Some(e) = self.poison_error() {
                 return Err(e);
             }
@@ -283,6 +335,7 @@ impl<const D: usize> Quasii<D> {
         if crack_jobs.is_empty() {
             return Ok(results);
         }
+        let span = obs::start_span();
         // Sequential prefix: the whole remainder with one worker; otherwise
         // only until the top level has cracked open far enough to split (a
         // fresh index starts as a single whole-dataset slice).
@@ -305,6 +358,7 @@ impl<const D: usize> Quasii<D> {
                 results[j] = hits;
             }
         }
+        finish_phase(span, obs::Phase::Crack, crack_jobs.len() as u64);
         match self.poison_error() {
             Some(e) => Err(e),
             None => Ok(results),
@@ -421,7 +475,11 @@ impl<const D: usize> Quasii<D> {
         }
         self.rt.stats.queries += jobs.len() as u64;
         self.rt.stats.objects_tested += tested_total;
-        self.seal_stats.sealed_queries += jobs.len() as u64;
+        self.seal_stats
+            .add(crate::SealStats::SEALED_QUERIES, jobs.len() as u64);
+        if obs::enabled() {
+            obs::registry::SEALED_QUERIES_TOTAL.add(jobs.len() as u64);
+        }
         if let Some(msg) = worker_panic {
             // The sealed phase mutates nothing, so the structure is intact
             // — but the batch's results are incomplete, so the engine still
@@ -571,6 +629,7 @@ impl<const D: usize> Quasii<D> {
         // summed. After a worker panic the queue may still hold unstarted
         // partitions — they reattach too, so the top level is always a
         // complete partition of the data array.
+        let span = obs::start_span();
         let mut finished = done.into_inner().expect("done poisoned");
         finished.extend(queue.into_inner().expect("queue poisoned"));
         finished.sort_unstable_by_key(|p| p.index);
@@ -586,6 +645,7 @@ impl<const D: usize> Quasii<D> {
                 results[j].extend(hits);
             }
         }
+        finish_phase(span, obs::Phase::Merge, queries.len() as u64);
         if let Some(msg) = panicked.into_inner().expect("panic slot poisoned") {
             self.poison(format!(
                 "worker panic during partitioned crack phase: {msg}"

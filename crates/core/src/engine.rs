@@ -17,6 +17,7 @@ use crate::keys::rekey;
 use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use quasii_common::geom::{Aabb, Record};
+use quasii_obs as obs;
 
 /// Immutable per-index parameters.
 pub(crate) struct Env<const D: usize> {
@@ -63,6 +64,15 @@ fn placeholder<const D: usize>() -> Slice<D> {
         keys_fresh: true,
         children: Vec::new(),
     }
+}
+
+/// Books one crack kernel pass: the two deterministic work counters (the
+/// ones the determinism gate compares), plus a per-kernel trace event when
+/// tracing is armed. All four kernel shapes funnel through here.
+fn record_crack<const D: usize>(rt: &mut Runtime<D>, records: u64) {
+    rt.stats.cracks += 1;
+    rt.stats.records_cracked += records;
+    obs::trace::record(|| obs::trace::TraceEvent::Crack { records });
 }
 
 /// Builds a sub-slice over `begin..end` after a crack of `parent` on its
@@ -206,8 +216,7 @@ fn artificial<const D: usize>(
         (split, lm, rm) = (msplit, mlm, mrm);
         split_value = rm.min_key;
     }
-    rt.stats.cracks += 1;
-    rt.stats.records_cracked += seg_len;
+    record_crack(rt, seg_len);
     let m = s.begin + split;
     let left = make_sub(data, &s, s.begin, m, s.cut_lo, split_value, &lm, env, rt);
     let right = make_sub(data, &s, m, s.end, split_value, s.cut_hi, &rm, env, rt);
@@ -255,8 +264,7 @@ pub(crate) fn refine<const D: usize>(
                 ql,
                 qu,
             );
-            rt.stats.cracks += 1;
-            rt.stats.records_cracked += seg_len;
+            record_crack(rt, seg_len);
             let (b, m1, m2, e) = (s.begin, s.begin + p1, s.begin + p2, s.end);
             primary.push(make_sub(data, &s, b, m1, cl, ql, &m[0], env, rt));
             primary.push(make_sub(data, &s, m1, m2, ql, qu, &m[1], env, rt));
@@ -272,8 +280,7 @@ pub(crate) fn refine<const D: usize>(
                 env.mode,
                 ql,
             );
-            rt.stats.cracks += 1;
-            rt.stats.records_cracked += seg_len;
+            record_crack(rt, seg_len);
             let m = s.begin + p;
             primary.push(make_sub(data, &s, s.begin, m, cl, ql, &lm, env, rt));
             primary.push(make_sub(data, &s, m, s.end, ql, ch, &rm, env, rt));
@@ -290,8 +297,7 @@ pub(crate) fn refine<const D: usize>(
                 env.mode,
                 pivot,
             );
-            rt.stats.cracks += 1;
-            rt.stats.records_cracked += seg_len;
+            record_crack(rt, seg_len);
             let m = s.begin + p;
             primary.push(make_sub(data, &s, s.begin, m, cl, qu, &lm, env, rt));
             primary.push(make_sub(data, &s, m, s.end, qu, ch, &rm, env, rt));

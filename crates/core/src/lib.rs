@@ -60,6 +60,7 @@ pub use stats::{QuasiiStats, SealStats};
 use engine::{Env, Runtime};
 use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
+use quasii_obs as obs;
 use seal::SealedRegion;
 use slice::Slice;
 use std::fmt;
@@ -135,7 +136,10 @@ pub struct Quasii<const D: usize> {
     /// last seal sweep; [`u64::MAX`] forces the next sweep (initial state,
     /// or a seal was invalidated).
     seal_stamp: u64,
-    seal_stats: SealStats,
+    /// Seal lifecycle counters ([`SealStats`] cells), held in the shared
+    /// registry group type so batch workers and snapshot restore use the
+    /// same snapshot/merge idiom as the global metrics.
+    seal_stats: obs::CounterGroup<{ SealStats::CELLS }>,
     /// Cached sum of sealed region lengths (kept in sync by `try_seal` and
     /// `invalidate_candidates`): the fully-sealed steady state is detected
     /// with one integer compare per query.
@@ -190,7 +194,7 @@ impl<const D: usize> Quasii<D> {
             precomputed_keys: None,
             seals: Vec::new(),
             seal_stamp: u64::MAX,
-            seal_stats: SealStats::default(),
+            seal_stats: obs::CounterGroup::new(),
             sealed_record_count: 0,
             seal_dirty: Vec::new(),
             seal_dirty_all: true,
@@ -456,7 +460,7 @@ impl<const D: usize> Quasii<D> {
     /// served fully sealed). Unlike [`stats`](Self::stats) these depend on
     /// batching shape — see [`SealStats`].
     pub fn seal_stats(&self) -> SealStats {
-        self.seal_stats
+        SealStats::from_group(&self.seal_stats)
     }
 
     /// Number of currently sealed regions (converged top-level slices with
@@ -505,6 +509,8 @@ impl<const D: usize> Quasii<D> {
             return;
         }
         self.seal_stamp = stamp;
+        let span = obs::start_span();
+        let seals_before = self.seal_stats.get(SealStats::SEALS);
         let mut kept = std::mem::take(&mut self.seals).into_iter().peekable();
         let mut parked = std::mem::take(&mut self.parked).into_iter().peekable();
         let mut out: Vec<SealedRegion<D>> = Vec::new();
@@ -532,7 +538,7 @@ impl<const D: usize> Quasii<D> {
                 .peek()
                 .is_some_and(|r| r.begin == s.begin && r.end == s.end)
             {
-                self.seal_stats.seals += 1;
+                self.seal_stats.inc(SealStats::SEALS);
                 out.push(parked.next().expect("peeked"));
                 continue;
             }
@@ -548,7 +554,7 @@ impl<const D: usize> Quasii<D> {
                 continue;
             }
             if let Some(region) = SealedRegion::build(s, &self.data) {
-                self.seal_stats.seals += 1;
+                self.seal_stats.inc(SealStats::SEALS);
                 out.push(region);
             }
         }
@@ -556,6 +562,16 @@ impl<const D: usize> Quasii<D> {
         self.seal_dirty_all = false;
         self.sealed_record_count = out.iter().map(SealedRegion::records).sum();
         self.seals = out;
+        let swept = self.seal_stats.get(SealStats::SEALS) - seals_before;
+        if obs::enabled() {
+            obs::registry::SEAL_SWEEPS_TOTAL.inc();
+            obs::registry::SEALS_TOTAL.add(swept);
+            obs::registry::SEAL_SWEEP_SECONDS.observe_since(span);
+        }
+        obs::trace::record(|| obs::trace::TraceEvent::SealSweep {
+            seals: swept,
+            nanos: obs::elapsed_nanos(span),
+        });
     }
 
     /// Records a data-space span whose convergence state a fallback query
@@ -637,7 +653,11 @@ impl<const D: usize> Quasii<D> {
             .partition(|r| r.begin < hi && r.end > lo);
         self.seals = kept;
         if !dropped.is_empty() {
-            self.seal_stats.unseals += dropped.len() as u64;
+            let n = dropped.len() as u64;
+            self.seal_stats.add(SealStats::UNSEALS, n);
+            if obs::enabled() {
+                obs::registry::UNSEALS_TOTAL.add(n);
+            }
             self.seal_stamp = u64::MAX; // converged-but-unsealed: re-sweep
             self.sealed_record_count = self.seals.iter().map(SealedRegion::records).sum();
             // Park the arenas for O(1) revival (both lists are sorted and
@@ -787,14 +807,20 @@ impl<const D: usize> SpatialIndex<D> for Quasii<D> {
                 // Pure read over the arenas: no `&mut` state is touched
                 // beyond the counters.
                 self.rt.stats.queries += 1;
-                self.seal_stats.sealed_queries += 1;
+                self.seal_stats.inc(SealStats::SEALED_QUERIES);
+                if obs::enabled() {
+                    obs::registry::QUERIES_TOTAL.inc();
+                    obs::registry::SEALED_QUERIES_TOTAL.inc();
+                }
                 let tested = self.run_sealed_query(query, &qe, cand, out);
                 self.rt.stats.objects_tested += tested;
                 return;
             }
             self.invalidate_candidates(cand);
         }
+        let before = self.rt.stats;
         self.query_unsealed(query, &qe, out);
+        self.publish_work_deltas(&before);
     }
 
     fn query_batch(&mut self, queries: &[Aabb<D>]) -> Vec<Vec<u64>> {

@@ -385,11 +385,7 @@ pub(crate) fn write<const D: usize>(idx: &mut Quasii<D>) -> Result<Vec<u8>, Snap
     ] {
         w.u64(v);
     }
-    for v in [
-        idx.seal_stats.seals,
-        idx.seal_stats.unseals,
-        idx.seal_stats.sealed_queries,
-    ] {
+    for v in idx.seal_stats.snapshot() {
         w.u64(v);
     }
     w.u64(idx.seal_stamp);
@@ -800,7 +796,7 @@ pub(crate) fn load<const D: usize>(bytes: Vec<u8>) -> Result<Quasii<D>, Snapshot
         precomputed_keys: None,
         seals,
         seal_stamp,
-        seal_stats,
+        seal_stats: quasii_obs::CounterGroup::from_snapshot(seal_stats.cells()),
         sealed_record_count,
         seal_dirty,
         seal_dirty_all,

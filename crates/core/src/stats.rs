@@ -75,6 +75,30 @@ pub struct SealStats {
     pub sealed_queries: u64,
 }
 
+impl SealStats {
+    /// Cell order inside the engine's [`quasii_obs::CounterGroup`] backing
+    /// store (the snapshot/merge idiom shared with the shard router).
+    pub(crate) const SEALS: usize = 0;
+    pub(crate) const UNSEALS: usize = 1;
+    pub(crate) const SEALED_QUERIES: usize = 2;
+    pub(crate) const CELLS: usize = 3;
+
+    /// One consistent snapshot of the engine's seal-lifecycle group.
+    pub(crate) fn from_group(g: &quasii_obs::CounterGroup<{ Self::CELLS }>) -> Self {
+        let [seals, unseals, sealed_queries] = g.snapshot();
+        Self {
+            seals,
+            unseals,
+            sealed_queries,
+        }
+    }
+
+    /// Cells in group order, for seeding a group from a decoded snapshot.
+    pub(crate) fn cells(&self) -> [u64; Self::CELLS] {
+        [self.seals, self.unseals, self.sealed_queries]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

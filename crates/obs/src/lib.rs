@@ -1,0 +1,127 @@
+//! Zero-dependency observability for the QUASII suite.
+//!
+//! Three pieces, all `std`-only (the vendored-shim policy — no crates.io):
+//!
+//! * **Metrics** ([`metrics`]) — atomics-backed [`Counter`]s, [`Gauge`]s
+//!   and fixed log-bucket latency [`Histogram`]s (p50/p90/p99/max). A
+//!   histogram is striped across a fixed set of per-thread shards and
+//!   merged on read, so concurrent workers never contend on a bucket.
+//!   [`CounterGroup`] is the shared snapshot/merge idiom the engine's
+//!   lifecycle counters (`SealStats`, `RouterStats`) are built on.
+//! * **Registry** ([`registry`]) — a static table of every metric the
+//!   suite exposes, with three exporters: a human table, JSON lines, and
+//!   Prometheus-style text exposition (plus a parser for the exposition,
+//!   so round-trips are testable without external tooling).
+//! * **Trace** ([`trace`]) — structured events (batch phase spans, crack
+//!   kernels, seal sweeps, shard routing, `fsx` commit/retry/fault,
+//!   degraded coverage) captured into a bounded ring buffer behind a
+//!   sampling knob. The static default is **off**: a disabled recording
+//!   site costs one relaxed atomic load.
+//!
+//! # Enabling
+//!
+//! Everything defaults to off so instrumented code paths are ~free:
+//!
+//! ```
+//! quasii_obs::set_enabled(true);              // counters + histograms
+//! quasii_obs::trace::enable(1 << 16, 1);      // ring capacity, sample 1/N
+//! // ... run queries ...
+//! println!("{}", quasii_obs::registry::render_table());
+//! let events = quasii_obs::trace::drain();
+//! # let _ = events;
+//! quasii_obs::trace::disable();
+//! quasii_obs::set_enabled(false);
+//! ```
+//!
+//! # The determinism contract
+//!
+//! Observability is strictly a side channel: nothing in the engine may
+//! branch on a metric or trace value, so an instrumented engine answers
+//! every query byte-identically to a disabled one (ids, permutation,
+//! `QuasiiStats`). The workspace `tests/obs.rs` suite proptests exactly
+//! that across thread counts × batch shapes × seal on/off.
+
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use metrics::{Counter, CounterGroup, Gauge, GaugeVec, Histogram, HistogramSnapshot};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Global metrics switch (counters, gauges, histograms). Off by default.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric collection on or off globally. Off (the default) makes
+/// every instrumentation site a single relaxed load plus a branch.
+pub fn set_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric collection is enabled.
+#[inline]
+pub fn enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Starts a latency measurement: `Some(now)` when metrics are enabled,
+/// `None` (free) otherwise. Pair with [`Histogram::observe_since`].
+#[inline]
+pub fn start() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Like [`start`], but also armed when tracing is on, so trace spans carry
+/// real durations even while the metrics registry is disabled.
+#[inline]
+pub fn start_span() -> Option<Instant> {
+    if enabled() || trace::on() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Nanoseconds elapsed since a [`start`]/[`start_span`] mark (0 if unarmed).
+#[inline]
+pub fn elapsed_nanos(t: Option<Instant>) -> u64 {
+    t.map_or(0, |t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+}
+
+/// The batch execution phases the engine reports spans for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Classifying each query of a batch as sealed-read vs crack work.
+    Classify,
+    /// The `&self` shared-read pool over the sealed arenas.
+    SealedRead,
+    /// The partitioned adaptive (`&mut`) crack phase.
+    Crack,
+    /// Partition reassembly: slices rebased, hits concatenated.
+    Merge,
+}
+
+impl Phase {
+    /// All phases, in execution order (also the registry storage order).
+    pub const ALL: [Phase; 4] = [
+        Phase::Classify,
+        Phase::SealedRead,
+        Phase::Crack,
+        Phase::Merge,
+    ];
+
+    /// The label value used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Classify => "classify",
+            Phase::SealedRead => "sealed_read",
+            Phase::Crack => "crack",
+            Phase::Merge => "merge",
+        }
+    }
+}

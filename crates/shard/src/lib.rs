@@ -91,6 +91,7 @@ use quasii::{
 use quasii_common::fsx::{self, SnapshotStore};
 use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
+use quasii_obs as obs;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -201,6 +202,28 @@ pub struct RouterStats {
     pub shard_visits: u64,
 }
 
+impl RouterStats {
+    /// Cell order inside the router's [`obs::CounterGroup`] backing store
+    /// (the snapshot/merge idiom shared with the engine's seal counters).
+    pub(crate) const QUERIES: usize = 0;
+    pub(crate) const SHARD_VISITS: usize = 1;
+    pub(crate) const CELLS: usize = 2;
+
+    /// One consistent snapshot of the router's counter group.
+    pub(crate) fn from_group(g: &obs::CounterGroup<{ Self::CELLS }>) -> Self {
+        let [queries, shard_visits] = g.snapshot();
+        Self {
+            queries,
+            shard_visits,
+        }
+    }
+
+    /// Cells in group order, for seeding a group from a decoded manifest.
+    pub(crate) fn cells(&self) -> [u64; Self::CELLS] {
+        [self.queries, self.shard_visits]
+    }
+}
+
 /// A sharded QUASII deployment: `K` independent engines behind one
 /// [`SpatialIndex`] facade.
 pub struct ShardedQuasii<const D: usize> {
@@ -212,7 +235,9 @@ pub struct ShardedQuasii<const D: usize> {
     /// §5.2 extension so routing is conservative).
     ext_low0: f64,
     ext_high0: f64,
-    router: RouterStats,
+    /// Router counters ([`RouterStats`] cells) in the shared registry
+    /// group type — one snapshot/merge idiom across the whole suite.
+    router: obs::CounterGroup<{ RouterStats::CELLS }>,
     /// Snapshot generation: `0` until first persisted, then the generation
     /// of the last durable commit (see
     /// [`write_snapshot_files`](Self::write_snapshot_files)).
@@ -289,7 +314,7 @@ impl<const D: usize> ShardedQuasii<D> {
             cfg,
             ext_low0,
             ext_high0,
-            router: RouterStats::default(),
+            router: obs::CounterGroup::new(),
             generation: 0,
             poisoned: None,
         }
@@ -319,7 +344,7 @@ impl<const D: usize> ShardedQuasii<D> {
 
     /// Router-level counters (queries accepted, shard executions).
     pub fn router_stats(&self) -> RouterStats {
-        self.router
+        RouterStats::from_group(&self.router)
     }
 
     /// Engine work counters folded across all shards. `queries` counts
@@ -517,8 +542,9 @@ impl<const D: usize> ShardedQuasii<D> {
         }
         m.extend_from_slice(&self.ext_low0.to_le_bytes());
         m.extend_from_slice(&self.ext_high0.to_le_bytes());
-        m.extend_from_slice(&self.router.queries.to_le_bytes());
-        m.extend_from_slice(&self.router.shard_visits.to_le_bytes());
+        let router = self.router_stats();
+        m.extend_from_slice(&router.queries.to_le_bytes());
+        m.extend_from_slice(&router.shard_visits.to_le_bytes());
         let inner = self.fences.inner_bounds();
         m.extend_from_slice(&(inner.len() as u64).to_le_bytes());
         for b in inner {
@@ -673,7 +699,7 @@ impl<const D: usize> ShardedQuasii<D> {
             },
             ext_low0: m.ext_low0,
             ext_high0: m.ext_high0,
-            router: m.router,
+            router: obs::CounterGroup::from_snapshot(m.router.cells()),
             generation: m.generation,
             poisoned: None,
         }
@@ -771,6 +797,51 @@ impl<const D: usize> ShardedQuasii<D> {
     /// as a structured error instead of a propagated panic: if any shard
     /// engine poisons itself mid-batch the whole deployment poisons (first
     /// failing shard wins, deterministically) and returns
+    /// Books a batch's routing decision into the global registry: one
+    /// fan-out histogram observation per query, one [`ShardRoute`] trace
+    /// event per visited shard. `assigned` is the router's per-shard query
+    /// lists. Pure side channel — routing itself never reads the registry.
+    ///
+    /// [`ShardRoute`]: obs::trace::TraceEvent::ShardRoute
+    fn observe_routing(&self, query_count: usize, assigned: &[Vec<usize>]) {
+        if obs::enabled() {
+            obs::registry::SHARD_BATCHES_TOTAL.inc();
+            let mut fanout = vec![0u64; query_count];
+            for per_shard in assigned {
+                for &j in per_shard {
+                    fanout[j] += 1;
+                }
+            }
+            for f in fanout {
+                obs::registry::SHARD_FANOUT.observe(f);
+            }
+        }
+        if obs::trace::on() {
+            for (k, per_shard) in assigned.iter().enumerate() {
+                if !per_shard.is_empty() {
+                    obs::trace::record(|| obs::trace::TraceEvent::ShardRoute {
+                        shard: k as u64,
+                        queries: per_shard.len() as u64,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Refreshes the per-shard balance gauges (`shard_records`,
+    /// `shard_sealed_fraction`) after a batch. Metrics-gated: the gauge
+    /// map takes a Mutex, so the disabled path must not touch it.
+    fn publish_shard_gauges(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        for (k, engine) in self.shards.iter().enumerate() {
+            let label = k.to_string();
+            obs::registry::SHARD_RECORDS.set(&label, engine.len() as f64);
+            obs::registry::SHARD_SEALED_FRACTION.set(&label, engine.sealed_fraction());
+        }
+    }
+
     /// [`EnginePoisoned`]; call [`repair`](Self::repair) to recover. The
     /// deployment **never** silently returns partial results.
     pub fn try_execute_batch(
@@ -780,7 +851,7 @@ impl<const D: usize> ShardedQuasii<D> {
         if let Some(e) = self.poison_error() {
             return Err(e);
         }
-        self.router.queries += queries.len() as u64;
+        self.router.add(RouterStats::QUERIES, queries.len() as u64);
         let mut results: Vec<Vec<u64>> = Vec::with_capacity(queries.len());
         results.resize_with(queries.len(), Vec::new);
         if queries.is_empty() {
@@ -789,7 +860,11 @@ impl<const D: usize> ShardedQuasii<D> {
         let assigned = self
             .fences
             .assign(queries.iter().map(|q| self.extended_span(q)));
-        self.router.shard_visits += assigned.iter().map(|a| a.len() as u64).sum::<u64>();
+        self.router.add(
+            RouterStats::SHARD_VISITS,
+            assigned.iter().map(|a| a.len() as u64).sum::<u64>(),
+        );
+        self.observe_routing(queries.len(), &assigned);
         let workers_cap = self.effective_shard_threads();
 
         let mut tasks: Vec<Task<'_, D>> = Vec::new();
@@ -875,6 +950,7 @@ impl<const D: usize> ShardedQuasii<D> {
         for r in &mut results {
             r.sort_unstable();
         }
+        self.publish_shard_gauges();
         Ok(results)
     }
 }
@@ -1185,10 +1261,20 @@ impl<const D: usize> SpatialIndex<D> for ShardedQuasii<D> {
         if let Some(e) = self.poison_error() {
             panic!("{e}");
         }
-        self.router.queries += 1;
+        self.router.inc(RouterStats::QUERIES);
         let (lo, hi) = self.extended_span(query);
         let range = self.fences.overlapping(lo, hi);
-        self.router.shard_visits += range.len() as u64;
+        self.router
+            .add(RouterStats::SHARD_VISITS, range.len() as u64);
+        if obs::enabled() {
+            obs::registry::SHARD_FANOUT.observe(range.len() as u64);
+        }
+        for k in range.clone() {
+            obs::trace::record(|| obs::trace::TraceEvent::ShardRoute {
+                shard: k as u64,
+                queries: 1,
+            });
+        }
         let mut hits = Vec::new();
         for k in range {
             self.shards[k].query(query, &mut hits);

@@ -27,6 +27,7 @@ use quasii::{KeyFences, Quasii};
 use quasii_common::fsx::SnapshotStore;
 use quasii_common::geom::{Aabb, Record};
 use quasii_common::index::SpatialIndex;
+use quasii_obs as obs;
 use std::path::Path;
 
 /// Health of one shard after [`Recovery::load`].
@@ -334,6 +335,17 @@ impl<const D: usize> DegradedQuasii<D> {
             }
         }
         hits.sort_unstable();
+        if obs::enabled() {
+            obs::registry::DEGRADED_QUERIES_TOTAL.inc();
+            if !missing.is_empty() {
+                obs::registry::DEGRADED_PARTIAL_TOTAL.inc();
+            }
+        }
+        if !missing.is_empty() {
+            obs::trace::record(|| obs::trace::TraceEvent::DegradedQuery {
+                missing: missing.len() as u64,
+            });
+        }
         (hits, Coverage { missing })
     }
 

@@ -24,6 +24,7 @@ pub use quasii;
 pub use quasii_common;
 pub use quasii_grid;
 pub use quasii_mosaic;
+pub use quasii_obs;
 pub use quasii_rtree;
 pub use quasii_sfc;
 pub use quasii_shard;
