@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|medium|full] [--out DIR] [--threads N]
-//!       [--shards K] [--assign-by lower|center|upper] [--json PATH]
+//!       [--shards K] [--assign-by lower|center|upper]
+//!       [--simd auto|scalar|sse2|avx2] [--json PATH]
 //!       <experiment>...
 //! repro all                        # every figure (medium scale)
 //! repro fig9 --scale small         # one figure, small inputs
@@ -12,8 +13,9 @@
 //!
 //! `--threads` adds a worker count to the `scaling` and `sharding` sweeps,
 //! `--shards` a shard count to the `sharding` sweep, `--assign-by` picks
-//! QUASII's assignment coordinate for those sweeps (all recorded in the
-//! report); `--json` writes a machine-readable per-experiment timing
+//! QUASII's assignment coordinate for those sweeps, `--simd` pins the
+//! kernel dispatch policy (default `auto`; the *resolved* ISA is recorded
+//! in the report); `--json` writes a machine-readable per-experiment timing
 //! summary, with the full run configuration embedded, so successive PRs can
 //! track the perf trajectory.
 
@@ -30,6 +32,7 @@ fn main() {
     let mut threads = 0usize;
     let mut shards = 0usize;
     let mut assign_by = AssignBy::default();
+    let mut simd = quasii::SimdPolicy::default();
     let mut json_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
@@ -72,6 +75,22 @@ fn main() {
                     eprintln!("unknown assignment mode '{v}' (lower|center|upper)");
                     std::process::exit(2);
                 });
+            }
+            "--simd" => {
+                i += 1;
+                let v = args.get(i).map(String::as_str).unwrap_or("");
+                simd = quasii::SimdPolicy::parse(v).unwrap_or_else(|| {
+                    eprintln!("unknown --simd '{v}' (auto|scalar|sse2|avx2)");
+                    std::process::exit(2);
+                });
+                if simd != quasii::SimdPolicy::Auto && simd.resolve().name() != simd.name() {
+                    eprintln!(
+                        "--simd {}: not supported on this host (best available: {})",
+                        simd.name(),
+                        quasii::SimdLevel::detect().name()
+                    );
+                    std::process::exit(2);
+                }
             }
             "--json" => {
                 i += 1;
@@ -124,6 +143,7 @@ fn main() {
     harness.threads = threads;
     harness.shards = shards;
     harness.assign_by = assign_by;
+    harness.simd = simd;
     let t = std::time::Instant::now();
     for exp in &experiments {
         if let Err(e) = harness.run(exp) {
@@ -159,7 +179,8 @@ fn main() {
 fn print_usage() {
     println!(
         "usage: repro [--scale tiny|small|medium|full] [--out DIR] [--threads N] \
-         [--shards K] [--assign-by lower|center|upper] [--json PATH] \
+         [--shards K] [--assign-by lower|center|upper] \
+         [--simd auto|scalar|sse2|avx2] [--json PATH] \
          [--metrics-out PATH] <experiment|all>..."
     );
     println!("experiments: {ALL_EXPERIMENTS:?}");

@@ -33,6 +33,7 @@ const REPS: usize = 3;
 pub fn run_exp(h: &mut Harness) {
     println!("\n=== Converged regime: steady-state QPS, sealed vs unsealed read path ===");
     let assign_by = h.assign_by;
+    let simd = h.simd;
     let data = h.uniform_data();
     let universe = mbb_of(&data);
     let n_queries = h.scale.uniform_queries;
@@ -46,7 +47,8 @@ pub fn run_exp(h: &mut Harness) {
         let cfg = QuasiiConfig::default()
             .with_assign_by(assign_by)
             .with_threads(threads)
-            .with_seal(seal);
+            .with_seal(seal)
+            .with_simd(simd);
         let mut idx = Quasii::new(data.clone(), cfg);
         let _ = idx.execute_batch(&warm);
         let organic = idx.sealed_fraction();
@@ -153,7 +155,9 @@ pub fn run_exp(h: &mut Harness) {
     // regime really stops paying crack costs.
     let mut fresh = Quasii::new(
         data.clone(),
-        QuasiiConfig::default().with_assign_by(assign_by),
+        QuasiiConfig::default()
+            .with_assign_by(assign_by)
+            .with_simd(simd),
     );
     let curve_queries: Vec<_> = warm.iter().chain(&steady).cloned().collect();
     let curve = crack_cost_curve(&mut fresh, &curve_queries);

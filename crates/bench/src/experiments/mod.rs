@@ -17,7 +17,7 @@ pub mod warm_start;
 use crate::runner::Approach;
 use crate::scale::Scale;
 use crate::OutputDir;
-use quasii::AssignBy;
+use quasii::{AssignBy, SimdPolicy};
 use quasii_common::dataset;
 use quasii_common::geom::{mbb_of, Aabb, Record};
 use quasii_common::index::SpatialIndex;
@@ -153,6 +153,12 @@ pub struct Harness {
     /// key column saves the most work — and it is recorded in the JSON
     /// report so trajectory files carry their configuration.
     pub assign_by: AssignBy,
+    /// SIMD kernel-dispatch policy from `repro --simd` (default: auto —
+    /// `QUASII_SIMD` env override, then runtime CPU detection). Every
+    /// QUASII engine the experiments build uses it; the *resolved* ISA is
+    /// recorded in the JSON report so perf numbers name the kernel
+    /// generation that produced them.
+    pub simd: SimdPolicy,
     neuro: Option<NeuroRun>,
     records: Vec<JsonRecord>,
 }
@@ -166,6 +172,7 @@ impl Harness {
             threads: 0,
             shards: 0,
             assign_by: AssignBy::default(),
+            simd: SimdPolicy::default(),
             neuro: None,
             records: Vec::new(),
         }
@@ -189,7 +196,7 @@ impl Harness {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
         format!(
-            "{{\"scale\": \"{}\", \"neuro_n\": {}, \"uniform_n\": {}, \"clusters\": {}, \"per_cluster\": {}, \"uniform_queries\": {}, \"threads\": {}, \"shards\": {}, \"assign_by\": \"{}\", \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \"scaling_workload\": {}, \"sharding_workload\": {}, \"converged_warmup\": {}, \"converged_workload\": {}, \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}}}",
+            "{{\"scale\": \"{}\", \"neuro_n\": {}, \"uniform_n\": {}, \"clusters\": {}, \"per_cluster\": {}, \"uniform_queries\": {}, \"threads\": {}, \"shards\": {}, \"assign_by\": \"{}\", \"simd\": \"{}\", \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \"scaling_workload\": {}, \"sharding_workload\": {}, \"converged_warmup\": {}, \"converged_workload\": {}, \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}}}",
             esc(self.scale.name),
             self.scale.neuro_n,
             self.scale.uniform_n,
@@ -199,6 +206,7 @@ impl Harness {
             self.threads,
             self.shards,
             esc(self.assign_by.name()),
+            esc(self.simd.resolve().name()),
             NEURO_DATA_SEED,
             UNIFORM_DATA_SEED,
             NEURO_WORKLOAD_SEED,

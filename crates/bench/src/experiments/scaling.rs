@@ -23,7 +23,12 @@ pub const WORKLOAD_SEED: u64 = 91;
 pub fn run_exp(h: &mut Harness) {
     println!("\n=== Scaling: batch-parallel query execution (threads x batch size) ===");
     let assign_by = h.assign_by;
-    let base_cfg = move || QuasiiConfig::default().with_assign_by(assign_by);
+    let simd = h.simd;
+    let base_cfg = move || {
+        QuasiiConfig::default()
+            .with_assign_by(assign_by)
+            .with_simd(simd)
+    };
     let data = h.uniform_data();
     let universe = mbb_of(&data);
     let n_queries = h.scale.uniform_queries;

@@ -39,7 +39,12 @@ const BATCH: usize = 64;
 pub fn run_exp(h: &mut Harness) {
     println!("\n=== Sharding: multi-instance shard router (shards x threads) ===");
     let assign_by = h.assign_by;
-    let base_cfg = move || QuasiiConfig::default().with_assign_by(assign_by);
+    let simd = h.simd;
+    let base_cfg = move || {
+        QuasiiConfig::default()
+            .with_assign_by(assign_by)
+            .with_simd(simd)
+    };
     let data = h.uniform_data();
     let universe = mbb_of(&data);
     let n_queries = h.scale.uniform_queries;

@@ -44,7 +44,8 @@ pub fn run_exp(h: &mut Harness) {
     let steady = workload::uniform(&universe, n_queries, 1e-3, WORKLOAD_SEED).queries;
     let cfg = QuasiiConfig::default()
         .with_assign_by(assign_by)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_simd(h.simd);
     println!(
         "{} objects, {} warm-up + {} steady queries, {} thread(s)",
         data.len(),

@@ -87,6 +87,8 @@ pub enum Command {
         /// Whether QUASII compacts converged regions into sealed arenas
         /// ("true"/"false"; default true).
         seal: String,
+        /// SIMD kernel dispatch policy for QUASII: auto|scalar|sse2|avx2.
+        simd: String,
         /// Snapshot file to revive the index from instead of `--data`
         /// (quasii only; empty = cold start from the dataset).
         warm_start: String,
@@ -115,6 +117,9 @@ pub enum Command {
         shards: usize,
         /// Assignment coordinate: lower|center|upper.
         assign_by: String,
+        /// SIMD kernel dispatch policy: auto|scalar|sse2|avx2 (a host
+        /// property — never stored in the snapshot).
+        simd: String,
         /// "true" finalizes (fully cracks) the index instead of warming it
         /// with queries.
         finalize: String,
@@ -153,6 +158,31 @@ where
     value
         .parse()
         .map_err(|e| format!("--{flag}: cannot parse '{value}': {e}"))
+}
+
+/// Parses and validates a `--simd` value: unknown spellings and ISAs the
+/// host cannot run (a forced level the dispatcher would clamp down) are
+/// both flag errors, so a forced run never silently degrades.
+fn parse_simd(value: &str) -> Result<quasii::SimdPolicy, String> {
+    let policy = quasii::SimdPolicy::parse(value)
+        .ok_or_else(|| format!("unknown --simd '{value}' (auto|scalar|sse2|avx2)"))?;
+    if policy != quasii::SimdPolicy::Auto && policy.resolve().name() != policy.name() {
+        return Err(format!(
+            "--simd {}: not supported on this host (best available: {})",
+            policy.name(),
+            quasii::SimdLevel::detect().name()
+        ));
+    }
+    Ok(policy)
+}
+
+/// One line naming the kernel generation a QUASII run dispatches to.
+fn report_simd(policy: quasii::SimdPolicy) {
+    println!(
+        "simd kernels: {} (policy {})",
+        policy.resolve().name(),
+        policy.name()
+    );
 }
 
 /// Parses raw arguments (without the binary name).
@@ -210,6 +240,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             shards: num("shards", &get("shards", Some("0"))?)?,
             assign_by: get("assign-by", Some("lower"))?,
             seal: get("seal", Some("true"))?,
+            simd: get("simd", Some("auto"))?,
             warm_start: get("warm-start", Some(""))?,
             metrics: match get("metrics", Some("false"))?.as_str() {
                 "true" => true,
@@ -227,6 +258,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             threads: num("threads", &get("threads", Some("0"))?)?,
             shards: num("shards", &get("shards", Some("0"))?)?,
             assign_by: get("assign-by", Some("lower"))?,
+            simd: get("simd", Some("auto"))?,
             finalize: get("finalize", Some("false"))?,
             layout: get("layout", Some("packed"))?,
             fault: get("fault", Some(""))?,
@@ -256,11 +288,12 @@ USAGE:
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--batch N] [--threads N] [--shards K]
                   [--assign-by lower|center|upper] [--seal true|false]
-                  [--metrics]
+                  [--simd auto|scalar|sse2|avx2] [--metrics]
   quasii snapshot --data FILE --out SNAP [--queries N] [--volume FRAC]
                   [--pattern uniform|clustered|skewed] [--seed S]
                   [--threads N] [--shards K]
                   [--assign-by lower|center|upper] [--finalize true|false]
+                  [--simd auto|scalar|sse2|avx2]
                   [--layout packed|parts] [--fault SPEC]
   quasii verify   --path FILE
   quasii recover  --snapshot SNAP [--data FILE]
@@ -279,7 +312,11 @@ assignment coordinate (paper footnote 1; lower is the paper's default —
 center/upper exercise the engine's cached-key modes). --seal false keeps
 the adaptive machinery on every query (the sealed read path's reference
 configuration); results are identical either way, and the run prints the
-sealed fraction reached. --metrics turns on the global metrics registry
+sealed fraction reached. --simd picks the kernel generation QUASII's
+column kernels dispatch to (auto = QUASII_SIMD env override, then runtime
+CPU detection; forcing an ISA the host lacks is an error; scalar is the
+bit-for-bit oracle) — results are identical for every level, and the run
+prints the selected ISA. --metrics turns on the global metrics registry
 for the run and prints a latency table afterwards (batch phase p50/p90/p99,
 shard fan-out, seal sweeps); metrics are a pure side channel — answers are
 byte-identical with or without it.
@@ -389,6 +426,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             shards,
             assign_by,
             seal,
+            simd,
             warm_start,
             metrics,
         } => {
@@ -419,6 +457,10 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             };
             if !seal && index != "quasii" {
                 return Err("--seal requires --index quasii".to_string());
+            }
+            let simd = parse_simd(&simd)?;
+            if simd != quasii::SimdPolicy::Auto && index != "quasii" {
+                return Err("--simd requires --index quasii".to_string());
             }
             /// Runs the workload one query at a time (`batch == 0`) or in
             /// batches through the index's batch path, printing one summary
@@ -492,6 +534,17 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                         "--seal conflicts with --warm-start (stored in the snapshot)".to_string(),
                     );
                 }
+                if simd != quasii::SimdPolicy::Auto {
+                    // Dispatch is a host property, never persisted: a revived
+                    // engine re-resolves the default policy, which honors the
+                    // QUASII_SIMD environment override.
+                    return Err(
+                        "--simd conflicts with --warm-start (dispatch is re-resolved at load; \
+                         set QUASII_SIMD to override)"
+                            .to_string(),
+                    );
+                }
+                report_simd(quasii::SimdPolicy::default());
                 let bytes = std::fs::read(&warm_start)
                     .map_err(|e| format!("cannot read '{warm_start}': {e}"))?;
                 println!(
@@ -565,6 +618,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     report(i, b, &w.queries, batch);
                 }
                 "quasii" if shards > 0 => {
+                    report_simd(simd);
                     let cfg = ShardConfig::default()
                         .with_shards(shards)
                         .with_shard_threads(threads)
@@ -572,7 +626,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                             QuasiiConfig::default()
                                 .with_threads(threads)
                                 .with_assign_by(assign_by)
-                                .with_seal(seal),
+                                .with_seal(seal)
+                                .with_simd(simd),
                         );
                     let (b, i) = timed(|| ShardedQuasii::new(records, cfg));
                     let snaps = i.snapshots();
@@ -582,10 +637,12 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     report_sealed(&i);
                 }
                 "quasii" => {
+                    report_simd(simd);
                     let cfg = QuasiiConfig::default()
                         .with_threads(threads)
                         .with_assign_by(assign_by)
-                        .with_seal(seal);
+                        .with_seal(seal)
+                        .with_simd(simd);
                     let (b, i) = timed(|| Quasii::new(records, cfg));
                     let i = report(i, b, &w.queries, batch);
                     report_sealed(&i);
@@ -605,12 +662,14 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             threads,
             shards,
             assign_by,
+            simd,
             finalize,
             layout,
             fault,
         } => {
             let assign_by = quasii::AssignBy::parse(&assign_by)
                 .ok_or_else(|| format!("unknown --assign-by '{assign_by}' (lower|center|upper)"))?;
+            let simd = parse_simd(&simd)?;
             let finalize = match finalize.as_str() {
                 "true" => true,
                 "false" => false,
@@ -645,7 +704,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             let w = build_workload(&universe, &pattern, queries, volume, seed)?;
             let inner = QuasiiConfig::default()
                 .with_threads(threads)
-                .with_assign_by(assign_by);
+                .with_assign_by(assign_by)
+                .with_simd(simd);
             let out_path = Path::new(&out);
             if shards > 0 {
                 let cfg = ShardConfig::default()
@@ -987,6 +1047,7 @@ mod tests {
             shards: 0,
             assign_by: assign_by.into(),
             seal: seal.into(),
+            simd: "auto".into(),
             warm_start: String::new(),
             metrics: false,
         };
@@ -1061,6 +1122,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: warm_start.into(),
             metrics: false,
         };
@@ -1097,6 +1159,7 @@ mod tests {
             threads: 0,
             shards,
             assign_by: "lower".into(),
+            simd: "auto".into(),
             finalize: finalize.into(),
             layout: "packed".into(),
             fault: String::new(),
@@ -1113,6 +1176,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: snap.to_string_lossy().to_string(),
             metrics: false,
         };
@@ -1156,6 +1220,7 @@ mod tests {
             threads: 0,
             shards: 3,
             assign_by: "lower".into(),
+            simd: "auto".into(),
             finalize: "false".into(),
             layout: "parts".into(),
             fault: fault.into(),
@@ -1179,6 +1244,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: snap.clone(),
             metrics: false,
         })
@@ -1240,6 +1306,7 @@ mod tests {
                 shards: 0,
                 assign_by: "lower".into(),
                 seal: "true".into(),
+                simd: "auto".into(),
                 warm_start: String::new(),
                 metrics: false,
             })
@@ -1258,6 +1325,7 @@ mod tests {
             shards: 0,
             assign_by: "center".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: String::new(),
             metrics: false,
         })
@@ -1275,6 +1343,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "false".into(),
+            simd: "auto".into(),
             warm_start: String::new(),
             metrics: false,
         })
@@ -1292,6 +1361,7 @@ mod tests {
             shards: 3,
             assign_by: "lower".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: String::new(),
             metrics: false,
         })
@@ -1309,6 +1379,7 @@ mod tests {
             shards: 2,
             assign_by: "lower".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: String::new(),
             metrics: false,
         })
@@ -1325,6 +1396,7 @@ mod tests {
             shards: 0,
             assign_by: "lower".into(),
             seal: "true".into(),
+            simd: "auto".into(),
             warm_start: String::new(),
             metrics: false,
         })

@@ -12,7 +12,12 @@ use std::fmt;
 /// Invariant for *valid* boxes: `lo[k] <= hi[k]` for every dimension `k`.
 /// [`Aabb::empty`] deliberately violates the invariant (`+inf`/`-inf`) so it
 /// can serve as the identity element for [`Aabb::expand`].
+///
+/// `#[repr(C)]` pins the layout to `2 × D` contiguous `f64`s (`lo` then
+/// `hi`, no padding): the batched SIMD intersect kernels load corner
+/// vectors straight out of the struct and rely on it.
 #[derive(Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct Aabb<const D: usize> {
     /// Lower corner, `lower(b)` in the paper.
     pub lo: [f64; D],

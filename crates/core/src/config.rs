@@ -1,5 +1,7 @@
 //! QUASII configuration and the τ threshold schedule (paper §5.1, Eq. 1).
 
+use crate::simd::SimdPolicy;
+
 /// Which representative coordinate assigns an object to a slice.
 ///
 /// The paper uses the lower coordinate and notes (§5.1, footnote 1) that
@@ -71,6 +73,12 @@ pub struct QuasiiConfig {
     /// every query — the configuration the sealed path is benchmarked and
     /// property-tested against (results are identical either way).
     pub seal: bool,
+    /// Kernel-generation policy for the SIMD column kernels (see
+    /// [`crate::simd`]). `Auto` (the default) honors the `QUASII_SIMD`
+    /// environment override, then runtime CPU detection; forcing
+    /// `Scalar` runs the bit-for-bit oracle kernels. Results are
+    /// identical for every value.
+    pub simd: SimdPolicy,
 }
 
 impl Default for QuasiiConfig {
@@ -81,6 +89,7 @@ impl Default for QuasiiConfig {
             max_artificial_depth: 64,
             threads: 0,
             seal: true,
+            simd: SimdPolicy::Auto,
         }
     }
 }
@@ -122,6 +131,14 @@ impl QuasiiConfig {
     /// sealed path is verified against.
     pub fn with_seal(mut self, seal: bool) -> Self {
         self.seal = seal;
+        self
+    }
+
+    /// Returns `self` with the SIMD kernel-generation policy set
+    /// (chainable). `with_simd(SimdPolicy::Scalar)` is the oracle
+    /// configuration the vector kernels are verified against.
+    pub fn with_simd(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
         self
     }
 }
@@ -192,7 +209,12 @@ mod tests {
         assert_eq!(c.tau, 60);
         assert_eq!(c.threads, 0, "0 = auto (available parallelism)");
         assert!(c.seal, "sealed read path is on by default");
+        assert_eq!(c.simd, SimdPolicy::Auto, "kernel dispatch defaults to auto");
         assert!(!QuasiiConfig::default().with_seal(false).seal);
+        assert_eq!(
+            QuasiiConfig::default().with_simd(SimdPolicy::Scalar).simd,
+            SimdPolicy::Scalar
+        );
         assert_eq!(QuasiiConfig::with_tau(8).with_threads(4).threads, 4);
         assert_eq!(
             QuasiiConfig::default()

@@ -14,6 +14,7 @@ use crate::crack::{
     crack_median_keyed_measured, crack_three_keyed_measured, crack_two_keyed_measured, DimBounds,
 };
 use crate::keys::rekey;
+use crate::simd::{self, SimdLevel};
 use crate::slice::Slice;
 use crate::stats::QuasiiStats;
 use quasii_common::geom::{Aabb, Record};
@@ -27,6 +28,16 @@ pub(crate) struct Env<const D: usize> {
     pub mode: AssignBy,
     /// Recursion guard for artificial refinement.
     pub max_artificial_depth: usize,
+    /// Kernel generation for the streaming test kernels (bottom-level
+    /// collect, sealed lane tests), resolved once at engine construction
+    /// (see [`crate::simd`]).
+    pub simd: SimdLevel,
+    /// Kernel generation for the partition (crack) kernels. Resolved
+    /// separately because `Auto` keeps the cracks on the scalar fused
+    /// generation: the chunked classify-then-swap pass re-streams the key
+    /// column and loses on bandwidth-bound hosts (see
+    /// [`crate::simd::SimdPolicy::resolve_crack`]).
+    pub simd_crack: SimdLevel,
 }
 
 /// Mutable runtime state shared across the recursion.
@@ -201,14 +212,16 @@ fn artificial<const D: usize>(
     let kseg = &mut keys[s.begin..s.end];
     let hseg = &mut his[s.begin..s.end];
     let seg_len = seg.len() as u64;
-    let (mut split, mut lm, mut rm) = crack_two_keyed_measured(kseg, hseg, seg, dim, env.mode, mid);
+    let (mut split, mut lm, mut rm) =
+        crack_two_keyed_measured(kseg, hseg, seg, dim, env.mode, mid, env.simd_crack);
     let mut split_value = mid;
     if split == 0 || split == seg.len() {
         // Midpoint failed to separate — rank-based fallback (rare: only on
         // degenerate value distributions). The measuring kernel returns
         // both halves' bounds from its final partition pass, so no
         // re-scan of the halves is needed here either.
-        let (msplit, mlm, mrm) = crack_median_keyed_measured(kseg, hseg, seg, dim, env.mode);
+        let (msplit, mlm, mrm) =
+            crack_median_keyed_measured(kseg, hseg, seg, dim, env.mode, env.simd_crack);
         if msplit == 0 || msplit == seg.len() {
             out.push(force_refine(data, s, rt));
             return;
@@ -263,6 +276,7 @@ pub(crate) fn refine<const D: usize>(
                 env.mode,
                 ql,
                 qu,
+                env.simd_crack,
             );
             record_crack(rt, seg_len);
             let (b, m1, m2, e) = (s.begin, s.begin + p1, s.begin + p2, s.end);
@@ -279,6 +293,7 @@ pub(crate) fn refine<const D: usize>(
                 dim,
                 env.mode,
                 ql,
+                env.simd_crack,
             );
             record_crack(rt, seg_len);
             let m = s.begin + p;
@@ -296,6 +311,7 @@ pub(crate) fn refine<const D: usize>(
                 dim,
                 env.mode,
                 pivot,
+                env.simd_crack,
             );
             record_crack(rt, seg_len);
             let m = s.begin + p;
@@ -341,16 +357,15 @@ fn descend<const D: usize>(
         // advances by the (branch-free) intersection result, and the
         // over-provisioned tail is truncated: the converged fast path pays
         // no unpredictable branch per record and exactly one reservation.
+        // `collect_bottom` dispatches to the batched AABB kernel (one
+        // vector compare pair per record at D == 2/3) or the scalar
+        // branchless loop, with identical emissions either way.
         let seg = &data[s.begin..s.end];
         rt.stats.objects_tested += seg.len() as u64;
         let start = out.len();
         out.resize(start + seg.len(), 0);
-        let mut w = start;
-        for r in seg {
-            out[w] = r.id;
-            w += r.mbb.intersects_branchless(q) as usize;
-        }
-        out.truncate(w);
+        let w = simd::collect_bottom(env.simd, seg, q, &mut out[start..]);
+        out.truncate(start + w);
         return;
     }
     if s.children.is_empty() {

@@ -39,6 +39,7 @@ pub mod fence;
 pub mod keys;
 mod persist;
 mod seal;
+pub mod simd;
 mod slice;
 mod stats;
 mod validate;
@@ -55,6 +56,7 @@ pub mod snapshot {
 pub use config::{tau_schedule, AssignBy, QuasiiConfig};
 pub use fence::KeyFences;
 pub use keys::KeyColumn;
+pub use simd::{SimdLevel, SimdPolicy};
 pub use stats::{QuasiiStats, SealStats};
 
 use engine::{Env, Runtime};
@@ -176,6 +178,10 @@ impl<const D: usize> Quasii<D> {
     /// query, so data-to-insight time is exactly the first query's latency.
     pub fn new(data: Vec<Record<D>>, cfg: QuasiiConfig) -> Self {
         let tau = config::tau_schedule::<D>(data.len(), cfg.tau);
+        let simd = cfg.simd.resolve();
+        if obs::enabled() {
+            obs::registry::SIMD_LEVEL.set(simd.name(), 1.0);
+        }
         Self {
             data,
             keys: KeyColumn::new(),
@@ -184,6 +190,8 @@ impl<const D: usize> Quasii<D> {
                 tau,
                 mode: cfg.assign_by,
                 max_artificial_depth: cfg.max_artificial_depth,
+                simd,
+                simd_crack: cfg.simd.resolve_crack(),
             },
             rt: Runtime::new(),
             cfg,
@@ -705,7 +713,7 @@ impl<const D: usize> Quasii<D> {
                 // descent's output and tested count).
                 tested += region.emit_all(out);
             } else {
-                tested += region.run(q, qe, out);
+                tested += region.run(q, qe, out, self.env.simd);
             }
         }
         tested

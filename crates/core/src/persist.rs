@@ -602,6 +602,11 @@ pub(crate) fn load<const D: usize>(bytes: Vec<u8>) -> Result<Quasii<D>, Snapshot
             1 => true,
             other => return Err(corrupt(format!("seal flag {other}"))),
         },
+        // The SIMD policy is a host property, not index state: a snapshot
+        // written on an AVX2 host must dispatch scalar on a host without
+        // it (results are identical either way), so it is never persisted
+        // and every load re-resolves from the default policy.
+        simd: crate::simd::SimdPolicy::default(),
     };
     let mut stats = QuasiiStats::default();
     for slot in [
@@ -786,6 +791,8 @@ pub(crate) fn load<const D: usize>(bytes: Vec<u8>) -> Result<Quasii<D>, Snapshot
             tau: config::tau_schedule::<D>(n, cfg.tau),
             mode: cfg.assign_by,
             max_artificial_depth: cfg.max_artificial_depth,
+            simd: cfg.simd.resolve(),
+            simd_crack: cfg.simd.resolve_crack(),
         },
         rt,
         cfg,

@@ -69,6 +69,7 @@
 //! proves it property-based, with the sealing-disabled engine as oracle).
 
 use crate::persist::AlignedBytes;
+use crate::simd::{self, SimdLevel};
 use crate::slice::Slice;
 use quasii_common::geom::{Aabb, Record};
 use std::sync::Arc;
@@ -488,12 +489,14 @@ impl<const D: usize> SealedRegion<D> {
     /// box) to the region's root slice, exactly as `query_level` does
     /// before descending a refined top-level slice (and takes
     /// [`emit_all`](Self::emit_all) when `q` contains the root box).
-    pub fn run(&self, q: &Aabb<D>, qe: &Aabb<D>, out: &mut Vec<u64>) -> u64 {
+    /// `level` selects the lane-test kernel generation (see
+    /// [`crate::simd`]); results are identical for every level.
+    pub fn run(&self, q: &Aabb<D>, qe: &Aabb<D>, out: &mut Vec<u64>, level: SimdLevel) -> u64 {
         if self.levels.is_empty() {
             // D == 1: the region root is the bottom level.
-            self.scan_range(0, self.records(), q, [true; D], [true; D], out)
+            self.scan_range(0, self.records(), q, [true; D], [true; D], out, level)
         } else {
-            self.walk(0, 0, self.levels[0].len, q, qe, out)
+            self.walk(0, 0, self.levels[0].len, q, qe, out, level)
         }
     }
 
@@ -507,6 +510,7 @@ impl<const D: usize> SealedRegion<D> {
     /// and a record inside `q`'s interval on a dimension passes that
     /// dimension's intersection test by construction), which is exactly the
     /// id sequence, order, and tested count the full descent would produce.
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         &self,
         idx: usize,
@@ -515,6 +519,7 @@ impl<const D: usize> SealedRegion<D> {
         q: &Aabb<D>,
         qe: &Aabb<D>,
         out: &mut Vec<u64>,
+        level: SimdLevel,
     ) -> u64 {
         let key_col = self.key_lo(idx);
         let metas = self.meta(idx);
@@ -567,7 +572,7 @@ impl<const D: usize> SealedRegion<D> {
                     }
                     _ => {
                         if let Some((pb, pe, plo, phi)) = run.take() {
-                            tested += self.scan_range(pb, pe, q, plo, phi, out);
+                            tested += self.scan_range(pb, pe, q, plo, phi, out, level);
                         }
                         run = Some((rb, re, test_lo, test_hi));
                     }
@@ -577,11 +582,11 @@ impl<const D: usize> SealedRegion<D> {
                 tested += (re - rb) as u64;
             } else {
                 let (clo, chi) = (node.child_start as usize, node.child_end as usize);
-                tested += self.walk(idx + 1, clo, chi, q, qe, out);
+                tested += self.walk(idx + 1, clo, chi, q, qe, out, level);
             }
         }
         if let Some((pb, pe, plo, phi)) = run {
-            tested += self.scan_range(pb, pe, q, plo, phi, out);
+            tested += self.scan_range(pb, pe, q, plo, phi, out, level);
         }
         tested
     }
@@ -595,6 +600,7 @@ impl<const D: usize> SealedRegion<D> {
     /// "fancy scan" form: a boundary leaf usually crosses the query on one
     /// or two dimensions, so the scan streams one or two narrow `f64`
     /// lanes plus the id column instead of striding 56-byte records.
+    #[allow(clippy::too_many_arguments)]
     fn scan_range(
         &self,
         b: usize,
@@ -603,6 +609,7 @@ impl<const D: usize> SealedRegion<D> {
         test_lo: [bool; D],
         test_hi: [bool; D],
         out: &mut Vec<u64>,
+        level: SimdLevel,
     ) -> u64 {
         let m = e - b;
         // Gather the active lane tests in normalized `v <= bound` form.
@@ -674,33 +681,42 @@ impl<const D: usize> SealedRegion<D> {
                 base += c;
             }
         } else {
-            // Fused predicated loops for the common lane counts: every id
-            // is written, the cursor advances by the branch-free conjunction
-            // of the active lane tests.
+            // Fused lane tests for the common lane counts, dispatched through
+            // [`crate::simd::scan_emit`]: the vector kernels run the `v <=
+            // bound` compares four records wide, AND the masks across active
+            // lanes and left-pack the surviving ids; the scalar generation is
+            // the original predicated loop. Emission order is the id order
+            // either way, so the output is byte-identical across levels.
             match k {
                 1 => {
-                    let (l0, b0) = (lanes[0], bounds[0]);
-                    for (&id, &v0) in ids.iter().zip(l0) {
-                        out[w] = id as u64;
-                        w += (v0 <= b0) as usize;
-                    }
+                    w = start
+                        + simd::scan_emit::<1>(
+                            level,
+                            ids,
+                            [lanes[0]],
+                            [bounds[0]],
+                            &mut out[start..],
+                        );
                 }
                 2 => {
-                    let (l0, b0) = (lanes[0], bounds[0]);
-                    let (l1, b1) = (lanes[1], bounds[1]);
-                    for ((&id, &v0), &v1) in ids.iter().zip(l0).zip(l1) {
-                        out[w] = id as u64;
-                        w += ((v0 <= b0) & (v1 <= b1)) as usize;
-                    }
+                    w = start
+                        + simd::scan_emit::<2>(
+                            level,
+                            ids,
+                            [lanes[0], lanes[1]],
+                            [bounds[0], bounds[1]],
+                            &mut out[start..],
+                        );
                 }
                 3 => {
-                    let (l0, b0) = (lanes[0], bounds[0]);
-                    let (l1, b1) = (lanes[1], bounds[1]);
-                    let (l2, b2) = (lanes[2], bounds[2]);
-                    for (((&id, &v0), &v1), &v2) in ids.iter().zip(l0).zip(l1).zip(l2) {
-                        out[w] = id as u64;
-                        w += ((v0 <= b0) & (v1 <= b1) & (v2 <= b2)) as usize;
-                    }
+                    w = start
+                        + simd::scan_emit::<3>(
+                            level,
+                            ids,
+                            [lanes[0], lanes[1], lanes[2]],
+                            [bounds[0], bounds[1], bounds[2]],
+                            &mut out[start..],
+                        );
                 }
                 _ => {
                     for (p, &id) in ids.iter().enumerate() {
@@ -764,7 +780,7 @@ mod tests {
                     break;
                 }
                 if q.intersects(&s.bbox) {
-                    r.run(q, &qe, &mut got);
+                    r.run(q, &qe, &mut got, SimdLevel::detect());
                 }
             }
             let _ = arr2;

@@ -1,0 +1,1235 @@
+//! Runtime-dispatched SIMD kernels for the narrow-column hot paths.
+//!
+//! PR 4/5 shaped every hot loop into contiguous `f64`/`u32` column scans
+//! (keyed crack kernels, the sealed arena's negated-upper `v <= bound`
+//! lane tests) precisely so the hardware could chew them; this module
+//! vectorizes those scans explicitly with `core::arch::x86_64`
+//! intrinsics behind a one-time runtime-detected dispatch.
+//!
+//! Three kernel families:
+//!
+//! - **Crack classify / fast-forward** ([`classify_two`], [`ff_lt`],
+//!   [`ff_ge_rev`], [`ff_middle`], [`ff_middle_fold`]): the chunked
+//!   classify-then-swap two-way crack counts `keys < pivot` and folds
+//!   per-partition min-key / max-hi bounds as 4-wide vector reductions,
+//!   then performs the permutation-exact swap pass with vectorized
+//!   pointer fast-forward scans. The three-way (DNF) kernel keeps its
+//!   inherently sequential swap loop and vectorizes its middle-run
+//!   fast-forward.
+//! - **Sealed lane tests** ([`scan_emit`]): the bottom-level
+//!   `rec_lo`/`rec_nhi` columns run 4-wide `v <= bound` compares, masks
+//!   are ANDed across active lanes, and ids are emitted by a
+//!   movemask-indexed left-packing permutation.
+//! - **Batched AABB intersect** ([`collect_bottom`]): the unsealed
+//!   bottom-level collect tests a whole `#[repr(C)]` [`Aabb`] per
+//!   compare pair instead of 2×D scalar compares.
+//!
+//! # Dispatch policy
+//!
+//! [`SimdPolicy`] is the config-level knob (`Auto` by default);
+//! [`SimdPolicy::resolve`] turns it into a concrete [`SimdLevel`] once,
+//! at engine construction. `Auto` honors a `QUASII_SIMD` environment
+//! override (`auto|scalar|sse2|avx2`, read once per process) and
+//! otherwise probes the host with `is_x86_feature_detected!`. Forced
+//! levels are clamped to what the host actually supports, and every
+//! dispatch function re-clamps before entering an intrinsic kernel, so
+//! a hand-constructed [`SimdLevel`] can never execute an unsupported
+//! instruction. Non-x86_64 targets compile only the scalar fallbacks
+//! and always detect [`SimdLevel::Scalar`].
+//!
+//! # Equivalence contract
+//!
+//! Every kernel here is a drop-in for a scalar twin that remains in the
+//! codebase as the bit-for-bit oracle: permutations are exact (the
+//! chunked crack reproduces the scalar Hoare pairing swap for swap) and
+//! fold results are value-identical on NaN-free data. The one
+//! documented divergence: min/max *vector* folds may keep the opposite
+//! zero sign when `-0.0` and `+0.0` tie. The values still compare equal
+//! under `f64` comparison — only raw snapshot bytes could differ, and
+//! only for datasets containing negative zero.
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+use std::sync::OnceLock;
+
+use crate::crack::DimBounds;
+use quasii_common::geom::{Aabb, Record};
+
+/// Config-level kernel-generation knob: how an engine picks the ISA its
+/// column kernels run on. `Auto` (the default) defers to the
+/// `QUASII_SIMD` environment override, then to runtime CPU detection;
+/// the other variants force a level (clamped to host capabilities).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Environment override, else best detected level.
+    #[default]
+    Auto,
+    /// Force the scalar oracle kernels.
+    Scalar,
+    /// Force the 2-wide SSE2 floor kernels.
+    Sse2,
+    /// Force the 4-wide AVX2 kernels.
+    Avx2,
+}
+
+impl SimdPolicy {
+    /// Parses a policy from its CLI spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "auto" => Some(SimdPolicy::Auto),
+            "scalar" => Some(SimdPolicy::Scalar),
+            "sse2" => Some(SimdPolicy::Sse2),
+            "avx2" => Some(SimdPolicy::Avx2),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdPolicy::Auto => "auto",
+            SimdPolicy::Scalar => "scalar",
+            SimdPolicy::Sse2 => "sse2",
+            SimdPolicy::Avx2 => "avx2",
+        }
+    }
+
+    /// Resolves the policy to the concrete [`SimdLevel`] the engine will
+    /// run. `Auto` consults the `QUASII_SIMD` environment variable (read
+    /// once per process and cached) before falling back to host
+    /// detection; forced levels are clamped to host capabilities.
+    pub fn resolve(self) -> SimdLevel {
+        match self {
+            SimdPolicy::Auto => match env_override() {
+                Some(forced) => forced.resolve_forced(),
+                None => SimdLevel::detect(),
+            },
+            other => other.resolve_forced(),
+        }
+    }
+
+    /// Resolves the level for the **partition (crack) kernels**, which
+    /// dispatch separately from the streaming test kernels. The chunked
+    /// classify-then-swap crack re-streams the key column once more than
+    /// the fused scalar generation, which loses on bandwidth-bound hosts
+    /// (measured in EXPERIMENTS.md "Kernel generations"), so `Auto` keeps
+    /// the cracks scalar. An explicit force — config policy or
+    /// `QUASII_SIMD` — still wins, so the byte-identity suites exercise
+    /// the chunked kernels and wider-vector hosts can opt them in.
+    pub fn resolve_crack(self) -> SimdLevel {
+        match self {
+            SimdPolicy::Auto => match env_override() {
+                Some(forced) => forced.resolve_forced(),
+                None => SimdLevel::Scalar,
+            },
+            other => other.resolve_forced(),
+        }
+    }
+
+    fn resolve_forced(self) -> SimdLevel {
+        match self {
+            SimdPolicy::Auto => SimdLevel::detect(),
+            SimdPolicy::Scalar => SimdLevel::Scalar,
+            SimdPolicy::Sse2 => SimdLevel::Sse2.clamp_to_host(),
+            SimdPolicy::Avx2 => SimdLevel::Avx2.clamp_to_host(),
+        }
+    }
+}
+
+/// Reads `QUASII_SIMD` once per process. Only [`SimdPolicy::Auto`]
+/// consults this, so an explicit config-level force always wins.
+fn env_override() -> Option<SimdPolicy> {
+    static CACHE: OnceLock<Option<SimdPolicy>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("QUASII_SIMD")
+            .ok()
+            .and_then(|s| SimdPolicy::parse(s.trim()))
+    })
+}
+
+/// The concrete kernel generation an engine dispatches to, resolved
+/// once at construction from a [`SimdPolicy`]. Ordered by width so
+/// forced levels clamp to host capabilities with `min`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar kernels — the bit-for-bit oracle, and the only
+    /// level compiled on non-x86_64 targets.
+    Scalar,
+    /// 2-wide `f64` kernels on the x86_64 SSE2 baseline.
+    Sse2,
+    /// 4-wide `f64` kernels requiring runtime-detected AVX2.
+    Avx2,
+}
+
+impl SimdLevel {
+    /// The best level the host supports, probed once per process.
+    pub fn detect() -> Self {
+        static HOST: OnceLock<SimdLevel> = OnceLock::new();
+        *HOST.get_or_init(|| {
+            #[cfg(target_arch = "x86_64")]
+            {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    SimdLevel::Avx2
+                } else {
+                    // SSE2 is part of the x86_64 baseline.
+                    SimdLevel::Sse2
+                }
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                SimdLevel::Scalar
+            }
+        })
+    }
+
+    /// The human/metrics label for this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// `SimdLevel` is freely constructible, so every dispatcher clamps
+    /// to host capabilities before touching an intrinsic kernel.
+    #[inline]
+    fn clamp_to_host(self) -> Self {
+        self.min(Self::detect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-way classify: count + per-partition fold in one pass.
+// ---------------------------------------------------------------------------
+
+/// Census of a segment against a two-way crack pivot: how many keys sit
+/// strictly below it, plus min-key / max-hi folds for each side. Feeds
+/// the chunked classify-then-swap two-way crack.
+#[derive(Clone, Copy, Debug)]
+pub struct TwoFold {
+    /// Number of keys strictly below the pivot (the final split point).
+    pub count_lt: usize,
+    /// Minimum key among `keys < pivot`.
+    pub l_min_key: f64,
+    /// Maximum upper bound among `keys < pivot`.
+    pub l_max_hi: f64,
+    /// Minimum key among `keys >= pivot`.
+    pub r_min_key: f64,
+    /// Maximum upper bound among `keys >= pivot`.
+    pub r_max_hi: f64,
+}
+
+impl TwoFold {
+    fn empty() -> Self {
+        TwoFold {
+            count_lt: 0,
+            l_min_key: f64::INFINITY,
+            l_max_hi: f64::NEG_INFINITY,
+            r_min_key: f64::INFINITY,
+            r_max_hi: f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[inline]
+fn fold_min(acc: &mut f64, v: f64) {
+    if v < *acc {
+        *acc = v;
+    }
+}
+
+#[inline]
+fn fold_max(acc: &mut f64, v: f64) {
+    if v > *acc {
+        *acc = v;
+    }
+}
+
+/// Classifies `keys` against `pivot`, counting `keys < pivot` and
+/// folding min-key / max-hi for both partitions in a single pass over
+/// the two narrow columns. `keys` and `his` run in lockstep.
+pub fn classify_two(level: SimdLevel, keys: &[f64], his: &[f64], pivot: f64) -> TwoFold {
+    debug_assert_eq!(keys.len(), his.len());
+    let mut acc = TwoFold::empty();
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { classify_two_avx2(keys, his, pivot, &mut acc) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { classify_two_sse2(keys, his, pivot, &mut acc) },
+        _ => classify_two_scalar(keys, his, pivot, &mut acc),
+    }
+    acc
+}
+
+fn classify_two_scalar(keys: &[f64], his: &[f64], pivot: f64, acc: &mut TwoFold) {
+    for (&k, &h) in keys.iter().zip(his.iter()) {
+        if k < pivot {
+            acc.count_lt += 1;
+            fold_min(&mut acc.l_min_key, k);
+            fold_max(&mut acc.l_max_hi, h);
+        } else {
+            fold_min(&mut acc.r_min_key, k);
+            fold_max(&mut acc.r_max_hi, h);
+        }
+    }
+}
+
+/// SAFETY: caller checked `avx2` is available (dispatchers clamp to
+/// [`SimdLevel::detect`]). Unaligned loads stay within `keys`/`his`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn classify_two_avx2(keys: &[f64], his: &[f64], pivot: f64, acc: &mut TwoFold) {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let hp = his.as_ptr();
+    let vp = _mm256_set1_pd(pivot);
+    let pinf = _mm256_set1_pd(f64::INFINITY);
+    let ninf = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut lmin = pinf;
+    let mut lmax = ninf;
+    let mut rmin = pinf;
+    let mut rmax = ninf;
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let vk = _mm256_loadu_pd(kp.add(i));
+        let vh = _mm256_loadu_pd(hp.add(i));
+        let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(vk, vp);
+        count += (_mm256_movemask_pd(lt) as u32).count_ones() as usize;
+        // blendv picks the neutral element on inactive lanes, so each
+        // accumulator only ever sees values from its own partition.
+        lmin = _mm256_min_pd(lmin, _mm256_blendv_pd(pinf, vk, lt));
+        lmax = _mm256_max_pd(lmax, _mm256_blendv_pd(ninf, vh, lt));
+        rmin = _mm256_min_pd(rmin, _mm256_blendv_pd(vk, pinf, lt));
+        rmax = _mm256_max_pd(rmax, _mm256_blendv_pd(vh, ninf, lt));
+        i += 4;
+    }
+    acc.count_lt += count;
+    fold_min(&mut acc.l_min_key, hmin4(lmin));
+    fold_max(&mut acc.l_max_hi, hmax4(lmax));
+    fold_min(&mut acc.r_min_key, hmin4(rmin));
+    fold_max(&mut acc.r_max_hi, hmax4(rmax));
+    classify_two_scalar(&keys[i..], &his[i..], pivot, acc);
+}
+
+/// SAFETY: SSE2 is part of the x86_64 baseline; unaligned loads stay
+/// within `keys`/`his`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn classify_two_sse2(keys: &[f64], his: &[f64], pivot: f64, acc: &mut TwoFold) {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let hp = his.as_ptr();
+    let vp = _mm_set1_pd(pivot);
+    let pinf = _mm_set1_pd(f64::INFINITY);
+    let ninf = _mm_set1_pd(f64::NEG_INFINITY);
+    let mut lmin = pinf;
+    let mut lmax = ninf;
+    let mut rmin = pinf;
+    let mut rmax = ninf;
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let vk = _mm_loadu_pd(kp.add(i));
+        let vh = _mm_loadu_pd(hp.add(i));
+        let lt = _mm_cmplt_pd(vk, vp);
+        count += (_mm_movemask_pd(lt) as u32).count_ones() as usize;
+        lmin = _mm_min_pd(lmin, blend2(pinf, vk, lt));
+        lmax = _mm_max_pd(lmax, blend2(ninf, vh, lt));
+        rmin = _mm_min_pd(rmin, blend2(vk, pinf, lt));
+        rmax = _mm_max_pd(rmax, blend2(vh, ninf, lt));
+        i += 2;
+    }
+    acc.count_lt += count;
+    fold_min(&mut acc.l_min_key, hmin2(lmin));
+    fold_max(&mut acc.l_max_hi, hmax2(lmax));
+    fold_min(&mut acc.r_min_key, hmin2(rmin));
+    fold_max(&mut acc.r_max_hi, hmax2(rmax));
+    classify_two_scalar(&keys[i..], &his[i..], pivot, acc);
+}
+
+// ---------------------------------------------------------------------------
+// Pointer fast-forward scans for the permutation-exact swap pass.
+// ---------------------------------------------------------------------------
+
+/// Length of the maximal prefix of `keys` with every key `< pivot`
+/// (how far the left crack pointer can fast-forward).
+pub fn ff_lt(level: SimdLevel, keys: &[f64], pivot: f64) -> usize {
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { ff_lt_avx2(keys, pivot) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { ff_lt_sse2(keys, pivot) },
+        _ => ff_lt_scalar(keys, pivot),
+    }
+}
+
+fn ff_lt_scalar(keys: &[f64], pivot: f64) -> usize {
+    keys.iter().take_while(|&&k| k < pivot).count()
+}
+
+/// SAFETY: caller checked `avx2`; loads stay within `keys`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ff_lt_avx2(keys: &[f64], pivot: f64) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let vp = _mm256_set1_pd(pivot);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(_mm256_loadu_pd(kp.add(i)), vp);
+        let m = _mm256_movemask_pd(lt) as u32;
+        if m == 0xF {
+            i += 4;
+        } else {
+            return i + m.trailing_ones() as usize;
+        }
+    }
+    i + ff_lt_scalar(&keys[i..], pivot)
+}
+
+/// SAFETY: SSE2 baseline; loads stay within `keys`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn ff_lt_sse2(keys: &[f64], pivot: f64) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let vp = _mm_set1_pd(pivot);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let lt = _mm_cmplt_pd(_mm_loadu_pd(kp.add(i)), vp);
+        let m = _mm_movemask_pd(lt) as u32;
+        if m == 0x3 {
+            i += 2;
+        } else {
+            return i + m.trailing_ones() as usize;
+        }
+    }
+    i + ff_lt_scalar(&keys[i..], pivot)
+}
+
+/// Length of the maximal suffix of `keys` with every key `>= pivot`
+/// (how far the right crack pointer can fast-forward).
+pub fn ff_ge_rev(level: SimdLevel, keys: &[f64], pivot: f64) -> usize {
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { ff_ge_rev_avx2(keys, pivot) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { ff_ge_rev_sse2(keys, pivot) },
+        _ => ff_ge_rev_scalar(keys, pivot),
+    }
+}
+
+fn ff_ge_rev_scalar(keys: &[f64], pivot: f64) -> usize {
+    keys.iter().rev().take_while(|&&k| k >= pivot).count()
+}
+
+/// SAFETY: caller checked `avx2`; loads stay within `keys`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ff_ge_rev_avx2(keys: &[f64], pivot: f64) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let vp = _mm256_set1_pd(pivot);
+    let mut j = n;
+    while j >= 4 {
+        // Lane t holds keys[j - 4 + t]; set bits mark `< pivot` stops.
+        let lt = _mm256_cmp_pd::<_CMP_LT_OQ>(_mm256_loadu_pd(kp.add(j - 4)), vp);
+        let m = _mm256_movemask_pd(lt) as u32;
+        if m == 0 {
+            j -= 4;
+        } else {
+            let h = 31 - m.leading_zeros(); // highest stop lane, 0..=3
+            return (n - j) + (3 - h) as usize;
+        }
+    }
+    (n - j) + ff_ge_rev_scalar(&keys[..j], pivot)
+}
+
+/// SAFETY: SSE2 baseline; loads stay within `keys`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn ff_ge_rev_sse2(keys: &[f64], pivot: f64) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let vp = _mm_set1_pd(pivot);
+    let mut j = n;
+    while j >= 2 {
+        let lt = _mm_cmplt_pd(_mm_loadu_pd(kp.add(j - 2)), vp);
+        let m = _mm_movemask_pd(lt) as u32;
+        if m == 0 {
+            j -= 2;
+        } else {
+            let h = 31 - m.leading_zeros(); // highest stop lane, 0..=1
+            return (n - j) + (1 - h) as usize;
+        }
+    }
+    (n - j) + ff_ge_rev_scalar(&keys[..j], pivot)
+}
+
+// ---------------------------------------------------------------------------
+// Three-way (DNF) middle-run fast-forward.
+// ---------------------------------------------------------------------------
+
+/// Length of the maximal prefix of `keys` with every key inside
+/// `[low, high]` (the three-way crack's middle-run fast-forward).
+/// Assumes NaN-free keys, as produced by [`crate::keys::rekey`].
+///
+/// The `#[target_feature]` bodies cannot inline into scalar callers, so
+/// each call pays real dispatch overhead — callers should invoke this
+/// only once a middle run has already proven long (the three-way kernels
+/// count consecutive middle-class elements scalar-side first).
+#[inline]
+pub fn ff_middle(level: SimdLevel, keys: &[f64], low: f64, high: f64) -> usize {
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { ff_middle_avx2(keys, low, high) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { ff_middle_sse2(keys, low, high) },
+        _ => ff_middle_scalar(keys, low, high),
+    }
+}
+
+fn ff_middle_scalar(keys: &[f64], low: f64, high: f64) -> usize {
+    keys.iter().take_while(|&&k| !(k < low || k > high)).count()
+}
+
+/// SAFETY: caller checked `avx2`; loads stay within `keys`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ff_middle_avx2(keys: &[f64], low: f64, high: f64) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let vlo = _mm256_set1_pd(low);
+    let vhi = _mm256_set1_pd(high);
+    let mut i = 0usize;
+    while i + 4 <= n {
+        let vk = _mm256_loadu_pd(kp.add(i));
+        let inside = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GE_OQ>(vk, vlo),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(vk, vhi),
+        );
+        let m = _mm256_movemask_pd(inside) as u32;
+        if m == 0xF {
+            i += 4;
+        } else {
+            return i + m.trailing_ones() as usize;
+        }
+    }
+    i + ff_middle_scalar(&keys[i..], low, high)
+}
+
+/// SAFETY: SSE2 baseline; loads stay within `keys`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn ff_middle_sse2(keys: &[f64], low: f64, high: f64) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let vlo = _mm_set1_pd(low);
+    let vhi = _mm_set1_pd(high);
+    let mut i = 0usize;
+    while i + 2 <= n {
+        let vk = _mm_loadu_pd(kp.add(i));
+        let inside = _mm_and_pd(_mm_cmpge_pd(vk, vlo), _mm_cmple_pd(vk, vhi));
+        let m = _mm_movemask_pd(inside) as u32;
+        if m == 0x3 {
+            i += 2;
+        } else {
+            return i + m.trailing_ones() as usize;
+        }
+    }
+    i + ff_middle_scalar(&keys[i..], low, high)
+}
+
+/// [`ff_middle`] for the measured three-way kernel: also folds every
+/// advanced `(key, hi)` pair into `mid` as a vector min/max reduction.
+/// Assumes NaN-free keys. Same call-overhead caveat as [`ff_middle`].
+#[inline]
+pub fn ff_middle_fold(
+    level: SimdLevel,
+    keys: &[f64],
+    his: &[f64],
+    low: f64,
+    high: f64,
+    mid: &mut DimBounds,
+) -> usize {
+    debug_assert_eq!(keys.len(), his.len());
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { ff_middle_fold_avx2(keys, his, low, high, mid) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { ff_middle_fold_sse2(keys, his, low, high, mid) },
+        _ => ff_middle_fold_scalar(keys, his, low, high, mid),
+    }
+}
+
+fn ff_middle_fold_scalar(
+    keys: &[f64],
+    his: &[f64],
+    low: f64,
+    high: f64,
+    mid: &mut DimBounds,
+) -> usize {
+    let mut i = 0usize;
+    for (&k, &h) in keys.iter().zip(his.iter()) {
+        if k < low || k > high {
+            break;
+        }
+        mid.fold_key_hi(k, h);
+        i += 1;
+    }
+    i
+}
+
+/// SAFETY: caller checked `avx2`; loads stay within `keys`/`his`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn ff_middle_fold_avx2(
+    keys: &[f64],
+    his: &[f64],
+    low: f64,
+    high: f64,
+    mid: &mut DimBounds,
+) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let hp = his.as_ptr();
+    let vlo = _mm256_set1_pd(low);
+    let vhi = _mm256_set1_pd(high);
+    let mut vmin = _mm256_set1_pd(f64::INFINITY);
+    let mut vmax = _mm256_set1_pd(f64::NEG_INFINITY);
+    let mut i = 0usize;
+    let mut stopped = false;
+    while i + 4 <= n {
+        let vk = _mm256_loadu_pd(kp.add(i));
+        let inside = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_GE_OQ>(vk, vlo),
+            _mm256_cmp_pd::<_CMP_LE_OQ>(vk, vhi),
+        );
+        let m = _mm256_movemask_pd(inside) as u32;
+        if m == 0xF {
+            vmin = _mm256_min_pd(vmin, vk);
+            vmax = _mm256_max_pd(vmax, _mm256_loadu_pd(hp.add(i)));
+            i += 4;
+        } else {
+            let p = m.trailing_ones() as usize;
+            for t in 0..p {
+                mid.fold_key_hi(keys[i + t], his[i + t]);
+            }
+            i += p;
+            stopped = true;
+            break;
+        }
+    }
+    // min-key / max-hi folds are order-insensitive, so merging the
+    // vector accumulators after the stop-lane prefix is fine.
+    mid.fold_key_hi(hmin4(vmin), hmax4(vmax));
+    if !stopped {
+        i += ff_middle_fold_scalar(&keys[i..], &his[i..], low, high, mid);
+    }
+    i
+}
+
+/// SAFETY: SSE2 baseline; loads stay within `keys`/`his`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn ff_middle_fold_sse2(
+    keys: &[f64],
+    his: &[f64],
+    low: f64,
+    high: f64,
+    mid: &mut DimBounds,
+) -> usize {
+    let n = keys.len();
+    let kp = keys.as_ptr();
+    let hp = his.as_ptr();
+    let vlo = _mm_set1_pd(low);
+    let vhi = _mm_set1_pd(high);
+    let mut vmin = _mm_set1_pd(f64::INFINITY);
+    let mut vmax = _mm_set1_pd(f64::NEG_INFINITY);
+    let mut i = 0usize;
+    let mut stopped = false;
+    while i + 2 <= n {
+        let vk = _mm_loadu_pd(kp.add(i));
+        let inside = _mm_and_pd(_mm_cmpge_pd(vk, vlo), _mm_cmple_pd(vk, vhi));
+        let m = _mm_movemask_pd(inside) as u32;
+        if m == 0x3 {
+            vmin = _mm_min_pd(vmin, vk);
+            vmax = _mm_max_pd(vmax, _mm_loadu_pd(hp.add(i)));
+            i += 2;
+        } else {
+            let p = m.trailing_ones() as usize;
+            for t in 0..p {
+                mid.fold_key_hi(keys[i + t], his[i + t]);
+            }
+            i += p;
+            stopped = true;
+            break;
+        }
+    }
+    mid.fold_key_hi(hmin2(vmin), hmax2(vmax));
+    if !stopped {
+        i += ff_middle_fold_scalar(&keys[i..], &his[i..], low, high, mid);
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Sealed bottom-level lane tests.
+// ---------------------------------------------------------------------------
+
+/// Left-packing permutation LUT for [`scan_emit`]: `PACK_LUT[mask]`
+/// feeds `_mm256_permutevar8x32_epi32` to compact the 64-bit id lanes
+/// selected by a 4-bit movemask to the front of the vector (each 64-bit
+/// lane is a pair of 32-bit lanes).
+#[cfg(target_arch = "x86_64")]
+static PACK_LUT: [[u32; 8]; 16] = build_pack_lut();
+
+#[cfg(target_arch = "x86_64")]
+const fn build_pack_lut() -> [[u32; 8]; 16] {
+    let mut lut = [[0u32; 8]; 16];
+    let mut mask = 0usize;
+    while mask < 16 {
+        let mut w = 0usize;
+        let mut lane = 0usize;
+        while lane < 4 {
+            if mask & (1 << lane) != 0 {
+                lut[mask][2 * w] = (2 * lane) as u32;
+                lut[mask][2 * w + 1] = (2 * lane + 1) as u32;
+                w += 1;
+            }
+            lane += 1;
+        }
+        mask += 1;
+    }
+    lut
+}
+
+/// The sealed arena's bottom-level lane test: for each record position
+/// `i`, emits `ids[i]` (widened to `u64`) into `out` iff
+/// `lanes[k][i] <= bounds[k]` for every active lane `k`. Returns the
+/// number of ids written. `out` must be at least `ids.len()` long;
+/// positions past the returned count hold garbage.
+///
+/// Lanes are the per-dimension `rec_lo` columns (tested against the
+/// query's upper corner) and negated `rec_nhi` columns (tested against
+/// the negated lower corner), so every test is a uniform `v <= bound`.
+pub fn scan_emit<const K: usize>(
+    level: SimdLevel,
+    ids: &[u32],
+    lanes: [&[f64]; K],
+    bounds: [f64; K],
+    out: &mut [u64],
+) -> usize {
+    for lane in &lanes {
+        debug_assert_eq!(lane.len(), ids.len());
+    }
+    debug_assert!(out.len() >= ids.len());
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => unsafe { scan_emit_avx2::<K>(ids, lanes, bounds, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Sse2 => unsafe { scan_emit_sse2::<K>(ids, lanes, bounds, out) },
+        _ => scan_emit_scalar::<K>(ids, lanes, bounds, out),
+    }
+}
+
+fn scan_emit_scalar<const K: usize>(
+    ids: &[u32],
+    lanes: [&[f64]; K],
+    bounds: [f64; K],
+    out: &mut [u64],
+) -> usize {
+    let mut w = 0usize;
+    for (i, &id) in ids.iter().enumerate() {
+        let mut ok = true;
+        for (lane, &b) in lanes.iter().zip(bounds.iter()) {
+            ok &= lane[i] <= b;
+        }
+        out[w] = id as u64;
+        w += ok as usize;
+    }
+    w
+}
+
+/// SAFETY: caller checked `avx2` and sized `out` to at least
+/// `ids.len()`. In the vector loop `w <= i` and `i + 4 <= m`, so the
+/// unconditional 32-byte store at `out[w..w + 4]` stays in bounds;
+/// lanes past the popcount advance are overwritten or truncated.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scan_emit_avx2<const K: usize>(
+    ids: &[u32],
+    lanes: [&[f64]; K],
+    bounds: [f64; K],
+    out: &mut [u64],
+) -> usize {
+    let m = ids.len();
+    let mut vb = [_mm256_setzero_pd(); K];
+    for k in 0..K {
+        vb[k] = _mm256_set1_pd(bounds[k]);
+    }
+    let mut w = 0usize;
+    let mut i = 0usize;
+    while i + 4 <= m {
+        let mut mask =
+            _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(lanes[0].as_ptr().add(i)), vb[0]);
+        let mut k = 1;
+        while k < K {
+            let t = _mm256_cmp_pd::<_CMP_LE_OQ>(_mm256_loadu_pd(lanes[k].as_ptr().add(i)), vb[k]);
+            mask = _mm256_and_pd(mask, t);
+            k += 1;
+        }
+        let mm = (_mm256_movemask_pd(mask) as usize) & 0xF;
+        let vid = _mm256_cvtepu32_epi64(_mm_loadu_si128(ids.as_ptr().add(i) as *const __m128i));
+        let perm = _mm256_loadu_si256(PACK_LUT[mm].as_ptr() as *const __m256i);
+        let packed = _mm256_permutevar8x32_epi32(vid, perm);
+        _mm256_storeu_si256(out.as_mut_ptr().add(w) as *mut __m256i, packed);
+        w += mm.count_ones() as usize;
+        i += 4;
+    }
+    while i < m {
+        let mut ok = true;
+        for (lane, &b) in lanes.iter().zip(bounds.iter()) {
+            ok &= lane[i] <= b;
+        }
+        out[w] = ids[i] as u64;
+        w += ok as usize;
+        i += 1;
+    }
+    w
+}
+
+/// SAFETY: SSE2 baseline; `out` is at least `ids.len()` long and
+/// `w <= i` throughout, so the slice-indexed predicated stores are in
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn scan_emit_sse2<const K: usize>(
+    ids: &[u32],
+    lanes: [&[f64]; K],
+    bounds: [f64; K],
+    out: &mut [u64],
+) -> usize {
+    let m = ids.len();
+    let mut vb = [_mm_setzero_pd(); K];
+    for k in 0..K {
+        vb[k] = _mm_set1_pd(bounds[k]);
+    }
+    let mut w = 0usize;
+    let mut i = 0usize;
+    while i + 2 <= m {
+        let mut mask = _mm_cmple_pd(_mm_loadu_pd(lanes[0].as_ptr().add(i)), vb[0]);
+        let mut k = 1;
+        while k < K {
+            mask = _mm_and_pd(
+                mask,
+                _mm_cmple_pd(_mm_loadu_pd(lanes[k].as_ptr().add(i)), vb[k]),
+            );
+            k += 1;
+        }
+        let mm = _mm_movemask_pd(mask) as usize;
+        out[w] = ids[i] as u64;
+        w += mm & 1;
+        out[w] = ids[i + 1] as u64;
+        w += (mm >> 1) & 1;
+        i += 2;
+    }
+    while i < m {
+        let mut ok = true;
+        for (lane, &b) in lanes.iter().zip(bounds.iter()) {
+            ok &= lane[i] <= b;
+        }
+        out[w] = ids[i] as u64;
+        w += ok as usize;
+        i += 1;
+    }
+    w
+}
+
+// ---------------------------------------------------------------------------
+// Batched AABB intersect for the unsealed bottom-level collect.
+// ---------------------------------------------------------------------------
+
+/// Tests every record's MBB against `q` and emits intersecting ids into
+/// `out`, returning the number written. `out` must be at least
+/// `recs.len()` long; positions past the returned count hold garbage.
+/// Bit-for-bit equivalent to the scalar
+/// [`Aabb::intersects_branchless`] collect loop.
+pub fn collect_bottom<const D: usize>(
+    level: SimdLevel,
+    recs: &[Record<D>],
+    q: &Aabb<D>,
+    out: &mut [u64],
+) -> usize {
+    debug_assert!(out.len() >= recs.len());
+    match level.clamp_to_host() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if D == 3 => unsafe { collect_bottom3_avx2(recs, q, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if D == 2 => unsafe { collect_bottom2_avx2(recs, q, out) },
+        _ => collect_bottom_scalar(recs, q, out),
+    }
+}
+
+fn collect_bottom_scalar<const D: usize>(
+    recs: &[Record<D>],
+    q: &Aabb<D>,
+    out: &mut [u64],
+) -> usize {
+    let mut w = 0usize;
+    for r in recs {
+        out[w] = r.id;
+        w += r.mbb.intersects_branchless(q) as usize;
+    }
+    w
+}
+
+/// SAFETY: caller checked `avx2` and `D == 3`. `Aabb` is `#[repr(C)]`,
+/// so `&r.mbb` is six contiguous `f64`s `[lo0, lo1, lo2, hi0, hi1,
+/// hi2]`; both unaligned loads (offsets 0 and 2, four lanes each) stay
+/// within those six. `out` is at least `recs.len()` long and `w` only
+/// advances past emitted ids, so the predicated stores are in bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn collect_bottom3_avx2<const D: usize>(
+    recs: &[Record<D>],
+    q: &Aabb<D>,
+    out: &mut [u64],
+) -> usize {
+    debug_assert_eq!(D, 3);
+    // va = [lo0, lo1, lo2, hi0] tested `<=` against [qhi0, qhi1, qhi2, +inf];
+    // vb = [lo2, hi0, hi1, hi2] tested `>=` against [-inf, qlo0, qlo1, qlo2].
+    // The padded lanes are always-true, so mask == 0xF iff all 2*D
+    // scalar comparisons of `intersects_branchless` hold.
+    let qa = _mm256_set_pd(f64::INFINITY, q.hi[2], q.hi[1], q.hi[0]);
+    let qb = _mm256_set_pd(q.lo[2], q.lo[1], q.lo[0], f64::NEG_INFINITY);
+    let mut w = 0usize;
+    for r in recs {
+        let p = &r.mbb as *const Aabb<D> as *const f64;
+        let va = _mm256_loadu_pd(p);
+        let vb = _mm256_loadu_pd(p.add(2));
+        let m = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_LE_OQ>(va, qa),
+            _mm256_cmp_pd::<_CMP_GE_OQ>(vb, qb),
+        );
+        out[w] = r.id;
+        w += (_mm256_movemask_pd(m) == 0xF) as usize;
+    }
+    w
+}
+
+/// SAFETY: caller checked `avx2` and `D == 2`. `Aabb` is `#[repr(C)]`,
+/// so `&r.mbb` is exactly the four `f64`s `[lo0, lo1, hi0, hi1]` one
+/// unaligned load covers. Store bounds as for the `D == 3` kernel.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn collect_bottom2_avx2<const D: usize>(
+    recs: &[Record<D>],
+    q: &Aabb<D>,
+    out: &mut [u64],
+) -> usize {
+    debug_assert_eq!(D, 2);
+    // v = [lo0, lo1, hi0, hi1]: the lo lanes test `<=` against the
+    // query his (hi lanes padded always-true), the hi lanes test `>=`
+    // against the query los (lo lanes padded always-true).
+    let qa = _mm256_set_pd(f64::INFINITY, f64::INFINITY, q.hi[1], q.hi[0]);
+    let qb = _mm256_set_pd(q.lo[1], q.lo[0], f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut w = 0usize;
+    for r in recs {
+        let v = _mm256_loadu_pd(&r.mbb as *const Aabb<D> as *const f64);
+        let m = _mm256_and_pd(
+            _mm256_cmp_pd::<_CMP_LE_OQ>(v, qa),
+            _mm256_cmp_pd::<_CMP_GE_OQ>(v, qb),
+        );
+        out[w] = r.id;
+        w += (_mm256_movemask_pd(m) == 0xF) as usize;
+    }
+    w
+}
+
+// ---------------------------------------------------------------------------
+// Horizontal reductions / bitwise blend helpers.
+// ---------------------------------------------------------------------------
+
+/// SAFETY: requires `avx2` (callers are `avx2` kernels).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hmin4(v: __m256d) -> f64 {
+    let mut buf = [0.0f64; 4];
+    _mm256_storeu_pd(buf.as_mut_ptr(), v);
+    let mut m = buf[0];
+    for &x in &buf[1..] {
+        if x < m {
+            m = x;
+        }
+    }
+    m
+}
+
+/// SAFETY: requires `avx2` (callers are `avx2` kernels).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn hmax4(v: __m256d) -> f64 {
+    let mut buf = [0.0f64; 4];
+    _mm256_storeu_pd(buf.as_mut_ptr(), v);
+    let mut m = buf[0];
+    for &x in &buf[1..] {
+        if x > m {
+            m = x;
+        }
+    }
+    m
+}
+
+/// SAFETY: SSE2 baseline.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn hmin2(v: __m128d) -> f64 {
+    let mut buf = [0.0f64; 2];
+    _mm_storeu_pd(buf.as_mut_ptr(), v);
+    if buf[1] < buf[0] {
+        buf[1]
+    } else {
+        buf[0]
+    }
+}
+
+/// SAFETY: SSE2 baseline.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn hmax2(v: __m128d) -> f64 {
+    let mut buf = [0.0f64; 2];
+    _mm_storeu_pd(buf.as_mut_ptr(), v);
+    if buf[1] > buf[0] {
+        buf[1]
+    } else {
+        buf[0]
+    }
+}
+
+/// Bitwise select: lanes where `mask` is all-ones take `b`, the rest
+/// take `a` (compare masks are all-ones/all-zeros per lane).
+///
+/// SAFETY: SSE2 baseline.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn blend2(a: __m128d, b: __m128d, mask: __m128d) -> __m128d {
+    _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn levels() -> Vec<SimdLevel> {
+        vec![SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [
+            SimdPolicy::Auto,
+            SimdPolicy::Scalar,
+            SimdPolicy::Sse2,
+            SimdPolicy::Avx2,
+        ] {
+            assert_eq!(SimdPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(SimdPolicy::parse("avx512"), None);
+    }
+
+    #[test]
+    fn detect_is_stable_and_ordered() {
+        let a = SimdLevel::detect();
+        let b = SimdLevel::detect();
+        assert_eq!(a, b);
+        assert!(SimdLevel::Scalar <= SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 <= SimdLevel::Avx2);
+        // Forced levels never exceed the host.
+        assert!(SimdPolicy::Avx2.resolve() <= SimdLevel::detect());
+        assert_eq!(SimdPolicy::Scalar.resolve(), SimdLevel::Scalar);
+    }
+
+    /// Adversarial lane patterns: every 4-bit classify mask in every
+    /// chunk position, plus unaligned remainders.
+    fn adversarial_keys(pivot: f64) -> Vec<Vec<f64>> {
+        let mut cases = Vec::new();
+        for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 13] {
+            for m in 0..(1u32 << n.min(8)) {
+                let keys: Vec<f64> = (0..n)
+                    .map(|i| {
+                        if m & (1 << (i % 8)) != 0 {
+                            pivot - 1.0 - i as f64
+                        } else {
+                            pivot + i as f64
+                        }
+                    })
+                    .collect();
+                cases.push(keys);
+                if cases.len() > 600 {
+                    return cases;
+                }
+            }
+        }
+        cases
+    }
+
+    #[test]
+    fn classify_two_matches_scalar_on_adversarial_patterns() {
+        let pivot = 10.0;
+        for keys in adversarial_keys(pivot) {
+            let his: Vec<f64> = keys.iter().map(|k| k + 0.5).collect();
+            let want = classify_two(SimdLevel::Scalar, &keys, &his, pivot);
+            for lv in levels() {
+                let got = classify_two(lv, &keys, &his, pivot);
+                assert_eq!(got.count_lt, want.count_lt, "{lv:?} {keys:?}");
+                assert_eq!(got.l_min_key, want.l_min_key, "{lv:?} {keys:?}");
+                assert_eq!(got.l_max_hi, want.l_max_hi, "{lv:?} {keys:?}");
+                assert_eq!(got.r_min_key, want.r_min_key, "{lv:?} {keys:?}");
+                assert_eq!(got.r_max_hi, want.r_max_hi, "{lv:?} {keys:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_two_handles_all_equal_keys() {
+        for n in 0..9usize {
+            let keys = vec![5.0; n];
+            let his = vec![6.0; n];
+            for lv in levels() {
+                let below = classify_two(lv, &keys, &his, 7.0);
+                assert_eq!(below.count_lt, n);
+                let at = classify_two(lv, &keys, &his, 5.0);
+                assert_eq!(at.count_lt, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forwards_match_scalar_on_adversarial_patterns() {
+        let pivot = 10.0;
+        for keys in adversarial_keys(pivot) {
+            for lv in levels() {
+                assert_eq!(
+                    ff_lt(lv, &keys, pivot),
+                    ff_lt_scalar(&keys, pivot),
+                    "{lv:?} {keys:?}"
+                );
+                assert_eq!(
+                    ff_ge_rev(lv, &keys, pivot),
+                    ff_ge_rev_scalar(&keys, pivot),
+                    "{lv:?} {keys:?}"
+                );
+                assert_eq!(
+                    ff_middle(lv, &keys, pivot - 3.0, pivot + 3.0),
+                    ff_middle_scalar(&keys, pivot - 3.0, pivot + 3.0),
+                    "{lv:?} {keys:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ff_middle_fold_matches_scalar_fold() {
+        let (low, high) = (4.0, 12.0);
+        for keys in adversarial_keys(8.0) {
+            let his: Vec<f64> = keys.iter().map(|k| k + 0.25).collect();
+            let mut want = DimBounds::empty();
+            let want_adv = ff_middle_fold_scalar(&keys, &his, low, high, &mut want);
+            for lv in levels() {
+                let mut got = DimBounds::empty();
+                let adv = ff_middle_fold(lv, &keys, &his, low, high, &mut got);
+                assert_eq!(adv, want_adv, "{lv:?} {keys:?}");
+                assert_eq!(got, want, "{lv:?} {keys:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_emit_matches_scalar_across_k_and_masks() {
+        // Columns engineered so every chunk exercises a different
+        // pass/fail mask, lengths cover unaligned remainders.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33] {
+            let ids: Vec<u32> = (0..n as u32).map(|i| i * 7 + 3).collect();
+            let l0: Vec<f64> = (0..n).map(|i| (i % 3) as f64).collect();
+            let l1: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+            let l2: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+            let mut want = vec![0u64; n];
+            let mut got = vec![0u64; n];
+            for lv in levels() {
+                let w1 = scan_emit::<1>(SimdLevel::Scalar, &ids, [&l0], [1.0], &mut want);
+                let g1 = scan_emit::<1>(lv, &ids, [&l0], [1.0], &mut got);
+                assert_eq!((g1, &got[..g1]), (w1, &want[..w1]), "{lv:?} k=1 n={n}");
+                let w2 = scan_emit::<2>(SimdLevel::Scalar, &ids, [&l0, &l1], [1.0, 2.0], &mut want);
+                let g2 = scan_emit::<2>(lv, &ids, [&l0, &l1], [1.0, 2.0], &mut got);
+                assert_eq!((g2, &got[..g2]), (w2, &want[..w2]), "{lv:?} k=2 n={n}");
+                let w3 = scan_emit::<3>(
+                    SimdLevel::Scalar,
+                    &ids,
+                    [&l0, &l1, &l2],
+                    [1.0, 2.0, 4.0],
+                    &mut want,
+                );
+                let g3 = scan_emit::<3>(lv, &ids, [&l0, &l1, &l2], [1.0, 2.0, 4.0], &mut got);
+                assert_eq!((g3, &got[..g3]), (w3, &want[..w3]), "{lv:?} k=3 n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn collect_bottom_matches_scalar_for_2d_and_3d() {
+        let q3 = Aabb::new([2.0, 3.0, 4.0], [8.0, 9.0, 10.0]);
+        let recs3: Vec<Record<3>> = (0..37)
+            .map(|i| {
+                let v = i as f64 * 0.4;
+                Record::new(
+                    i,
+                    Aabb::new([v, v * 0.9, v * 1.1], [v + 2.0, v + 1.0, v + 3.0]),
+                )
+            })
+            .collect();
+        let q2 = Aabb::new([2.0, 3.0], [8.0, 9.0]);
+        let recs2: Vec<Record<2>> = (0..37)
+            .map(|i| {
+                let v = i as f64 * 0.4;
+                Record::new(i, Aabb::new([v, v * 0.9], [v + 2.0, v + 1.0]))
+            })
+            .collect();
+        let mut want = vec![0u64; 37];
+        let mut got = vec![0u64; 37];
+        let w3 = collect_bottom(SimdLevel::Scalar, &recs3, &q3, &mut want);
+        assert!(w3 > 0, "3d fixture should have hits");
+        for lv in levels() {
+            let g = collect_bottom(lv, &recs3, &q3, &mut got);
+            assert_eq!((g, &got[..g]), (w3, &want[..w3]), "{lv:?} 3d");
+        }
+        let w2 = collect_bottom(SimdLevel::Scalar, &recs2, &q2, &mut want);
+        assert!(w2 > 0, "2d fixture should have hits");
+        for lv in levels() {
+            let g = collect_bottom(lv, &recs2, &q2, &mut got);
+            assert_eq!((g, &got[..g]), (w2, &want[..w2]), "{lv:?} 2d");
+        }
+    }
+
+    #[test]
+    fn collect_bottom_touching_edges_count_as_hits() {
+        // Closed-interval semantics: exact edge contact must match the
+        // scalar branchless test on every level.
+        let q = Aabb::new([0.0, 0.0, 0.0], [1.0, 1.0, 1.0]);
+        let recs: Vec<Record<3>> = vec![
+            Record::new(0, Aabb::new([1.0, 0.5, 0.5], [2.0, 0.6, 0.6])),
+            Record::new(1, Aabb::new([-1.0, 0.0, 0.0], [0.0, 0.1, 0.1])),
+            Record::new(2, Aabb::new([1.0 + 1e-12, 0.5, 0.5], [2.0, 0.6, 0.6])),
+        ];
+        let mut want = vec![0u64; recs.len()];
+        let mut got = vec![0u64; recs.len()];
+        let w = collect_bottom(SimdLevel::Scalar, &recs, &q, &mut want);
+        assert_eq!(&want[..w], &[0, 1]);
+        for lv in levels() {
+            let g = collect_bottom(lv, &recs, &q, &mut got);
+            assert_eq!((g, &got[..g]), (w, &want[..w]), "{lv:?}");
+        }
+    }
+}

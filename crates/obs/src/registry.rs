@@ -47,6 +47,9 @@ pub static SEAL_SWEEPS_TOTAL: Counter = Counter::new();
 pub static SEALS_TOTAL: Counter = Counter::new();
 /// Regions invalidated by fallback queries.
 pub static UNSEALS_TOTAL: Counter = Counter::new();
+/// Dispatched SIMD kernel generation, 1 on the selected ISA (label:
+/// `isa` = `scalar` | `sse2` | `avx2`; see `quasii::simd`).
+pub static SIMD_LEVEL: GaugeVec = GaugeVec::new();
 
 // ---------------------------------------------------------------------
 // Shard router (crates/shard)
@@ -224,6 +227,13 @@ pub static DEFS: &[Def] = &[
         labels: "",
         unit: Unit::Count,
         metric: Metric::Counter(&UNSEALS_TOTAL),
+    },
+    Def {
+        name: "quasii_simd_level",
+        help: "Dispatched SIMD kernel generation (1 on the selected ISA)",
+        labels: "isa",
+        unit: Unit::Count,
+        metric: Metric::GaugeVec(&SIMD_LEVEL),
     },
     Def {
         name: "quasii_shard_fanout",

@@ -1200,6 +1200,9 @@ pub(crate) fn parse_manifest_any(bytes: &[u8]) -> Result<(u32, Manifest), Snapsh
             1 => true,
             other => return Err(corrupt(format!("seal flag is {other}, expected 0 or 1"))),
         },
+        // SIMD dispatch is a host property, never persisted: re-resolve on
+        // the loading host (see `quasii::simd`).
+        simd: quasii::SimdPolicy::default(),
     };
     let ext_low0 = r.f64()?;
     let ext_high0 = r.f64()?;
