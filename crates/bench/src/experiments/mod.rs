@@ -10,6 +10,7 @@ pub mod fig12;
 pub mod fig6;
 pub mod fig7_9;
 pub mod scaling;
+pub mod service;
 pub mod sharding;
 pub mod summary;
 pub mod warm_start;
@@ -38,6 +39,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation",
     "scaling",
     "sharding",
+    "service",
     "converged",
     "warm_start",
     "summary",
@@ -196,7 +198,7 @@ impl Harness {
             s.replace('\\', "\\\\").replace('"', "\\\"")
         }
         format!(
-            "{{\"scale\": \"{}\", \"neuro_n\": {}, \"uniform_n\": {}, \"clusters\": {}, \"per_cluster\": {}, \"uniform_queries\": {}, \"threads\": {}, \"shards\": {}, \"assign_by\": \"{}\", \"simd\": \"{}\", \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \"scaling_workload\": {}, \"sharding_workload\": {}, \"converged_warmup\": {}, \"converged_workload\": {}, \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}}}",
+            "{{\"scale\": \"{}\", \"neuro_n\": {}, \"uniform_n\": {}, \"clusters\": {}, \"per_cluster\": {}, \"uniform_queries\": {}, \"threads\": {}, \"shards\": {}, \"assign_by\": \"{}\", \"simd\": \"{}\", \"seeds\": {{\"neuro_data\": {}, \"uniform_data\": {}, \"neuro_workload\": {}, \"scaling_workload\": {}, \"sharding_workload\": {}, \"service_workload\": {}, \"converged_warmup\": {}, \"converged_workload\": {}, \"warm_start_warmup\": {}, \"warm_start_workload\": {}}}}}",
             esc(self.scale.name),
             self.scale.neuro_n,
             self.scale.uniform_n,
@@ -212,6 +214,7 @@ impl Harness {
             NEURO_WORKLOAD_SEED,
             scaling::WORKLOAD_SEED,
             sharding::WORKLOAD_SEED,
+            service::WORKLOAD_SEED,
             converged::WARMUP_SEED,
             converged::WORKLOAD_SEED,
             warm_start::WARMUP_SEED,
@@ -322,6 +325,7 @@ impl Harness {
             "ablation" => ablation::run_exp(self),
             "scaling" => scaling::run_exp(self),
             "sharding" => sharding::run_exp(self),
+            "service" => service::run_exp(self),
             "converged" => converged::run_exp(self),
             "warm_start" => warm_start::run_exp(self),
             "summary" => summary::run(self),

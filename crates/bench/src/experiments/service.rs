@@ -1,0 +1,214 @@
+//! `service` — admission batching through the HTTP query service: the
+//! batch-path economics of `crates/server` measured over real sockets.
+//! Not a paper figure: it evaluates the service layer this reproduction
+//! adds on top of the paper (ROADMAP "Sharding / service layer"),
+//! following the observation the engine crates keep exploiting (Pirk et
+//! al., DaMoN 2014) that adaptive indexing pays off through batches.
+//!
+//! Two series run the **same** skewed closed-loop workload — N client
+//! connections, each firing single `GET /query` requests as fast as its
+//! answers come back — against identical fresh deployments:
+//!
+//! * `per-request`: `max_batch = 1`, the admission controller disabled —
+//!   every network query runs its own engine batch (the baseline any
+//!   conventional front-end would give);
+//! * `batched`: the admission controller on (`max_batch = 64`, adaptive
+//!   gap ≤ 300µs) — concurrently arriving singles regroup into engine
+//!   batches without touching any client.
+//!
+//! Both series run the **identical deployment** — the harness-wide
+//! engine-thread setting (`--threads`), the sharding default — so the
+//! only variable is admission policy. The batched series amortizes the
+//! batch path's per-call cost (worker fan-out, classification, shard
+//! routing) across the group, and on multi-core hosts additionally buys
+//! parallel batch execution; `per-request` pays that fan-out once per
+//! network query.
+//!
+//! Every response is parsed and checked **byte-for-byte** against the
+//! canonical single-instance reference, so the speedup table doubles as
+//! an end-to-end determinism gate for the whole network path.
+
+use super::{Harness, JsonRecord};
+use quasii::{Quasii, QuasiiConfig};
+use quasii_common::geom::{mbb_of, Aabb};
+use quasii_common::index::canonical_results;
+use quasii_common::workload;
+use quasii_obs::{Histogram, HistogramSnapshot};
+use quasii_server::ServeConfig;
+use quasii_shard::{ShardConfig, ShardedQuasii};
+
+/// Seed of the skewed query workload (recorded in the `repro --json`
+/// config block).
+pub const WORKLOAD_SEED: u64 = 97;
+
+/// Hotspot regions of the skewed workload.
+const HOTSPOTS: usize = 8;
+
+/// Zipf exponent of the hotspot popularity law.
+const ZIPF_EXPONENT: f64 = 1.1;
+
+/// Closed-loop client connections per series.
+const CONNECTIONS: usize = 8;
+
+/// `max_batch` of the batched series.
+const MAX_BATCH: usize = 64;
+
+/// Admission-window cap of the batched series, microseconds.
+const MAX_DELAY_US: u64 = 300;
+
+/// Formats one query as its `GET /query` target. `{}` on `f64` is Rust's
+/// shortest round-trip representation, so the server re-parses the exact
+/// same bounds and byte-identity with the in-process reference holds.
+fn target_of(q: &Aabb<3>) -> String {
+    format!(
+        "/query?lo={},{},{}&hi={},{},{}",
+        q.lo[0], q.lo[1], q.lo[2], q.hi[0], q.hi[1], q.hi[2]
+    )
+}
+
+/// Parses a `{"ids":[…]}` response body back into the id vector.
+fn parse_ids(body: &str) -> Result<Vec<u64>, String> {
+    let open = body.find('[').ok_or_else(|| format!("no '[' in {body}"))?;
+    let close = body.rfind(']').ok_or_else(|| format!("no ']' in {body}"))?;
+    let inner = &body[open + 1..close];
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<u64>()
+                .map_err(|e| format!("bad id '{t}': {e}"))
+        })
+        .collect()
+}
+
+/// One closed-loop series: a fresh deployment served under `serve_cfg`,
+/// the workload split across [`CONNECTIONS`] client threads, every answer
+/// collected in workload order. Returns (total seconds, per-request
+/// latency snapshot, answers).
+#[allow(clippy::type_complexity)]
+fn run_series(
+    data: &[quasii_common::geom::Record<3>],
+    queries: &[Aabb<3>],
+    shards: usize,
+    inner: QuasiiConfig,
+    serve_cfg: ServeConfig,
+) -> (f64, HistogramSnapshot, Vec<Vec<u64>>) {
+    let cfg = ShardConfig::default().with_shards(shards).with_inner(inner);
+    let engine = ShardedQuasii::new(data.to_vec(), cfg);
+    let handle =
+        quasii_server::start(engine, "127.0.0.1:0", serve_cfg).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let lat = Histogram::new();
+    let chunk = queries.len().div_ceil(CONNECTIONS).max(1);
+    let started = std::time::Instant::now();
+    let mut answers: Vec<(usize, Vec<Vec<u64>>)> = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for (c, slice) in queries.chunks(chunk).enumerate() {
+            let lat = &lat;
+            workers.push(scope.spawn(move || {
+                let mut client = minihttp::Client::connect(addr).expect("connect to the service");
+                let mut got = Vec::with_capacity(slice.len());
+                for q in slice {
+                    let t = std::time::Instant::now();
+                    let resp = client.get(&target_of(q)).expect("query round-trip");
+                    lat.observe(t.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    assert_eq!(resp.status, 200, "{}", resp.text());
+                    got.push(parse_ids(&resp.text()).expect("parse ids"));
+                }
+                (c * chunk, got)
+            }));
+        }
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .collect()
+    });
+    let total = started.elapsed().as_secs_f64();
+    handle.shutdown();
+
+    answers.sort_by_key(|(start, _)| *start);
+    let merged: Vec<Vec<u64>> = answers.into_iter().flat_map(|(_, got)| got).collect();
+    (total, lat.snapshot(), merged)
+}
+
+/// Runs the per-request vs batched comparison.
+pub fn run_exp(h: &mut Harness) {
+    println!("\n=== Service: admission batching over the HTTP query path ===");
+    let inner = QuasiiConfig::default()
+        .with_threads(h.threads.max(1))
+        .with_assign_by(h.assign_by)
+        .with_simd(h.simd);
+    let data = h.uniform_data();
+    let universe = mbb_of(&data);
+    let n_queries = h.scale.uniform_queries * 4;
+    let queries = workload::skewed(
+        &universe,
+        HOTSPOTS,
+        n_queries,
+        1e-3,
+        ZIPF_EXPONENT,
+        WORKLOAD_SEED,
+    )
+    .queries;
+    let shards = if h.shards > 0 { h.shards } else { 2 };
+
+    // Canonical reference: the answers every network configuration must
+    // reproduce byte-for-byte.
+    let mut seq = Quasii::new(data.clone(), inner.clone().with_threads(1));
+    let reference = canonical_results(&mut seq, &queries);
+    println!(
+        "{} objects across {shards} shards, {n_queries} skewed queries \
+         ({HOTSPOTS} hotspots, Zipf {ZIPF_EXPONENT}), {CONNECTIONS} closed-loop connections",
+        data.len()
+    );
+
+    let series: [(&str, ServeConfig); 2] = [
+        ("per-request", ServeConfig::default().with_max_batch(1)),
+        (
+            "batched",
+            ServeConfig::default()
+                .with_max_batch(MAX_BATCH)
+                .with_max_delay_us(MAX_DELAY_US)
+                .with_adaptive(true),
+        ),
+    ];
+
+    println!(
+        "{:>12} {:>12} {:>10} {:>9} {:>9} {:>9}",
+        "series", "total (s)", "q/s", "p50 (us)", "p90 (us)", "p99 (us)"
+    );
+    let mut csv = String::from("series,connections,queries,total_secs,qps,p50_us,p90_us,p99_us\n");
+    let mut qps_of = [0.0f64; 2];
+    for (i, (name, serve_cfg)) in series.into_iter().enumerate() {
+        let (total, lat, merged) = run_series(&data, &queries, shards, inner.clone(), serve_cfg);
+        assert_eq!(
+            merged, reference,
+            "{name}: network-path answers diverged from the canonical reference"
+        );
+        let qps = n_queries as f64 / total.max(1e-12);
+        qps_of[i] = qps;
+        let (p50, p90, p99) = (lat.quantile(0.5), lat.quantile(0.9), lat.quantile(0.99));
+        println!("{name:>12} {total:>12.4} {qps:>10.0} {p50:>9} {p90:>9} {p99:>9}");
+        csv.push_str(&format!(
+            "{name},{CONNECTIONS},{n_queries},{total:.6},{qps:.3},{p50},{p90},{p99}\n"
+        ));
+        h.record(JsonRecord {
+            experiment: "service".into(),
+            series: name.into(),
+            build_secs: 0.0,
+            total_secs: total,
+            tail_mean_secs: total / n_queries.max(1) as f64,
+            results: reference.iter().map(|r| r.len() as u64).sum(),
+        });
+    }
+    println!("[check] both series byte-identical to the canonical reference over the network path");
+    println!(
+        "admission batching: {:.2}x the per-request baseline's steady-state throughput",
+        qps_of[1] / qps_of[0].max(1e-12)
+    );
+    let _ = h.out.write_csv("service_batching.csv", &csv);
+}

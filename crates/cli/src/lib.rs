@@ -145,6 +145,34 @@ pub enum Command {
         /// to only report health).
         data: String,
     },
+    /// Serve queries over HTTP with admission batching (`quasii-server`).
+    Serve {
+        /// Dataset path for a cold start (exactly one of this or
+        /// `warm_start`).
+        data: String,
+        /// Sharded snapshot to revive the deployment from.
+        warm_start: String,
+        /// Listen address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Shard count for a cold start (0 = one shard).
+        shards: usize,
+        /// Worker threads per parallelism level (0 = auto).
+        threads: usize,
+        /// Queries per admission group (1 disables grouping).
+        max_batch: usize,
+        /// Admission window upper bound in microseconds.
+        max_delay_us: u64,
+        /// "true"/"false": shrink the window at low arrival rates.
+        adaptive: String,
+        /// Bounded submission-queue capacity (full queue answers 503).
+        queue_cap: usize,
+        /// Assignment coordinate: lower|center|upper.
+        assign_by: String,
+        /// Whether converged regions compact into sealed arenas.
+        seal: String,
+        /// SIMD kernel dispatch policy: auto|scalar|sse2|avx2.
+        simd: String,
+    },
     /// Show usage.
     Help,
 }
@@ -270,6 +298,20 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             snapshot: get("snapshot", None)?,
             data: get("data", Some(""))?,
         }),
+        "serve" => Ok(Command::Serve {
+            data: get("data", Some(""))?,
+            warm_start: get("warm-start", Some(""))?,
+            addr: get("addr", Some("127.0.0.1:7077"))?,
+            shards: num("shards", &get("shards", Some("0"))?)?,
+            threads: num("threads", &get("threads", Some("0"))?)?,
+            max_batch: num("max-batch", &get("max-batch", Some("64"))?)?,
+            max_delay_us: num("max-delay-us", &get("max-delay-us", Some("200"))?)?,
+            adaptive: get("adaptive", Some("true"))?,
+            queue_cap: num("queue-cap", &get("queue-cap", Some("1024"))?)?,
+            assign_by: get("assign-by", Some("lower"))?,
+            seal: get("seal", Some("true"))?,
+            simd: get("simd", Some("auto"))?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -297,6 +339,12 @@ USAGE:
                   [--layout packed|parts] [--fault SPEC]
   quasii verify   --path FILE
   quasii recover  --snapshot SNAP [--data FILE]
+  quasii serve    (--data FILE | --warm-start SNAP) [--addr HOST:PORT]
+                  [--shards K] [--threads N]
+                  [--max-batch N] [--max-delay-us US]
+                  [--adaptive true|false] [--queue-cap N]
+                  [--assign-by lower|center|upper] [--seal true|false]
+                  [--simd auto|scalar|sse2|avx2]
 
 Datasets are 3-d; FILE extension picks the format (.qsd binary, .csv text).
 --batch N executes the workload in batches of N queries through the index's
@@ -343,7 +391,24 @@ dataset — without constructing an engine; it exits nonzero on corruption.
 quarantines the corrupt ones, re-cracks them from --data (routing records
 through the manifest's fences), re-validates every invariant, and
 re-commits the repaired deployment as a new snapshot generation; without
---data it only reports per-shard health.";
+--data it only reports per-shard health.
+`serve` fronts a (sharded) QUASII deployment with the HTTP query service:
+GET /query?lo=a,b,c&hi=d,e,f, POST /batch (one query per line,
+lo0,lo1,lo2,hi0,hi1,hi2), GET /snapshots, GET /metrics (Prometheus),
+GET /healthz, POST /admin/repair, POST /admin/shutdown. Concurrent
+requests are regrouped by the admission controller onto the engine's
+batch path: a group closes at --max-batch queries or after the admission
+window, whichever first; --adaptive true (the default) shrinks the window
+at low arrival rates so an idle server adds at most microseconds of
+latency, --max-batch 1 disables grouping (the per-request baseline).
+Answers are byte-identical for every setting. The submission queue is
+bounded at --queue-cap; an overloaded server answers 503 rather than
+buffering without bound. --warm-start revives a sharded snapshot
+(written by `snapshot --shards K`) instead of cracking from --data; the
+snapshot fixes layout, so --shards/--threads/--assign-by/--seal/--simd
+conflict with it. The metrics registry is always on for a server (the
+/metrics endpoint is part of the API). The server runs until
+POST /admin/shutdown, which drains already-accepted work before exit.";
 
 /// Builds the benchmark workload for a universe (shared by `bench` and
 /// `snapshot` so a warm-started run replays exactly the pattern the
@@ -772,6 +837,130 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             report_fsx_counters();
             r
         }
+        Command::Serve {
+            data,
+            warm_start,
+            addr,
+            shards,
+            threads,
+            max_batch,
+            max_delay_us,
+            adaptive,
+            queue_cap,
+            assign_by,
+            seal,
+            simd,
+        } => {
+            if warm_start.is_empty() == data.is_empty() {
+                return Err("serve needs exactly one of --data or --warm-start".to_string());
+            }
+            if max_batch == 0 {
+                return Err(
+                    "--max-batch must be >= 1 (1 disables grouping, the per-request baseline)"
+                        .to_string(),
+                );
+            }
+            let assign_by = quasii::AssignBy::parse(&assign_by)
+                .ok_or_else(|| format!("unknown --assign-by '{assign_by}' (lower|center|upper)"))?;
+            let seal = match seal.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("unknown --seal '{other}' (true|false)")),
+            };
+            let adaptive = match adaptive.as_str() {
+                "true" => true,
+                "false" => false,
+                other => return Err(format!("unknown --adaptive '{other}' (true|false)")),
+            };
+            let simd = parse_simd(&simd)?;
+            // A server always exposes /metrics, so the registry is always
+            // on (fresh, so the exposition reports this process only).
+            obs::registry::reset();
+            obs::set_enabled(true);
+            let engine = if !warm_start.is_empty() {
+                // The snapshot fixes layout and configuration (same
+                // contract as `bench --warm-start`).
+                if shards > 0 {
+                    return Err(
+                        "--shards conflicts with --warm-start (the snapshot fixes the shard \
+                         layout)"
+                            .to_string(),
+                    );
+                }
+                if threads > 0 {
+                    return Err(
+                        "--threads conflicts with --warm-start (stored in the snapshot)"
+                            .to_string(),
+                    );
+                }
+                if assign_by != quasii::AssignBy::default() {
+                    return Err(
+                        "--assign-by conflicts with --warm-start (stored in the snapshot)"
+                            .to_string(),
+                    );
+                }
+                if !seal {
+                    return Err(
+                        "--seal conflicts with --warm-start (stored in the snapshot)".to_string(),
+                    );
+                }
+                if simd != quasii::SimdPolicy::Auto {
+                    return Err(
+                        "--simd conflicts with --warm-start (dispatch is re-resolved at load; \
+                         set QUASII_SIMD to override)"
+                            .to_string(),
+                    );
+                }
+                let bytes = std::fs::read(&warm_start)
+                    .map_err(|e| format!("cannot read '{warm_start}': {e}"))?;
+                if !(bytes.len() >= 8 && bytes[..8] == MANIFEST_MAGIC) {
+                    return Err(format!(
+                        "'{warm_start}' is not a sharded snapshot (serve fronts a sharded \
+                         deployment; write one with `quasii snapshot --shards K`)"
+                    ));
+                }
+                report_simd(quasii::SimdPolicy::default());
+                ShardedQuasii::<3>::from_snapshot_files(&FsStore, Path::new(&warm_start))
+                    .map_err(|e| format!("cannot load '{warm_start}': {e}"))?
+            } else {
+                report_simd(simd);
+                let records = load(&data)?;
+                let cfg = ShardConfig::default()
+                    .with_shards(shards.max(1))
+                    .with_shard_threads(threads)
+                    .with_inner(
+                        QuasiiConfig::default()
+                            .with_threads(threads)
+                            .with_assign_by(assign_by)
+                            .with_seal(seal)
+                            .with_simd(simd),
+                    );
+                ShardedQuasii::new(records, cfg)
+            };
+            let records: usize = engine.engines().iter().map(|e| e.data().len()).sum();
+            let shard_count = engine.shard_count();
+            let cfg = quasii_server::ServeConfig::default()
+                .with_max_batch(max_batch)
+                .with_max_delay_us(max_delay_us)
+                .with_adaptive(adaptive)
+                .with_queue_cap(queue_cap);
+            let handle =
+                quasii_server::start(engine, &addr, cfg).map_err(|e| format!("serve: {e}"))?;
+            println!(
+                "serving http://{} — {records} records across {shard_count} shards, admission \
+                 max_batch {max_batch}, window <= {max_delay_us}us ({}), queue cap {}",
+                handle.addr(),
+                if adaptive { "adaptive" } else { "fixed" },
+                queue_cap.max(1),
+            );
+            println!(
+                "endpoints: GET /query?lo=a,b,c&hi=d,e,f | POST /batch | GET /snapshots \
+                 /metrics /healthz | POST /admin/repair /admin/shutdown"
+            );
+            handle.wait();
+            println!("server stopped");
+            Ok(())
+        }
     }
 }
 
@@ -1106,6 +1295,129 @@ mod tests {
             assert!(err.contains(flag), "{cmdline}: {err}");
             assert!(err.contains(value), "{cmdline}: {err}");
         }
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_overrides() {
+        match parse(&args("serve --data d.qsd")).unwrap() {
+            Command::Serve {
+                data,
+                warm_start,
+                addr,
+                shards,
+                max_batch,
+                max_delay_us,
+                adaptive,
+                queue_cap,
+                ..
+            } => {
+                assert_eq!(data, "d.qsd");
+                assert_eq!(warm_start, "");
+                assert_eq!(addr, "127.0.0.1:7077");
+                assert_eq!(shards, 0);
+                assert_eq!(max_batch, 64);
+                assert_eq!(max_delay_us, 200);
+                assert_eq!(adaptive, "true");
+                assert_eq!(queue_cap, 1024);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        match parse(&args(
+            "serve --warm-start s.qshard --addr 0.0.0.0:80 --max-batch 1 --max-delay-us 0 \
+             --adaptive false --queue-cap 8",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                warm_start,
+                addr,
+                max_batch,
+                max_delay_us,
+                adaptive,
+                queue_cap,
+                ..
+            } => {
+                assert_eq!(warm_start, "s.qshard");
+                assert_eq!(addr, "0.0.0.0:80");
+                assert_eq!(max_batch, 1);
+                assert_eq!(max_delay_us, 0);
+                assert_eq!(adaptive, "false");
+                assert_eq!(queue_cap, 8);
+            }
+            other => panic!("wrong parse: {other:?}"),
+        }
+        let err = parse(&args("serve --data d.qsd --max-batch many")).unwrap_err();
+        assert!(err.contains("--max-batch") && err.contains("many"), "{err}");
+    }
+
+    #[test]
+    fn serve_validation_fires_before_any_socket_or_file() {
+        let serve = |data: &str,
+                     warm: &str,
+                     shards: usize,
+                     max_batch: usize,
+                     adaptive: &str,
+                     seal: &str| Command::Serve {
+            data: data.into(),
+            warm_start: warm.into(),
+            addr: "127.0.0.1:0".into(),
+            shards,
+            threads: 0,
+            max_batch,
+            max_delay_us: 200,
+            adaptive: adaptive.into(),
+            queue_cap: 1024,
+            assign_by: "lower".into(),
+            seal: seal.into(),
+            simd: "auto".into(),
+        };
+        let err = execute(serve("", "", 0, 64, "true", "true")).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = execute(serve("d.qsd", "s.qshard", 0, 64, "true", "true")).unwrap_err();
+        assert!(err.contains("exactly one"), "{err}");
+        let err = execute(serve("d.qsd", "", 0, 0, "true", "true")).unwrap_err();
+        assert!(err.contains("--max-batch"), "{err}");
+        let err = execute(serve("d.qsd", "", 0, 64, "sideways", "true")).unwrap_err();
+        assert!(err.contains("--adaptive"), "{err}");
+        let err = execute(serve("", "s.qshard", 2, 64, "true", "true")).unwrap_err();
+        assert!(err.contains("--shards conflicts"), "{err}");
+        let err = execute(serve("", "s.qshard", 0, 64, "true", "false")).unwrap_err();
+        assert!(err.contains("--seal conflicts"), "{err}");
+    }
+
+    #[test]
+    fn serve_end_to_end_over_loopback() {
+        // Build a tiny dataset, serve it on an ephemeral port, and drive
+        // the full path: query, batch, health, metrics, admin shutdown.
+        let dir = std::env::temp_dir();
+        let data = dir.join(format!("quasii-serve-{}.qsd", std::process::id()));
+        let data_s = data.to_string_lossy().to_string();
+        execute(Command::Generate {
+            family: "uniform".into(),
+            n: 1_500,
+            seed: 31,
+            out: data_s.clone(),
+        })
+        .unwrap();
+        let records = load(&data_s).unwrap();
+        let cfg = ShardConfig::default()
+            .with_shards(2)
+            .with_inner(QuasiiConfig::default().with_threads(1));
+        let engine = ShardedQuasii::new(records, cfg);
+        let handle = quasii_server::start(
+            engine,
+            "127.0.0.1:0",
+            quasii_server::ServeConfig::default().with_max_batch(8),
+        )
+        .unwrap();
+        let mut c = minihttp::Client::connect(handle.addr()).unwrap();
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        let r = c.get("/query?lo=0,0,0&hi=1000,1000,1000").unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        let r = c.post("/admin/shutdown", "text/plain", b"").unwrap();
+        assert_eq!(r.status, 200);
+        handle.wait();
+        std::fs::remove_file(&data).ok();
     }
 
     #[test]

@@ -125,3 +125,46 @@ impl Phase {
         }
     }
 }
+
+/// The query-service endpoints (`crates/server`) the registry keeps
+/// per-endpoint request latency histograms for — the same fixed-enum
+/// indexing idiom as [`Phase`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /query` — one range query per request.
+    Query,
+    /// `POST /batch` — a client-side query batch per request.
+    Batch,
+    /// `GET /snapshots` — shard health/balance payload.
+    Snapshots,
+    /// `GET /metrics` — Prometheus exposition scrape.
+    Metrics,
+    /// `/admin/*` and `/healthz` — control-plane requests.
+    Admin,
+    /// Anything else (404s and unknown methods).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoints, in registry storage order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Query,
+        Endpoint::Batch,
+        Endpoint::Snapshots,
+        Endpoint::Metrics,
+        Endpoint::Admin,
+        Endpoint::Other,
+    ];
+
+    /// The label value used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Snapshots => "snapshots",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Admin => "admin",
+            Endpoint::Other => "other",
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //! and the exporters can never observe a half-registered state.
 
 use crate::metrics::{bucket_upper, Counter, Gauge, GaugeVec, Histogram, BUCKETS};
-use crate::Phase;
+use crate::{Endpoint, Phase};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -67,6 +67,47 @@ pub static SHARD_SEALED_FRACTION: GaugeVec = GaugeVec::new();
 pub static DEGRADED_QUERIES_TOTAL: Counter = Counter::new();
 /// Degraded queries whose answer was missing at least one shard.
 pub static DEGRADED_PARTIAL_TOTAL: Counter = Counter::new();
+
+// ---------------------------------------------------------------------
+// Query service (crates/server)
+// ---------------------------------------------------------------------
+
+/// Per-endpoint request latency (parse → response written), indexed by
+/// [`Endpoint`] order.
+pub static SERVER_REQUEST_SECONDS: [Histogram; 6] = [
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+    Histogram::new(),
+];
+
+/// The request-latency histogram for endpoint `e`.
+pub fn server_request(e: Endpoint) -> &'static Histogram {
+    &SERVER_REQUEST_SECONDS[e as usize]
+}
+
+/// Queries per admission group handed to `execute_batch` (the dispatcher's
+/// batch-or-deadline close sizes).
+pub static SERVER_BATCH_SIZE: Histogram = Histogram::new();
+/// Admission groups executed by the dispatcher.
+pub static SERVER_BATCHES_TOTAL: Counter = Counter::new();
+/// Queries admitted through the submission queue.
+pub static SERVER_QUERIES_TOTAL: Counter = Counter::new();
+/// Queries that ran in an admission group of ≥ 2 queries — the batch-path
+/// payoff counter (equal to `server_queries_total` minus lone queries).
+pub static SERVER_BATCHED_QUERIES_TOTAL: Counter = Counter::new();
+/// Submissions rejected with 503 by queue backpressure or shutdown.
+pub static SERVER_REJECTED_TOTAL: Counter = Counter::new();
+/// Requests answered 4xx (malformed path, params, or body).
+pub static SERVER_BAD_REQUESTS_TOTAL: Counter = Counter::new();
+/// Submissions waiting in the admission queue (point-in-time).
+pub static SERVER_QUEUE_DEPTH: Gauge = Gauge::new();
+/// The admission controller's current adaptive batch-close deadline in
+/// microseconds (shrinks under low arrival rate, grows back toward
+/// `max_delay_us` when groups fill).
+pub static ADMISSION_DELAY_US: Gauge = Gauge::new();
 
 // ---------------------------------------------------------------------
 // Persistence (quasii_common::fsx / fault)
@@ -276,6 +317,104 @@ pub static DEFS: &[Def] = &[
         labels: "",
         unit: Unit::Count,
         metric: Metric::Counter(&DEGRADED_PARTIAL_TOTAL),
+    },
+    Def {
+        name: "quasii_server_request_seconds",
+        help: "Request latency per endpoint (parse to response written)",
+        labels: "endpoint=\"query\"",
+        unit: Unit::Seconds,
+        metric: Metric::Histogram(&SERVER_REQUEST_SECONDS[Endpoint::Query as usize]),
+    },
+    Def {
+        name: "quasii_server_request_seconds",
+        help: "Request latency per endpoint (parse to response written)",
+        labels: "endpoint=\"batch\"",
+        unit: Unit::Seconds,
+        metric: Metric::Histogram(&SERVER_REQUEST_SECONDS[Endpoint::Batch as usize]),
+    },
+    Def {
+        name: "quasii_server_request_seconds",
+        help: "Request latency per endpoint (parse to response written)",
+        labels: "endpoint=\"snapshots\"",
+        unit: Unit::Seconds,
+        metric: Metric::Histogram(&SERVER_REQUEST_SECONDS[Endpoint::Snapshots as usize]),
+    },
+    Def {
+        name: "quasii_server_request_seconds",
+        help: "Request latency per endpoint (parse to response written)",
+        labels: "endpoint=\"metrics\"",
+        unit: Unit::Seconds,
+        metric: Metric::Histogram(&SERVER_REQUEST_SECONDS[Endpoint::Metrics as usize]),
+    },
+    Def {
+        name: "quasii_server_request_seconds",
+        help: "Request latency per endpoint (parse to response written)",
+        labels: "endpoint=\"admin\"",
+        unit: Unit::Seconds,
+        metric: Metric::Histogram(&SERVER_REQUEST_SECONDS[Endpoint::Admin as usize]),
+    },
+    Def {
+        name: "quasii_server_request_seconds",
+        help: "Request latency per endpoint (parse to response written)",
+        labels: "endpoint=\"other\"",
+        unit: Unit::Seconds,
+        metric: Metric::Histogram(&SERVER_REQUEST_SECONDS[Endpoint::Other as usize]),
+    },
+    Def {
+        name: "quasii_server_batch_size",
+        help: "Queries per admission group handed to execute_batch",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Histogram(&SERVER_BATCH_SIZE),
+    },
+    Def {
+        name: "quasii_server_batches_total",
+        help: "Admission groups executed by the dispatcher",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Counter(&SERVER_BATCHES_TOTAL),
+    },
+    Def {
+        name: "quasii_server_queries_total",
+        help: "Queries admitted through the submission queue",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Counter(&SERVER_QUERIES_TOTAL),
+    },
+    Def {
+        name: "quasii_server_batched_queries_total",
+        help: "Queries that ran in an admission group of two or more",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Counter(&SERVER_BATCHED_QUERIES_TOTAL),
+    },
+    Def {
+        name: "quasii_server_rejected_total",
+        help: "Submissions rejected with 503 (backpressure or shutdown)",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Counter(&SERVER_REJECTED_TOTAL),
+    },
+    Def {
+        name: "quasii_server_bad_requests_total",
+        help: "Requests answered 4xx",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Counter(&SERVER_BAD_REQUESTS_TOTAL),
+    },
+    Def {
+        name: "quasii_server_queue_depth",
+        help: "Submissions waiting in the admission queue",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Gauge(&SERVER_QUEUE_DEPTH),
+    },
+    Def {
+        name: "quasii_admission_delay_us",
+        help: "Current adaptive batch-close deadline in microseconds",
+        labels: "",
+        unit: Unit::Count,
+        metric: Metric::Gauge(&ADMISSION_DELAY_US),
     },
     Def {
         name: "fsx_commit_seconds",
@@ -750,6 +889,11 @@ mod tests {
         batch_phase(Phase::Crack).observe(3_000_000);
         SHARD_FANOUT.observe(2);
         SHARD_FANOUT.observe(3);
+        server_request(Endpoint::Query).observe(42_000);
+        SERVER_BATCH_SIZE.observe(17);
+        SERVER_BATCHED_QUERIES_TOTAL.add(17);
+        SERVER_QUEUE_DEPTH.set(3.0);
+        ADMISSION_DELAY_US.set(150.0);
 
         let text = render_prometheus();
         let exp = parse_prometheus(&text).expect("rendered exposition must parse");
@@ -768,6 +912,20 @@ mod tests {
         }
         assert_eq!(exp.value("quasii_queries_total", &[]), Some(123.0));
         assert_eq!(exp.value("quasii_sealed_queries_total", &[]), Some(7.0));
+        assert_eq!(
+            exp.value(
+                "quasii_server_request_seconds_count",
+                &[("endpoint", "query")]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(exp.value("quasii_server_batch_size_count", &[]), Some(1.0));
+        assert_eq!(
+            exp.value("quasii_server_batched_queries_total", &[]),
+            Some(17.0)
+        );
+        assert_eq!(exp.value("quasii_server_queue_depth", &[]), Some(3.0));
+        assert_eq!(exp.value("quasii_admission_delay_us", &[]), Some(150.0));
         assert_eq!(
             exp.value("quasii_shard_records", &[("shard", "1")]),
             Some(12.0)

@@ -1,0 +1,990 @@
+//! The query service layer: an HTTP/1.1 server (over the vendored
+//! [`minihttp`] shim) fronting a [`ShardedQuasii`] deployment, built
+//! around **admission batching** — the performance core that turns
+//! concurrently arriving single queries into `execute_batch` calls.
+//!
+//! QUASII's premise is that query arrival *is* the index-build workload,
+//! and everything the engine crates built to exploit that (disjoint
+//! crack partitions, the sealed shared-read pool, SIMD lane kernels)
+//! only pays off through the batch path. Real traffic, though, arrives
+//! as independent small requests. The bridge is the **admission
+//! controller**:
+//!
+//! * acceptor threads parse requests into a **bounded** MPSC submission
+//!   queue (`try_send`; a full queue answers 503 instead of buffering
+//!   without bound);
+//! * a single dispatcher drains it under a **batch-or-deadline** policy:
+//!   a group closes when it reaches `max_batch` queries, when no
+//!   follow-up submission arrives within the **admission gap** (the
+//!   arrival burst is over — under saturation batches form from the
+//!   queue accumulated while the previous group executed, so there is
+//!   nothing to wait for), or at the hard `max_delay_us` window cap,
+//!   whichever comes first;
+//! * the gap is **adaptive**: it halves whenever a group closed by
+//!   timeout (waiting longer bought no grouping — p99 must not pay for
+//!   idle batching) and doubles back toward `max_delay_us` whenever a
+//!   group fills to `max_batch` (arrivals outpace dispatch — more
+//!   grouping is free throughput). The current gap is exported as the
+//!   `quasii_admission_delay_us` gauge;
+//! * the group executes through
+//!   [`ShardedQuasii::try_execute_grouped`] and the canonical per-query
+//!   answers are demultiplexed back to the waiting connections.
+//!
+//! **Determinism across the network boundary**: the engine's batching
+//! invisibility (results are byte-identical for every batch shape)
+//! means admission grouping can never change an answer — the workspace
+//! `tests/server.rs` suite asserts network-path responses equal direct
+//! `execute_batch` answers across `max_batch`/`max_delay` settings,
+//! including `max_batch = 1`.
+//!
+//! Failure posture: a worker panic poisons the engine
+//! ([`quasii::EnginePoisoned`]); every queued and future submission is
+//! answered 503 until `POST /admin/repair` runs the engine's repair
+//! protocol. Graceful shutdown (the [`ServerHandle`] or
+//! `POST /admin/shutdown`) stops admission, **drains** the queue —
+//! every already-accepted submission still gets its answer — and joins
+//! the service threads.
+//!
+//! # Endpoints
+//!
+//! | Method+path            | Meaning                                          |
+//! |------------------------|--------------------------------------------------|
+//! | `GET /query?lo=a,b,c&hi=d,e,f` | one range query → `{"ids":[…]}`          |
+//! | `POST /batch` (text lines `lo0,lo1,lo2,hi0,hi1,hi2`) | client batch → `{"results":[[…],…]}` |
+//! | `GET /snapshots`       | shard health/balance payload (JSON)              |
+//! | `GET /metrics`         | Prometheus text exposition                       |
+//! | `GET /healthz`         | `200 ok` / `503 poisoned`                        |
+//! | `POST /admin/repair`   | clear a poison marker (engine repair protocol)   |
+//! | `POST /admin/shutdown` | graceful shutdown (drains the queue)             |
+
+#![warn(missing_docs)]
+
+use minihttp::{read_request, Limits, Request, Response};
+use quasii_common::geom::{mbb_of, Aabb};
+use quasii_obs as obs;
+use quasii_shard::ShardedQuasii;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Admission-controller and request-bound knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Queries per admission group before it closes (≥ 1; `1` disables
+    /// grouping entirely — the per-request baseline).
+    pub max_batch: usize,
+    /// Hard admission-window cap in microseconds — no accepted query
+    /// waits longer than this for grouping. Also the upper bound of the
+    /// adaptive admission *gap* (the burst-over timeout), which shrinks
+    /// far below this at low arrival rates.
+    pub max_delay_us: u64,
+    /// `false` pins the admission gap at `max_delay_us` (measurement
+    /// mode: every group waits out the full window).
+    pub adaptive: bool,
+    /// Bounded submission-queue capacity (submissions, not queries); a
+    /// full queue answers 503.
+    pub queue_cap: usize,
+    /// Request-body byte bound (`POST /batch`); larger bodies answer 413.
+    pub max_body_bytes: usize,
+    /// Queries per `POST /batch` request; larger batches answer 413.
+    pub max_queries_per_request: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 64,
+            max_delay_us: 200,
+            adaptive: true,
+            queue_cap: 1024,
+            max_body_bytes: 1 << 20,
+            max_queries_per_request: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Sets [`max_batch`](Self::max_batch) (clamped to ≥ 1).
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Sets [`max_delay_us`](Self::max_delay_us).
+    pub fn with_max_delay_us(mut self, us: u64) -> Self {
+        self.max_delay_us = us;
+        self
+    }
+
+    /// Sets [`adaptive`](Self::adaptive).
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
+        self
+    }
+
+    /// Sets [`queue_cap`](Self::queue_cap) (clamped to ≥ 1).
+    pub fn with_queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n.max(1);
+        self
+    }
+}
+
+/// What the dispatcher sends back per submission: the per-query canonical
+/// id vectors, or the engine-poisoned detail string.
+type Reply = Result<Vec<Vec<u64>>, String>;
+
+/// One accepted unit of work: the queries of one request plus the channel
+/// the dispatcher answers on.
+struct Submission {
+    queries: Vec<Aabb<3>>,
+    reply: SyncSender<Reply>,
+}
+
+/// Queue protocol: work, or a no-op nudge that wakes the dispatcher so it
+/// can observe the shutdown flag.
+enum Msg {
+    Work(Submission),
+    Wake,
+}
+
+/// Why a submission was refused at the gate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rejection {
+    /// The bounded submission queue is full (backpressure → 503).
+    Overloaded,
+    /// The server is shutting down and admits no new work (→ 503).
+    ShuttingDown,
+}
+
+/// The submission side of the admission queue, split out so backpressure
+/// is unit-testable without sockets or a running dispatcher.
+struct Gate {
+    tx: SyncSender<Msg>,
+    depth: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Gate {
+    /// Enqueues `queries` as one submission. Never blocks: a full queue is
+    /// [`Rejection::Overloaded`], which the caller maps to 503.
+    fn submit(&self, queries: Vec<Aabb<3>>) -> Result<Receiver<Reply>, Rejection> {
+        if self.shutdown.load(Ordering::Relaxed) {
+            return Err(Rejection::ShuttingDown);
+        }
+        let (reply, rx) = mpsc::sync_channel(1);
+        // Count before sending so the dispatcher's decrement (which can
+        // only follow a successful send) never races the count below zero.
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match self.tx.try_send(Msg::Work(Submission { queries, reply })) {
+            Ok(()) => {
+                if obs::enabled() {
+                    obs::registry::SERVER_QUEUE_DEPTH.set(depth as f64);
+                }
+                Ok(rx)
+            }
+            Err(e) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                match e {
+                    TrySendError::Full(_) => Err(Rejection::Overloaded),
+                    TrySendError::Disconnected(_) => Err(Rejection::ShuttingDown),
+                }
+            }
+        }
+    }
+}
+
+/// The adaptive-gap policy, as a pure function so it is directly
+/// testable: `filled` groups (hit `max_batch`) double the gap back
+/// toward the cap — arrivals are outpacing dispatch and a longer gap
+/// costs nothing while the queue is never empty. Groups closed by a gap
+/// or window timeout halve it (floor 1µs): the wait bought no further
+/// grouping, so the next lone query pays at most a microsecond-scale
+/// delay. Steady saturated traffic needs no gap at all — its batches
+/// are already queued when the dispatcher comes back around.
+fn next_delay_us(delay_us: f64, max_delay_us: u64, filled: bool) -> f64 {
+    let cap = (max_delay_us as f64).max(1.0);
+    if filled {
+        (delay_us * 2.0).clamp(1.0, cap)
+    } else {
+        (delay_us * 0.5).max(1.0)
+    }
+}
+
+/// State shared between acceptors, connection handlers and the dispatcher.
+struct Shared {
+    engine: Mutex<ShardedQuasii<3>>,
+    cfg: ServeConfig,
+    gate: Gate,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+    /// MBB over every record (computed once; the dataset never mutates).
+    universe: Aabb<3>,
+    records: usize,
+}
+
+/// The dispatcher: the single consumer of the submission queue. Applies
+/// the batch-or-deadline policy, executes each group through the engine's
+/// grouped batch seam, and demultiplexes answers.
+struct Dispatcher {
+    shared: Arc<Shared>,
+    rx: Receiver<Msg>,
+    delay_us: f64,
+}
+
+impl Dispatcher {
+    fn run(mut self) {
+        loop {
+            // Block for the group's opening submission. During shutdown,
+            // switch to non-blocking drain: every already-queued
+            // submission is still answered, then the thread exits.
+            let first = loop {
+                if self.shared.shutdown.load(Ordering::Relaxed) {
+                    match self.rx.try_recv() {
+                        Ok(Msg::Work(s)) => break s,
+                        Ok(Msg::Wake) => continue,
+                        Err(TryRecvError::Empty | TryRecvError::Disconnected) => return,
+                    }
+                }
+                match self.rx.recv() {
+                    Ok(Msg::Work(s)) => break s,
+                    Ok(Msg::Wake) => continue,
+                    Err(_) => return,
+                }
+            };
+            self.note_popped();
+            let mut group = vec![first];
+            let mut n_queries = group[0].queries.len();
+
+            // Batch-or-deadline: gather follow-ups until the group holds
+            // max_batch queries, no follow-up arrives within the adaptive
+            // gap (the burst is over — already-queued submissions pop
+            // without waiting, so saturated traffic never idles here), or
+            // the hard window cap expires. With max_batch = 1 grouping is
+            // off and nothing is ever waited.
+            let max_batch = self.shared.cfg.max_batch.max(1);
+            if max_batch > 1 {
+                let gap = Duration::from_micros(self.delay_us.round() as u64);
+                let deadline = Instant::now() + Duration::from_micros(self.shared.cfg.max_delay_us);
+                let mut filled = n_queries >= max_batch;
+                while n_queries < max_batch && !self.shared.shutdown.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    match self.rx.recv_timeout((deadline - now).min(gap)) {
+                        Ok(Msg::Work(s)) => {
+                            self.note_popped();
+                            n_queries += s.queries.len();
+                            group.push(s);
+                            filled = n_queries >= max_batch;
+                        }
+                        Ok(Msg::Wake) => continue,
+                        Err(RecvTimeoutError::Timeout) => break,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                if self.shared.cfg.adaptive {
+                    self.delay_us =
+                        next_delay_us(self.delay_us, self.shared.cfg.max_delay_us, filled);
+                }
+                if obs::enabled() {
+                    obs::registry::ADMISSION_DELAY_US.set(self.delay_us);
+                }
+            }
+
+            self.execute(group, n_queries);
+        }
+    }
+
+    /// Bookkeeping for one submission popped off the queue.
+    fn note_popped(&self) {
+        let depth = self
+            .shared
+            .gate
+            .depth
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        if obs::enabled() {
+            obs::registry::SERVER_QUEUE_DEPTH.set(depth as f64);
+        }
+    }
+
+    /// Runs one admission group through the engine and answers every
+    /// submission. On poison, every waiter gets the detail (→ 503) — the
+    /// service never returns partial results.
+    fn execute(&self, group: Vec<Submission>, n_queries: usize) {
+        if obs::enabled() {
+            obs::registry::SERVER_BATCHES_TOTAL.inc();
+            obs::registry::SERVER_BATCH_SIZE.observe(n_queries as u64);
+            obs::registry::SERVER_QUERIES_TOTAL.add(n_queries as u64);
+            if n_queries >= 2 {
+                obs::registry::SERVER_BATCHED_QUERIES_TOTAL.add(n_queries as u64);
+            }
+        }
+        let groups: Vec<&[Aabb<3>]> = group.iter().map(|s| s.queries.as_slice()).collect();
+        let outcome = {
+            let mut engine = self.shared.engine.lock().expect("engine lock poisoned");
+            engine.try_execute_grouped(&groups)
+        };
+        match outcome {
+            Ok(answers) => {
+                for (s, a) in group.iter().zip(answers) {
+                    // A waiter that vanished (client hung up) is fine.
+                    let _ = s.reply.send(Ok(a));
+                }
+            }
+            Err(e) => {
+                for s in &group {
+                    let _ = s.reply.send(Err(e.detail.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// A running server: the bound address plus the service threads. Dropping
+/// the handle triggers (but does not wait for) shutdown; call
+/// [`shutdown`](Self::shutdown) for the drained, joined variant or
+/// [`wait`](Self::wait) to block until `POST /admin/shutdown` arrives.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop admission, drain the queue (every accepted
+    /// submission is still answered), join the service threads.
+    pub fn shutdown(mut self) {
+        trigger_shutdown(&self.shared);
+        self.join_all();
+    }
+
+    /// Blocks until the server shuts down (via `POST /admin/shutdown` or a
+    /// concurrent [`trigger_shutdown`]), then joins the service threads.
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        for t in self.threads.drain(..) {
+            if t.join().is_err() {
+                eprintln!("[quasii-server] a service thread panicked");
+            }
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // Idempotent: shutdown()/wait() have already joined by now.
+        trigger_shutdown(&self.shared);
+    }
+}
+
+/// Flips the shutdown flag and wakes both blocking points: the dispatcher
+/// (queue nudge) and the acceptor (self-connect). Idempotent.
+fn trigger_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::Relaxed) {
+        return;
+    }
+    // If the queue is full the dispatcher is awake anyway and will see
+    // the flag on its next pass.
+    let _ = shared.gate.tx.try_send(Msg::Wake);
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Starts the service on `addr` (use port `0` for an ephemeral port) over
+/// an already-built engine. Returns once the listener is bound; the
+/// acceptor, connection handlers and dispatcher run on background threads.
+pub fn start(
+    engine: ShardedQuasii<3>,
+    addr: &str,
+    cfg: ServeConfig,
+) -> Result<ServerHandle, String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind '{addr}': {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+
+    let mut universe = Aabb::empty();
+    let mut records = 0usize;
+    for e in engine.engines() {
+        records += e.data().len();
+        if !e.data().is_empty() {
+            universe.expand(&mbb_of(e.data()));
+        }
+    }
+
+    let (tx, rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let delay_us = cfg.max_delay_us.max(1) as f64;
+    let shared = Arc::new(Shared {
+        engine: Mutex::new(engine),
+        cfg,
+        gate: Gate {
+            tx,
+            depth: Arc::new(AtomicUsize::new(0)),
+            shutdown: Arc::clone(&shutdown),
+        },
+        shutdown,
+        addr: local,
+        universe,
+        records,
+    });
+
+    let mut threads = Vec::new();
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("quasii-dispatch".into())
+                .spawn(move || {
+                    Dispatcher {
+                        shared,
+                        rx,
+                        delay_us,
+                    }
+                    .run()
+                })
+                .map_err(|e| format!("spawn dispatcher: {e}"))?,
+        );
+    }
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("quasii-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let shared = Arc::clone(&shared);
+                        // Connection threads are detached: they exit on
+                        // client close, read timeout, or the next response
+                        // after shutdown flips (Connection: close).
+                        let _ = std::thread::Builder::new()
+                            .name("quasii-conn".into())
+                            .spawn(move || handle_connection(&shared, stream));
+                    }
+                })
+                .map_err(|e| format!("spawn acceptor: {e}"))?,
+        );
+    }
+
+    Ok(ServerHandle {
+        addr: local,
+        shared,
+        threads,
+    })
+}
+
+/// The keep-alive request loop of one accepted connection.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Idle keep-alive connections are reaped so detached threads never
+    // outlive their clients by much.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let limits = Limits {
+        max_body: shared.cfg.max_body_bytes,
+        ..Limits::default()
+    };
+    loop {
+        let req = match read_request(&mut reader, &limits) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                // Named parse errors get a status; transport errors and
+                // read timeouts just drop the connection.
+                if let Some(status) = e.status() {
+                    if obs::enabled() {
+                        obs::registry::SERVER_BAD_REQUESTS_TOTAL.inc();
+                    }
+                    let _ = Response::json(
+                        status,
+                        format!("{{\"error\":\"{}\"}}", esc(&e.to_string())),
+                    )
+                    .closing()
+                    .write_to(&mut writer);
+                    // Consume what the client already sent before closing:
+                    // dropping the socket with unread input would RST the
+                    // error response out of the client's receive buffer.
+                    let _ = writer.set_read_timeout(Some(Duration::from_millis(50)));
+                    let mut sink = [0u8; 4096];
+                    let mut drained = 0usize;
+                    while drained < (8 << 20) {
+                        match std::io::Read::read(&mut reader, &mut sink) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => drained += n,
+                        }
+                    }
+                }
+                return;
+            }
+        };
+        let t = obs::start();
+        let endpoint = endpoint_of(&req);
+        let mut resp = route(shared, &req);
+        if resp.status >= 400 && resp.status < 500 && obs::enabled() {
+            obs::registry::SERVER_BAD_REQUESTS_TOTAL.inc();
+        }
+        let close = resp.close || req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
+        resp.close = close;
+        let ok = resp.write_to(&mut writer).is_ok();
+        if obs::enabled() {
+            obs::registry::server_request(endpoint).observe_since(t);
+        }
+        if close || !ok {
+            return;
+        }
+    }
+}
+
+/// Maps a request to its latency-histogram endpoint.
+fn endpoint_of(req: &Request) -> obs::Endpoint {
+    match req.path() {
+        "/query" => obs::Endpoint::Query,
+        "/batch" => obs::Endpoint::Batch,
+        "/snapshots" => obs::Endpoint::Snapshots,
+        "/metrics" => obs::Endpoint::Metrics,
+        "/healthz" => obs::Endpoint::Admin,
+        p if p.starts_with("/admin/") => obs::Endpoint::Admin,
+        _ => obs::Endpoint::Other,
+    }
+}
+
+/// JSON string escaping for error bodies (names and details only — the
+/// data-plane payloads are numeric).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn err_json(status: u16, msg: &str) -> Response {
+    Response::json(status, format!("{{\"error\":\"{}\"}}", esc(msg)))
+}
+
+/// Renders one id vector as a JSON array.
+fn ids_json(ids: &[u64]) -> String {
+    let mut out = String::with_capacity(ids.len() * 8 + 2);
+    out.push('[');
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// A JSON number for `v`, or `null` when non-finite (fence bounds of the
+/// outermost shards are ±∞, which JSON cannot carry).
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Parses `a,b,c` into a finite 3-vector, naming `what` in errors.
+fn parse_triple(what: &str, s: &str) -> Result<[f64; 3], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "{what}: expected 3 comma-separated numbers, got {} in '{s}'",
+            parts.len()
+        ));
+    }
+    let mut out = [0.0f64; 3];
+    for (d, p) in parts.iter().enumerate() {
+        let v: f64 = p
+            .trim()
+            .parse()
+            .map_err(|_| format!("{what}: cannot parse '{p}' as a number"))?;
+        if !v.is_finite() {
+            return Err(format!("{what}: '{p}' is not finite"));
+        }
+        out[d] = v;
+    }
+    Ok(out)
+}
+
+/// Parses one query line / query-param pair into an [`Aabb`].
+fn parse_box(lo: &str, hi: &str) -> Result<Aabb<3>, String> {
+    let lo = parse_triple("lo", lo)?;
+    let hi = parse_triple("hi", hi)?;
+    for d in 0..3 {
+        if lo[d] > hi[d] {
+            return Err(format!(
+                "lo[{d}] = {} exceeds hi[{d}] = {} (empty boxes must still be ordered)",
+                lo[d], hi[d]
+            ));
+        }
+    }
+    Ok(Aabb::new(lo, hi))
+}
+
+/// Parses a `POST /batch` body: one query per non-empty line, each
+/// `lo0,lo1,lo2,hi0,hi1,hi2`.
+fn parse_batch_body(body: &[u8], max_queries: usize) -> Result<Vec<Aabb<3>>, (u16, String)> {
+    let text = std::str::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+    let mut queries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if queries.len() >= max_queries {
+            return Err((
+                413,
+                format!("batch exceeds the {max_queries}-query per-request limit"),
+            ));
+        }
+        let nums: Vec<&str> = line.split(',').collect();
+        if nums.len() != 6 {
+            return Err((
+                400,
+                format!(
+                    "line {}: expected 6 comma-separated numbers (lo0,lo1,lo2,hi0,hi1,hi2), got {}",
+                    i + 1,
+                    nums.len()
+                ),
+            ));
+        }
+        let q = parse_box(&nums[..3].join(","), &nums[3..].join(","))
+            .map_err(|e| (400, format!("line {}: {e}", i + 1)))?;
+        queries.push(q);
+    }
+    if queries.is_empty() {
+        return Err((400, "batch body holds no queries".to_string()));
+    }
+    Ok(queries)
+}
+
+/// Submits one request's queries and waits for the dispatcher's answer.
+fn submit_and_wait(shared: &Shared, queries: Vec<Aabb<3>>) -> Result<Vec<Vec<u64>>, Response> {
+    match shared.gate.submit(queries) {
+        Ok(rx) => match rx.recv() {
+            Ok(Ok(answers)) => Ok(answers),
+            Ok(Err(detail)) => Err(err_json(
+                503,
+                &format!("engine poisoned: {detail}; POST /admin/repair to recover"),
+            )),
+            // Dispatcher gone mid-wait (shutdown race): refuse cleanly.
+            Err(_) => Err(err_json(503, "server is shutting down").closing()),
+        },
+        Err(Rejection::Overloaded) => {
+            if obs::enabled() {
+                obs::registry::SERVER_REJECTED_TOTAL.inc();
+            }
+            Err(err_json(503, "admission queue is full, retry later"))
+        }
+        Err(Rejection::ShuttingDown) => {
+            if obs::enabled() {
+                obs::registry::SERVER_REJECTED_TOTAL.inc();
+            }
+            Err(err_json(503, "server is shutting down").closing())
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint handler.
+fn route(shared: &Shared, req: &Request) -> Response {
+    match (req.method.as_str(), req.path()) {
+        ("GET", "/query") => {
+            let (Some(lo), Some(hi)) = (req.query_param("lo"), req.query_param("hi")) else {
+                return err_json(400, "need query params lo=a,b,c and hi=d,e,f");
+            };
+            let q = match parse_box(lo, hi) {
+                Ok(q) => q,
+                Err(e) => return err_json(400, &e),
+            };
+            match submit_and_wait(shared, vec![q]) {
+                Ok(answers) => {
+                    Response::json(200, format!("{{\"ids\":{}}}", ids_json(&answers[0])))
+                }
+                Err(resp) => resp,
+            }
+        }
+        ("POST", "/batch") => {
+            let queries = match parse_batch_body(&req.body, shared.cfg.max_queries_per_request) {
+                Ok(q) => q,
+                Err((status, msg)) => return err_json(status, &msg),
+            };
+            match submit_and_wait(shared, queries) {
+                Ok(answers) => {
+                    let mut body = String::from("{\"results\":[");
+                    for (i, a) in answers.iter().enumerate() {
+                        if i > 0 {
+                            body.push(',');
+                        }
+                        body.push_str(&ids_json(a));
+                    }
+                    body.push_str("]}");
+                    Response::json(200, body)
+                }
+                Err(resp) => resp,
+            }
+        }
+        ("GET", "/snapshots") => snapshots_json(shared),
+        ("GET", "/metrics") => Response::text(200, obs::registry::render_prometheus()),
+        ("GET", "/healthz") => {
+            let poisoned = shared
+                .engine
+                .lock()
+                .expect("engine lock poisoned")
+                .is_poisoned();
+            if poisoned {
+                err_json(503, "engine poisoned; POST /admin/repair to recover")
+            } else {
+                Response::json(200, "{\"status\":\"ok\"}")
+            }
+        }
+        ("POST", "/admin/repair") => {
+            let outcome = shared.engine.lock().expect("engine lock poisoned").repair();
+            let name = match outcome {
+                quasii::RepairOutcome::Clean => "clean",
+                quasii::RepairOutcome::Revalidated => "revalidated",
+                quasii::RepairOutcome::Rebuilt => "rebuilt",
+            };
+            Response::json(200, format!("{{\"outcome\":\"{name}\"}}"))
+        }
+        ("POST", "/admin/shutdown") => {
+            trigger_shutdown(shared);
+            Response::json(200, "{\"ok\":true}").closing()
+        }
+        ("GET" | "POST", _) => err_json(404, &format!("no such endpoint '{}'", req.path())),
+        (m, _) => err_json(405, &format!("method '{m}' not allowed")),
+    }
+}
+
+/// The `GET /snapshots` payload: deployment totals, router counters, the
+/// dataset universe (the seam the load generator builds workloads from),
+/// and one health/balance object per shard.
+fn snapshots_json(shared: &Shared) -> Response {
+    let engine = shared.engine.lock().expect("engine lock poisoned");
+    let snaps = engine.snapshots();
+    let router = engine.router_stats();
+    let mut body = format!(
+        "{{\"records\":{},\"shards\":{},\"sealed_fraction\":{:.6},\"poisoned\":{},\
+         \"generation\":{},\"router\":{{\"queries\":{},\"shard_visits\":{}}},\
+         \"universe\":{{\"lo\":[{},{},{}],\"hi\":[{},{},{}]}},\"shard_detail\":[",
+        shared.records,
+        snaps.len(),
+        engine.sealed_fraction(),
+        engine.is_poisoned(),
+        engine.generation(),
+        router.queries,
+        router.shard_visits,
+        jnum(shared.universe.lo[0]),
+        jnum(shared.universe.lo[1]),
+        jnum(shared.universe.lo[2]),
+        jnum(shared.universe.hi[0]),
+        jnum(shared.universe.hi[1]),
+        jnum(shared.universe.hi[2]),
+    );
+    for (i, s) in snaps.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"shard\":{},\"key_lo\":{},\"key_hi\":{},\"records\":{},\"slices\":{},\
+             \"queries\":{},\"sealed_fraction\":{:.6},\"index_bytes\":{},\"seal_bytes\":{}}}",
+            s.shard,
+            jnum(s.key_lo),
+            jnum(s.key_hi),
+            s.records,
+            s.slices,
+            s.stats.queries,
+            s.sealed_fraction,
+            s.index_bytes,
+            s.seal_bytes,
+        ));
+    }
+    body.push_str("]}");
+    Response::json(200, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quasii::QuasiiConfig;
+    use quasii_common::dataset;
+    use quasii_shard::ShardConfig;
+
+    fn tiny_engine(n: usize, shards: usize) -> ShardedQuasii<3> {
+        let data = dataset::uniform_boxes::<3>(n, 77);
+        let cfg = ShardConfig::default()
+            .with_shards(shards)
+            .with_inner(QuasiiConfig::default().with_threads(1));
+        ShardedQuasii::new(data, cfg)
+    }
+
+    #[test]
+    fn gate_backpressure_is_bounded_not_buffered() {
+        // No dispatcher attached: the queue fills and the gate refuses.
+        let (tx, _rx) = mpsc::sync_channel(2);
+        let gate = Gate {
+            tx,
+            depth: Arc::new(AtomicUsize::new(0)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        };
+        let q = || vec![Aabb::new([0.0; 3], [1.0; 3])];
+        assert!(gate.submit(q()).is_ok());
+        assert!(gate.submit(q()).is_ok());
+        assert_eq!(gate.submit(q()).unwrap_err(), Rejection::Overloaded);
+        assert_eq!(gate.depth.load(Ordering::Relaxed), 2);
+        // Shutdown refuses before even touching the queue.
+        gate.shutdown.store(true, Ordering::Relaxed);
+        assert_eq!(gate.submit(q()).unwrap_err(), Rejection::ShuttingDown);
+    }
+
+    #[test]
+    fn adaptive_window_shrinks_idle_and_recovers_under_load() {
+        let max = 200u64;
+        // Timeout-closed groups halve the gap down to the 1µs floor —
+        // saturated steady-state traffic batches from the queue, not
+        // from waiting, so the gap decays out of the latency path …
+        let mut d = max as f64;
+        for _ in 0..16 {
+            d = next_delay_us(d, max, false);
+        }
+        assert_eq!(d, 1.0);
+        // … and filled groups double back up to the cap.
+        for _ in 0..16 {
+            d = next_delay_us(d, max, true);
+        }
+        assert_eq!(d, max as f64);
+        // The cap binds even from above (a shrunken max_delay_us).
+        assert_eq!(next_delay_us(512.0, max, true), max as f64);
+    }
+
+    #[test]
+    fn parse_errors_are_named_not_panics() {
+        assert!(parse_triple("lo", "1,2").unwrap_err().contains("3 comma"));
+        assert!(parse_triple("lo", "1,x,3").unwrap_err().contains("'x'"));
+        assert!(parse_triple("lo", "1,inf,3")
+            .unwrap_err()
+            .contains("finite"));
+        assert!(parse_box("5,0,0", "1,1,1").unwrap_err().contains("exceeds"));
+        assert!(matches!(parse_batch_body(b"", 10), Err((400, _))));
+        assert!(matches!(parse_batch_body(b"1,2,3\n", 10), Err((400, _))));
+        assert!(matches!(
+            parse_batch_body(b"0,0,0,1,1,1\n0,0,0,1,1,1\n", 1),
+            Err((413, _))
+        ));
+        assert!(matches!(parse_batch_body(&[0xff, 0xfe], 10), Err((400, _))));
+        let qs = parse_batch_body(b"0,0,0,1,1,1\n\n 2,2,2,3,3,3 \n", 10).unwrap();
+        assert_eq!(qs.len(), 2);
+    }
+
+    #[test]
+    fn server_round_trip_and_graceful_shutdown() {
+        let handle = start(tiny_engine(800, 2), "127.0.0.1:0", ServeConfig::default())
+            .expect("bind ephemeral");
+        let addr = handle.addr();
+        let mut c = minihttp::Client::connect(addr).unwrap();
+
+        let r = c.get("/healthz").unwrap();
+        assert_eq!(r.status, 200);
+        let r = c.get("/query?lo=0,0,0&hi=1000,1000,1000").unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        assert!(r.text().starts_with("{\"ids\":["), "{}", r.text());
+        let r = c
+            .post(
+                "/batch",
+                "text/plain",
+                b"0,0,0,50,50,50\n10,10,10,90,90,90\n",
+            )
+            .unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.text().starts_with("{\"results\":[["), "{}", r.text());
+        let r = c.get("/snapshots").unwrap();
+        assert!(r.text().contains("\"universe\""), "{}", r.text());
+        assert!(r.text().contains("\"shard_detail\""), "{}", r.text());
+        let r = c.get("/metrics").unwrap();
+        assert_eq!(r.status, 200);
+
+        // Malformed and unroutable requests: named 4xx, never a panic.
+        assert_eq!(c.get("/query?lo=1,2&hi=3,4,5").unwrap().status, 400);
+        assert_eq!(c.get("/query").unwrap().status, 400);
+        assert_eq!(c.get("/nope").unwrap().status, 404);
+        assert_eq!(c.post("/batch", "text/plain", b"junk").unwrap().status, 400);
+        let r = c.get(&format!("/query?lo={}", "9".repeat(16 * 1024)));
+        // Over-long URI: the server answers 414 and closes the connection.
+        assert_eq!(r.unwrap().status, 414);
+
+        handle.shutdown();
+        // The port is released: new connections are refused or reset.
+        assert!(minihttp::Client::connect(addr)
+            .and_then(|mut c| c
+                .get("/healthz")
+                .map_err(|_| std::io::Error::other("reset")))
+            .is_err());
+    }
+
+    #[test]
+    fn poisoned_engine_answers_503_until_repaired() {
+        let mut engine = tiny_engine(600, 2);
+        engine.inject_panic_at(0, 0);
+        let handle = start(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let mut c = minihttp::Client::connect(handle.addr()).unwrap();
+
+        // The armed panic fires on the first query, poisoning the engine.
+        let r = c.get("/query?lo=0,0,0&hi=1000,1000,1000").unwrap();
+        assert_eq!(r.status, 503);
+        assert!(r.text().contains("poisoned"), "{}", r.text());
+        // Every later query keeps refusing …
+        let r = c.get("/query?lo=0,0,0&hi=9,9,9").unwrap();
+        assert_eq!(r.status, 503);
+        assert_eq!(c.get("/healthz").unwrap().status, 503);
+        // … until the repair endpoint clears the marker.
+        let r = c.post("/admin/repair", "text/plain", b"").unwrap();
+        assert_eq!(r.status, 200);
+        assert!(r.text().contains("\"outcome\""), "{}", r.text());
+        assert_eq!(c.get("/healthz").unwrap().status, 200);
+        let r = c.get("/query?lo=0,0,0&hi=1000,1000,1000").unwrap();
+        assert_eq!(r.status, 200, "{}", r.text());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn admin_shutdown_endpoint_stops_the_server() {
+        let handle = start(tiny_engine(400, 1), "127.0.0.1:0", ServeConfig::default()).unwrap();
+        let addr = handle.addr();
+        let mut c = minihttp::Client::connect(addr).unwrap();
+        let r = c.post("/admin/shutdown", "text/plain", b"").unwrap();
+        assert_eq!(r.status, 200);
+        // wait() returns because the endpoint triggered shutdown.
+        handle.wait();
+    }
+}

@@ -953,6 +953,29 @@ impl<const D: usize> ShardedQuasii<D> {
         self.publish_shard_gauges();
         Ok(results)
     }
+
+    /// The admission-batching seam (`crates/server`): executes several
+    /// independent query groups as **one** engine batch and demultiplexes
+    /// the answers back per group. Each group gets exactly the vectors
+    /// [`try_execute_batch`](Self::try_execute_batch) would have returned
+    /// for it alone — batching is invisible in the results (the engine's
+    /// established determinism contract), which is what lets a service
+    /// layer coalesce concurrently arriving requests without changing any
+    /// answer byte.
+    ///
+    /// On [`EnginePoisoned`] the whole call fails; no group receives a
+    /// partial answer.
+    pub fn try_execute_grouped(
+        &mut self,
+        groups: &[&[Aabb<D>]],
+    ) -> Result<Vec<Vec<Vec<u64>>>, EnginePoisoned> {
+        let flat: Vec<Aabb<D>> = groups.iter().flat_map(|g| g.iter().copied()).collect();
+        let mut all = self.try_execute_batch(&flat)?.into_iter();
+        Ok(groups
+            .iter()
+            .map(|g| all.by_ref().take(g.len()).collect())
+            .collect())
+    }
 }
 
 fn corrupt(msg: impl Into<String>) -> SnapshotError {
@@ -1352,6 +1375,51 @@ mod tests {
             idx.validate()
                 .unwrap_or_else(|e| panic!("shards = {shards}: {e}"));
         }
+    }
+
+    #[test]
+    fn grouped_execution_is_invisible_in_the_results() {
+        let data = uniform_boxes_in::<3>(3_000, 600.0, 111);
+        let u = Aabb::new([0.0; 3], [600.0; 3]);
+        let queries = workload::uniform(&u, 40, 1e-3, 112).queries;
+        let inner = QuasiiConfig::with_tau(16);
+        // Reference: every group executed alone, on its own fresh engine
+        // state sequence — i.e. one engine fed the groups one at a time.
+        let cfg = || {
+            ShardConfig::default()
+                .with_shards(3)
+                .with_inner(QuasiiConfig::with_tau(16))
+        };
+        for cuts in [vec![0usize, 1, 5, 5, 40], vec![0, 40], vec![13, 27, 40]] {
+            let mut bounds = vec![0usize];
+            bounds.extend(&cuts);
+            let groups: Vec<&[Aabb<3>]> = bounds
+                .windows(2)
+                .map(|w| &queries[w[0].min(w[1])..w[1]])
+                .collect();
+
+            let mut solo = ShardedQuasii::new(data.clone(), cfg());
+            let expect: Vec<Vec<Vec<u64>>> = groups
+                .iter()
+                .map(|g| solo.try_execute_batch(g).unwrap())
+                .collect();
+
+            let mut grouped = ShardedQuasii::new(data.clone(), cfg());
+            let got = grouped.try_execute_grouped(&groups).unwrap();
+            assert_eq!(got, expect, "cuts = {cuts:?}");
+            // And both equal the canonical single-instance answer.
+            let flat_got: Vec<Vec<u64>> = got.into_iter().flatten().collect();
+            let flat_queries: Vec<Aabb<3>> =
+                groups.iter().flat_map(|g| g.iter().copied()).collect();
+            assert_eq!(
+                flat_got,
+                canonical_reference(&data, &flat_queries, &inner),
+                "cuts = {cuts:?}"
+            );
+        }
+        // Empty input: no groups, no work, no error.
+        let mut idx = ShardedQuasii::new(data, cfg());
+        assert!(idx.try_execute_grouped(&[]).unwrap().is_empty());
     }
 
     /// Observable state of one run: results, per-shard id orders, stats.

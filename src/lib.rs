@@ -18,6 +18,8 @@
 //!   Odyssey;
 //! * [`quasii_shard::ShardedQuasii`] — the multi-instance shard router
 //!   (two-level parallel scale-out on top of the paper's engine);
+//! * [`quasii_server`] — the HTTP query service with admission batching
+//!   (concurrent single queries regrouped onto the batch path);
 //! * [`quasii_common`] — geometry, datasets, workloads, measurement.
 
 pub use quasii;
@@ -26,6 +28,7 @@ pub use quasii_grid;
 pub use quasii_mosaic;
 pub use quasii_obs;
 pub use quasii_rtree;
+pub use quasii_server;
 pub use quasii_sfc;
 pub use quasii_shard;
 
@@ -42,6 +45,7 @@ pub mod prelude {
     pub use quasii_grid::{Assignment, UniformGrid};
     pub use quasii_mosaic::Mosaic;
     pub use quasii_rtree::RTree;
+    pub use quasii_server::{ServeConfig, ServerHandle};
     pub use quasii_sfc::{SfCracker, SfcIndex};
     pub use quasii_shard::{
         Coverage, DegradedQuasii, Recovery, RecoveryReport, ShardConfig, ShardSnapshot,

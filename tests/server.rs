@@ -1,0 +1,252 @@
+//! End-to-end coverage for the HTTP query service: network-path responses
+//! must be **byte-identical** to direct engine answers across admission
+//! settings (`max_batch`/`max_delay`, including `max_batch = 1`), under
+//! concurrent mixed single/batch traffic, and graceful shutdown must
+//! drain already-accepted work.
+
+use quasii_common::dataset;
+use quasii_common::index::canonical_results;
+use quasii_suite::prelude::*;
+use quasii_suite::quasii_server;
+
+const DATA_N: usize = 2_500;
+const DATA_SEED: u64 = 141;
+const N_QUERIES: usize = 96;
+const QUERY_SEED: u64 = 142;
+
+fn dataset_and_queries() -> (Vec<Record<3>>, Vec<Aabb<3>>) {
+    let data = dataset::uniform_boxes::<3>(DATA_N, DATA_SEED);
+    let universe = quasii_common::geom::mbb_of(&data);
+    let queries = workload::skewed(&universe, 6, N_QUERIES, 1e-3, 1.1, QUERY_SEED).queries;
+    (data, queries)
+}
+
+fn reference(data: &[Record<3>], queries: &[Aabb<3>]) -> Vec<Vec<u64>> {
+    let mut seq = Quasii::new(data.to_vec(), QuasiiConfig::default().with_threads(1));
+    canonical_results(&mut seq, queries)
+}
+
+fn engine(data: &[Record<3>], shards: usize) -> ShardedQuasii<3> {
+    let cfg = ShardConfig::default()
+        .with_shards(shards)
+        .with_inner(QuasiiConfig::default().with_threads(1));
+    ShardedQuasii::new(data.to_vec(), cfg)
+}
+
+fn query_target(q: &Aabb<3>) -> String {
+    format!(
+        "/query?lo={},{},{}&hi={},{},{}",
+        q.lo[0], q.lo[1], q.lo[2], q.hi[0], q.hi[1], q.hi[2]
+    )
+}
+
+fn batch_line(q: &Aabb<3>) -> String {
+    format!(
+        "{},{},{},{},{},{}",
+        q.lo[0], q.lo[1], q.lo[2], q.hi[0], q.hi[1], q.hi[2]
+    )
+}
+
+/// Parses one `[1,2,3]` id array starting at `s[from..]`; returns the ids
+/// and the index just past the closing bracket.
+fn parse_id_array(s: &str, from: usize) -> (Vec<u64>, usize) {
+    let open = from + s[from..].find('[').expect("array open");
+    let close = open + s[open..].find(']').expect("array close");
+    let inner = s[open + 1..close].trim();
+    let ids = if inner.is_empty() {
+        Vec::new()
+    } else {
+        inner
+            .split(',')
+            .map(|t| t.trim().parse().expect("id"))
+            .collect()
+    };
+    (ids, close + 1)
+}
+
+/// Parses `{"results":[[…],[…],…]}` into per-query id vectors.
+fn parse_results(body: &str, expect: usize) -> Vec<Vec<u64>> {
+    let mut out = Vec::with_capacity(expect);
+    let mut at = body.find("\"results\"").expect("results key") + "\"results\":[".len();
+    for _ in 0..expect {
+        let (ids, next) = parse_id_array(body, at);
+        out.push(ids);
+        at = next;
+    }
+    out
+}
+
+/// The core contract: under every admission setting, concurrent clients
+/// mixing single `GET /query` and `POST /batch` traffic read back exactly
+/// the canonical answers.
+#[test]
+fn network_path_is_byte_identical_across_admission_settings() {
+    let (data, queries) = dataset_and_queries();
+    let expected = reference(&data, &queries);
+    let settings = [
+        ("per-request", ServeConfig::default().with_max_batch(1)),
+        (
+            "small groups",
+            ServeConfig::default()
+                .with_max_batch(8)
+                .with_max_delay_us(500),
+        ),
+        (
+            "large window",
+            ServeConfig::default()
+                .with_max_batch(64)
+                .with_max_delay_us(2_000)
+                .with_adaptive(false),
+        ),
+    ];
+    for (name, cfg) in settings {
+        let handle = quasii_server::start(engine(&data, 3), "127.0.0.1:0", cfg).expect("bind");
+        let addr = handle.addr();
+
+        // 6 concurrent clients; even ones send singles, odd ones send
+        // client batches of up to 7 — both shapes in flight at once.
+        const CLIENTS: usize = 6;
+        let chunk = queries.len().div_ceil(CLIENTS);
+        let mut answers: Vec<(usize, Vec<Vec<u64>>)> = std::thread::scope(|scope| {
+            let mut workers = Vec::new();
+            for (c, slice) in queries.chunks(chunk).enumerate() {
+                workers.push(scope.spawn(move || {
+                    let mut client = minihttp::Client::connect(addr).expect("connect");
+                    let mut got = Vec::with_capacity(slice.len());
+                    if c % 2 == 0 {
+                        for q in slice {
+                            let r = client.get(&query_target(q)).expect("GET /query");
+                            assert_eq!(r.status, 200, "{name}: {}", r.text());
+                            let (ids, _) = parse_id_array(&r.text(), 0);
+                            got.push(ids);
+                        }
+                    } else {
+                        for group in slice.chunks(7) {
+                            let body = group.iter().map(batch_line).collect::<Vec<_>>().join("\n");
+                            let r = client
+                                .post("/batch", "text/plain", body.as_bytes())
+                                .expect("POST /batch");
+                            assert_eq!(r.status, 200, "{name}: {}", r.text());
+                            got.extend(parse_results(&r.text(), group.len()));
+                        }
+                    }
+                    (c * chunk, got)
+                }));
+            }
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("client"))
+                .collect()
+        });
+        answers.sort_by_key(|(start, _)| *start);
+        let merged: Vec<Vec<u64>> = answers.into_iter().flat_map(|(_, got)| got).collect();
+        assert_eq!(
+            merged, expected,
+            "{name}: network answers diverged from the canonical reference"
+        );
+        handle.shutdown();
+    }
+}
+
+/// Graceful shutdown drains the queue: a query accepted just before the
+/// shutdown trigger — still waiting inside a long admission window — gets
+/// its (correct) answer, not a dropped connection.
+#[test]
+fn shutdown_drains_accepted_work() {
+    let (data, queries) = dataset_and_queries();
+    let expected = reference(&data, &queries[..1]);
+    // A huge fixed window: the lone query would otherwise sit in the
+    // admission window for a full second.
+    let cfg = ServeConfig::default()
+        .with_max_batch(64)
+        .with_max_delay_us(1_000_000)
+        .with_adaptive(false);
+    let handle = quasii_server::start(engine(&data, 2), "127.0.0.1:0", cfg).expect("bind");
+    let addr = handle.addr();
+    let q = queries[0];
+    let expected0 = expected[0].clone();
+    let client = std::thread::spawn(move || {
+        let mut client = minihttp::Client::connect(addr).expect("connect");
+        let r = client.get(&query_target(&q)).expect("round-trip");
+        assert_eq!(r.status, 200, "{}", r.text());
+        let (ids, _) = parse_id_array(&r.text(), 0);
+        assert_eq!(ids, expected0, "drained answer must still be canonical");
+    });
+    // Give the request time to enter the admission window, then shut down:
+    // the drain must answer it early instead of dropping it.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let t = std::time::Instant::now();
+    handle.shutdown();
+    assert!(
+        t.elapsed() < std::time::Duration::from_secs(30),
+        "shutdown hung on the admission window"
+    );
+    client.join().expect("waiting client got its answer");
+}
+
+/// Malformed and oversized requests answer named 4xx statuses over the
+/// wire — the robustness seam, exercised through a real socket.
+#[test]
+fn malformed_requests_get_named_statuses() {
+    let (data, _) = dataset_and_queries();
+    let handle = quasii_server::start(engine(&data, 2), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind");
+    let mut c = minihttp::Client::connect(handle.addr()).expect("connect");
+
+    for (target, expect) in [
+        ("/query", 400),                   // missing params
+        ("/query?lo=1,2&hi=3,4,5", 400),   // wrong arity
+        ("/query?lo=1,x,3&hi=4,5,6", 400), // non-numeric
+        ("/query?lo=9,9,9&hi=1,1,1", 400), // inverted box
+        ("/nope", 404),                    // unknown path
+    ] {
+        let r = c.get(target).expect("round-trip");
+        assert_eq!(r.status, expect, "{target}: {}", r.text());
+        assert!(r.text().contains("error"), "{target}: {}", r.text());
+    }
+    let r = c
+        .post("/batch", "text/plain", b"1,2,3\n")
+        .expect("bad line");
+    assert_eq!(r.status, 400);
+    let r = c.post("/batch", "text/plain", b"").expect("empty batch");
+    assert_eq!(r.status, 400);
+    // DELETE on a known path: method not allowed.
+    let r = c
+        .roundtrip("DELETE", "/query", "text/plain", b"")
+        .expect("method");
+    assert_eq!(r.status, 405);
+
+    // Oversized body: bounded with a named 413, connection closed after.
+    let huge = vec![b'9'; 2 << 20];
+    let r = minihttp::Client::connect(handle.addr())
+        .expect("connect")
+        .post("/batch", "text/plain", &huge)
+        .expect("oversized body");
+    assert_eq!(r.status, 413, "{}", r.text());
+
+    handle.shutdown();
+}
+
+/// The `/snapshots` health payload carries the deployment shape and the
+/// universe the load generator samples workloads from.
+#[test]
+fn snapshots_payload_names_the_deployment() {
+    let (data, queries) = dataset_and_queries();
+    let handle = quasii_server::start(engine(&data, 3), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind");
+    let mut c = minihttp::Client::connect(handle.addr()).expect("connect");
+    let _ = c.get(&query_target(&queries[0])).expect("warm one query");
+    let body = c.get("/snapshots").expect("snapshots").text();
+    assert!(body.contains(&format!("\"records\":{DATA_N}")), "{body}");
+    assert!(body.contains("\"shards\":3"), "{body}");
+    assert!(body.contains("\"poisoned\":false"), "{body}");
+    assert!(body.contains("\"universe\""), "{body}");
+    assert!(body.contains("\"router\""), "{body}");
+    // Three per-shard objects, with the outermost fences (±∞) mapped to
+    // JSON null rather than emitting invalid tokens.
+    assert_eq!(body.matches("\"shard\":").count(), 3, "{body}");
+    assert!(body.contains("\"key_lo\":null"), "{body}");
+    assert!(body.contains("\"key_hi\":null"), "{body}");
+    assert!(!body.contains("inf"), "{body}");
+    handle.shutdown();
+}

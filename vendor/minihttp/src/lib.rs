@@ -1,0 +1,682 @@
+//! Minimal zero-dependency HTTP/1.1 over blocking streams — the vendored
+//! shim `crates/server` fronts the engine with (same offline policy as
+//! `vendor/rand`/`vendor/proptest`: the build environment has no crates.io
+//! access, so the workspace carries a small `std`-only implementation
+//! instead of a registry dependency).
+//!
+//! Scope is deliberately tiny — exactly what the query service needs:
+//!
+//! * [`read_request`]: a **bounded** request parser over any [`BufRead`].
+//!   Every limit violation (request line / header line / header count /
+//!   body size) is a *named* [`HttpError`] variant carrying the limit, so
+//!   the server can answer 413/414/431 instead of panicking or buffering
+//!   without bound.
+//! * [`Response`]: a status + body writer with keep-alive support.
+//! * [`Client`]: a keep-alive client over one [`TcpStream`] (used by the
+//!   load generator, the `repro service` experiment and `tests/server.rs`).
+//!
+//! Not supported (and not needed here): chunked transfer encoding, TLS,
+//! HTTP/2, multipart, percent-decoding, trailers. Requests with a
+//! `Transfer-Encoding` header are rejected as unsupported rather than
+//! mis-framed.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Parser bounds. Every limit violation maps to a named [`HttpError`]
+/// variant (and from there to a 4xx status), never a panic or an
+/// unbounded buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Maximum request-line length in bytes (method + target + version).
+    pub max_request_line: usize,
+    /// Maximum length of one header line in bytes.
+    pub max_header_line: usize,
+    /// Maximum number of header lines.
+    pub max_headers: usize,
+    /// Maximum declared body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_request_line: 8 * 1024,
+            max_header_line: 8 * 1024,
+            max_headers: 64,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// Everything that can go wrong reading a request or a client response.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Underlying transport error (no response is possible).
+    Io(io::Error),
+    /// The peer closed the connection mid-message.
+    Truncated,
+    /// Request line exceeded [`Limits::max_request_line`] (→ 414).
+    RequestLineTooLong {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// A header line exceeded [`Limits::max_header_line`] (→ 431).
+    HeaderLineTooLong {
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// More than [`Limits::max_headers`] header lines (→ 431).
+    TooManyHeaders {
+        /// The configured limit.
+        limit: usize,
+    },
+    /// Declared `Content-Length` exceeds [`Limits::max_body`] (→ 413).
+    BodyTooLarge {
+        /// The declared body length.
+        length: usize,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// Malformed request line (→ 400).
+    BadRequestLine(String),
+    /// Malformed header line (→ 400).
+    BadHeader(String),
+    /// Unparsable `Content-Length` value (→ 400).
+    BadContentLength(String),
+    /// Only HTTP/1.0 and HTTP/1.1 are spoken (→ 400).
+    UnsupportedVersion(String),
+    /// `Transfer-Encoding` framing is out of scope for this shim (→ 400).
+    UnsupportedTransferEncoding,
+    /// Malformed status line in a client-side response (client only).
+    BadStatusLine(String),
+}
+
+impl HttpError {
+    /// The HTTP status this error should be answered with, or `None` when
+    /// the connection is beyond responding (I/O error, truncation).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Io(_) | HttpError::Truncated => None,
+            HttpError::RequestLineTooLong { .. } => Some(414),
+            HttpError::HeaderLineTooLong { .. } | HttpError::TooManyHeaders { .. } => Some(431),
+            HttpError::BodyTooLarge { .. } => Some(413),
+            HttpError::BadRequestLine(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_)
+            | HttpError::UnsupportedVersion(_)
+            | HttpError::UnsupportedTransferEncoding
+            | HttpError::BadStatusLine(_) => Some(400),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Truncated => write!(f, "connection closed mid-message"),
+            HttpError::RequestLineTooLong { limit } => {
+                write!(f, "request line exceeds {limit} bytes")
+            }
+            HttpError::HeaderLineTooLong { limit } => {
+                write!(f, "header line exceeds {limit} bytes")
+            }
+            HttpError::TooManyHeaders { limit } => write!(f, "more than {limit} header lines"),
+            HttpError::BodyTooLarge { length, limit } => {
+                write!(
+                    f,
+                    "declared body of {length} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line '{l}'"),
+            HttpError::BadHeader(l) => write!(f, "malformed header line '{l}'"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length '{v}'"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version '{v}'"),
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding is not supported (use Content-Length)")
+            }
+            HttpError::BadStatusLine(l) => write!(f, "malformed status line '{l}'"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Request method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The raw request target (path plus optional `?query`).
+    pub target: String,
+    /// Header pairs in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target's path component (before any `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The target's raw query string (after `?`), or `""`.
+    pub fn query(&self) -> &str {
+        self.target.split_once('?').map(|(_, q)| q).unwrap_or("")
+    }
+
+    /// The first value of query parameter `key` (no percent-decoding —
+    /// the service's wire format never needs it).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query().split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// The first value of header `name` (lowercase lookup).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (`Connection: close`).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Reads one `\n`-terminated line with a hard byte bound. Returns
+/// `Ok(None)` on clean EOF before any byte, `Err(true)` when the bound was
+/// exceeded, `Err(false)` on truncation mid-line.
+fn read_line_bounded<R: BufRead>(
+    r: &mut R,
+    limit: usize,
+) -> Result<Result<Option<Vec<u8>>, bool>, io::Error> {
+    let mut line = Vec::new();
+    // `take` enforces the bound *while* reading, so a hostile peer cannot
+    // make us buffer an arbitrarily long line before we notice.
+    let n = r.take(limit as u64 + 1).read_until(b'\n', &mut line)?;
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if line.last() != Some(&b'\n') {
+        return Ok(Err(line.len() > limit));
+    }
+    line.pop();
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    if line.len() > limit {
+        return Ok(Err(true));
+    }
+    Ok(Ok(Some(line)))
+}
+
+fn utf8_line(bytes: Vec<u8>, what: fn(String) -> HttpError) -> Result<String, HttpError> {
+    String::from_utf8(bytes).map_err(|e| what(format!("<{} non-utf8 bytes>", e.as_bytes().len())))
+}
+
+/// Reads and parses one request from `r`. Returns `Ok(None)` when the
+/// peer closed the connection cleanly between requests (the keep-alive
+/// loop's normal exit).
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Option<Request>, HttpError> {
+    let line = match read_line_bounded(r, limits.max_request_line)? {
+        Ok(None) => return Ok(None),
+        Ok(Some(l)) => l,
+        Err(true) => {
+            return Err(HttpError::RequestLineTooLong {
+                limit: limits.max_request_line,
+            })
+        }
+        Err(false) => return Err(HttpError::Truncated),
+    };
+    let line = utf8_line(line, HttpError::BadRequestLine)?;
+    let mut parts = line.split_ascii_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_string(), t.to_string(), v),
+        _ => return Err(HttpError::BadRequestLine(line.clone())),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::UnsupportedVersion(version.to_string()));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line_bounded(r, limits.max_header_line)? {
+            Ok(None) => return Err(HttpError::Truncated),
+            Ok(Some(l)) => l,
+            Err(true) => {
+                return Err(HttpError::HeaderLineTooLong {
+                    limit: limits.max_header_line,
+                })
+            }
+            Err(false) => return Err(HttpError::Truncated),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders {
+                limit: limits.max_headers,
+            });
+        }
+        let line = utf8_line(line, HttpError::BadHeader)?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::UnsupportedTransferEncoding);
+    }
+    let mut body = Vec::new();
+    if let Some((_, v)) = headers.iter().find(|(k, _)| k == "content-length") {
+        let length: usize = v
+            .parse()
+            .map_err(|_| HttpError::BadContentLength(v.clone()))?;
+        if length > limits.max_body {
+            return Err(HttpError::BodyTooLarge {
+                length,
+                limit: limits.max_body,
+            });
+        }
+        body.resize(length, 0);
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Truncated
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+
+    Ok(Some(Request {
+        method,
+        target,
+        headers,
+        body,
+    }))
+}
+
+/// The reason phrase for the status codes the service emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// One response: status, content type, body, and whether to close the
+/// connection after writing.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// `true` → `Connection: close` (and the server drops the stream).
+    pub close: bool,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// An `application/json` response (the caller supplies valid JSON).
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+            close: false,
+        }
+    }
+
+    /// Marks the response connection-closing.
+    pub fn closing(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Serializes the response onto `w` (one `write_all` of a prebuilt
+    /// buffer, so a response is never interleaved or torn by buffering).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" },
+        );
+        let mut buf = Vec::with_capacity(head.len() + self.body.len());
+        buf.extend_from_slice(head.as_bytes());
+        buf.extend_from_slice(&self.body);
+        w.write_all(&buf)?;
+        w.flush()
+    }
+}
+
+/// A client-side response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy — service bodies are always UTF-8).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP/1.1 client over one [`TcpStream`] — enough for the
+/// load generator and the test suites; not a general-purpose client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    limits: Limits,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream),
+            limits: Limits {
+                // Scrapes of /metrics can exceed the server-side request
+                // bound; responses are trusted, so the client reads more.
+                max_body: 64 << 20,
+                ..Limits::default()
+            },
+        })
+    }
+
+    /// Issues `GET target`.
+    pub fn get(&mut self, target: &str) -> Result<ClientResponse, HttpError> {
+        self.roundtrip("GET", target, "", &[])
+    }
+
+    /// Issues `POST target` with `body`.
+    pub fn post(
+        &mut self,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        self.roundtrip("POST", target, content_type, body)
+    }
+
+    /// Issues an arbitrary-method request (tests exercising 405 paths).
+    pub fn roundtrip(
+        &mut self,
+        method: &str,
+        target: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<ClientResponse, HttpError> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: quasii\r\n");
+        if !body.is_empty() || method == "POST" {
+            head.push_str(&format!(
+                "Content-Type: {content_type}\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        let mut buf = Vec::with_capacity(head.len() + body.len());
+        buf.extend_from_slice(head.as_bytes());
+        buf.extend_from_slice(body);
+        let stream = self.reader.get_mut();
+        stream.write_all(&buf)?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<ClientResponse, HttpError> {
+        let line = match read_line_bounded(&mut self.reader, self.limits.max_request_line)? {
+            Ok(None) => return Err(HttpError::Truncated),
+            Ok(Some(l)) => l,
+            Err(_) => return Err(HttpError::Truncated),
+        };
+        let line = utf8_line(line, HttpError::BadStatusLine)?;
+        let mut parts = line.split_ascii_whitespace();
+        let (version, status) = match (parts.next(), parts.next()) {
+            (Some(v), Some(s)) => (v, s),
+            _ => return Err(HttpError::BadStatusLine(line.clone())),
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::UnsupportedVersion(version.to_string()));
+        }
+        let status: u16 = status
+            .parse()
+            .map_err(|_| HttpError::BadStatusLine(line.clone()))?;
+
+        let mut content_length = 0usize;
+        loop {
+            let line = match read_line_bounded(&mut self.reader, self.limits.max_header_line)? {
+                Ok(None) => return Err(HttpError::Truncated),
+                Ok(Some(l)) => l,
+                Err(_) => return Err(HttpError::Truncated),
+            };
+            if line.is_empty() {
+                break;
+            }
+            let line = utf8_line(line, HttpError::BadHeader)?;
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| HttpError::BadContentLength(value.trim().to_string()))?;
+                }
+            }
+        }
+        if content_length > self.limits.max_body {
+            return Err(HttpError::BodyTooLarge {
+                length: content_length,
+                limit: self.limits.max_body,
+            });
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Truncated
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+        Ok(ClientResponse { status, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(raw.as_bytes()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = parse("GET /query?lo=1,2,3&hi=4,5,6 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/query");
+        assert_eq!(req.query_param("lo"), Some("1,2,3"));
+        assert_eq!(req.query_param("hi"), Some("4,5,6"));
+        assert_eq!(req.query_param("missing"), None);
+        assert!(req.body.is_empty());
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_close() {
+        let req = parse(
+            "POST /batch HTTP/1.1\r\nContent-Length: 11\r\nConnection: close\r\n\r\n0,0,0,1,1,1",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"0,0,0,1,1,1");
+        assert!(req.wants_close());
+        assert_eq!(req.header("content-length"), Some("11"));
+    }
+
+    #[test]
+    fn clean_eof_is_none_not_error() {
+        assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn named_limit_errors() {
+        let limits = Limits {
+            max_request_line: 32,
+            max_header_line: 32,
+            max_headers: 2,
+            max_body: 16,
+        };
+        let over_uri = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(64));
+        let err = read_request(&mut Cursor::new(over_uri.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::RequestLineTooLong { limit: 32 }));
+        assert_eq!(err.status(), Some(414));
+
+        let big_header = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "y".repeat(64));
+        let err = read_request(&mut Cursor::new(big_header.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::HeaderLineTooLong { limit: 32 }));
+        assert_eq!(err.status(), Some(431));
+
+        let many = "GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n";
+        let err = read_request(&mut Cursor::new(many.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(err, HttpError::TooManyHeaders { limit: 2 }));
+
+        let big_body = "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n";
+        let err = read_request(&mut Cursor::new(big_body.as_bytes()), &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge {
+                length: 1000,
+                limit: 16
+            }
+        ));
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn malformed_lines_are_named_errors() {
+        assert!(matches!(
+            parse("GARBAGE\r\n\r\n").unwrap_err(),
+            HttpError::BadRequestLine(_)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/3.0\r\n\r\n").unwrap_err(),
+            HttpError::UnsupportedVersion(_)
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err(),
+            HttpError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: many\r\n\r\n").unwrap_err(),
+            HttpError::BadContentLength(_)
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap_err(),
+            HttpError::UnsupportedTransferEncoding
+        ));
+        // Truncation mid-request (header block never terminated).
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nHost: x\r\n").unwrap_err(),
+            HttpError::Truncated
+        ));
+        // Truncation mid-body.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err(),
+            HttpError::Truncated
+        ));
+    }
+
+    #[test]
+    fn response_round_trips_over_loopback() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            // Two keep-alive exchanges, then the client closes.
+            for i in 0..2 {
+                let req = read_request(&mut reader, &Limits::default())
+                    .unwrap()
+                    .unwrap();
+                assert_eq!(req.method, if i == 0 { "GET" } else { "POST" });
+                Response::json(200, format!("{{\"i\":{i}}}"))
+                    .write_to(&mut writer)
+                    .unwrap();
+            }
+            assert!(read_request(&mut reader, &Limits::default())
+                .unwrap()
+                .is_none());
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let r = client.get("/x").unwrap();
+        assert_eq!((r.status, r.text().as_str()), (200, "{\"i\":0}"));
+        let r = client.post("/y", "text/plain", b"payload").unwrap();
+        assert_eq!((r.status, r.text().as_str()), (200, "{\"i\":1}"));
+        drop(client);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn keep_alive_parses_pipelined_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut cur = Cursor::new(raw.as_bytes());
+        let limits = Limits::default();
+        assert_eq!(
+            read_request(&mut cur, &limits).unwrap().unwrap().target,
+            "/a"
+        );
+        assert_eq!(
+            read_request(&mut cur, &limits).unwrap().unwrap().target,
+            "/b"
+        );
+        assert!(read_request(&mut cur, &limits).unwrap().is_none());
+    }
+}
